@@ -1,0 +1,48 @@
+"""Extra ablation: bound-join block sizes (DESIGN.md knobs).
+
+Not a paper figure, but a design choice the paper fixes silently: SAPE
+groups found bindings into VALUES blocks (we default to 128) while FedX
+uses 15-binding blocks.  Sweeping the block size on a geo profile shows
+why: small blocks multiply round trips, huge blocks inflate request
+payloads past the win.
+"""
+
+from repro.bench.harness import run_query
+from repro.bench.reporting import format_table
+from repro.core import LusailEngine
+from repro.datasets import LubmGenerator
+from repro.datasets.lubm import LUBM_QUERIES
+from repro.endpoint import AZURE_GEO, AZURE_REGIONS
+
+
+def _sweep():
+    remote = [r for r in AZURE_REGIONS if r.name != "central-us"]
+    regions = {i: remote[i % len(remote)] for i in range(4)}
+    federation = LubmGenerator(
+        universities=4, graduate_students_per_department=40
+    ).build_federation(network=AZURE_GEO, regions=regions)
+    rows = []
+    for block_size in (8, 32, 128, 512):
+        engine = LusailEngine(federation, values_block_size=block_size)
+        run = run_query(engine, "LUBM-geo", "Q3", LUBM_QUERIES["Q3"])
+        rows.append({
+            "values_block_size": block_size,
+            "runtime_s": round(run.runtime_seconds, 4),
+            "requests": run.requests,
+        })
+    return rows
+
+
+def bench_values_block_size(benchmark, record_table):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record_table(format_table(
+        rows,
+        ["values_block_size", "runtime_s", "requests"],
+        title="Ablation: SAPE VALUES block size (LUBM Q3, geo profile)",
+    ))
+    by_size = {row["values_block_size"]: row for row in rows}
+    # more bindings per block -> fewer requests
+    assert by_size[512]["requests"] <= by_size[8]["requests"]
+    # tiny blocks pay per-block latency: slowest configuration
+    slowest = max(rows, key=lambda row: row["runtime_s"])
+    assert slowest["values_block_size"] == 8

@@ -1,0 +1,50 @@
+"""Figure 9: LUBM on 2 and 4 same-schema endpoints.
+
+Paper shape: with identical schemas the baselines form no exclusive
+groups and bound-join triple pattern by triple pattern; their request
+counts explode as endpoints are added, while Lusail ships Q1/Q2 as one
+subquery per endpoint and is orders of magnitude faster.
+"""
+
+from conftest import total_runtime
+
+from repro.bench.experiments import fig9_lubm
+from repro.bench.reporting import format_runs
+
+
+def _runs_for(runs, system, benchmark):
+    return [r for r in runs if r.system == system and r.benchmark == benchmark]
+
+
+def bench_fig9_lubm(benchmark, record_table):
+    runs = benchmark.pedantic(
+        fig9_lubm,
+        kwargs={"endpoint_counts": (2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_runs(runs, "Figure 9: LUBM, 2 and 4 endpoints"))
+    record_table(format_runs(
+        runs, "Figure 9: LUBM — endpoint requests", value="requests"
+    ))
+    assert all(r.status == "OK" for r in runs)
+
+    for bench_name in ("LUBM-2ep", "LUBM-4ep"):
+        for query in ("Q1", "Q2"):
+            lusail = next(
+                r for r in _runs_for(runs, "Lusail", bench_name) if r.query == query
+            )
+            fedx = next(
+                r for r in _runs_for(runs, "FedX", bench_name) if r.query == query
+            )
+            # order-of-magnitude request gap on the one-subquery queries
+            assert fedx.requests > 10 * lusail.requests
+            assert fedx.runtime_seconds > 5 * lusail.runtime_seconds
+
+    # FedX degrades superlinearly with endpoint count; Lusail stays flat
+    fedx_2 = sum(r.requests for r in _runs_for(runs, "FedX", "LUBM-2ep"))
+    fedx_4 = sum(r.requests for r in _runs_for(runs, "FedX", "LUBM-4ep"))
+    lusail_2 = sum(r.requests for r in _runs_for(runs, "Lusail", "LUBM-2ep"))
+    lusail_4 = sum(r.requests for r in _runs_for(runs, "Lusail", "LUBM-4ep"))
+    assert fedx_4 > 3 * fedx_2
+    assert lusail_4 <= 4 * lusail_2

@@ -1,0 +1,41 @@
+"""Figure 10: LargeRDFBench, all 32 queries, four systems.
+
+Paper shape: comparable times on most simple queries (index-based
+systems sometimes ahead), Lusail clearly ahead on S13/S14 (large
+intermediate results), on most complex queries, and on all big queries;
+Lusail is the only system that completes everything.
+"""
+
+from conftest import ok_count, total_runtime
+
+from repro.bench.experiments import fig10_largerdfbench
+from repro.bench.reporting import format_runs
+from repro.datasets import QUERY_CATEGORY
+
+
+def bench_fig10_largerdfbench(benchmark, record_table):
+    runs = benchmark.pedantic(
+        fig10_largerdfbench, kwargs={"scale": 0.7, "real_time_limit": 10.0}, rounds=1, iterations=1
+    )
+    record_table(format_runs(runs, "Figure 10: LargeRDFBench (local cluster)"))
+    record_table(format_runs(
+        runs, "Figure 10: LargeRDFBench — endpoint requests", value="requests"
+    ))
+
+    # Lusail completes every query (the paper's headline summary)
+    assert ok_count(runs, "Lusail") == 32
+
+    def category_total(system, category):
+        return sum(
+            r.runtime_seconds
+            for r in runs
+            if r.system == system and QUERY_CATEGORY[r.query] == category
+        )
+
+    # big queries: Lusail is superior (paper: "superior for all large")
+    assert category_total("Lusail", "big") < category_total("FedX", "big")
+    assert category_total("Lusail", "big") < category_total("HiBISCuS", "big")
+    # complex queries: Lusail ahead of the index-free baselines overall
+    assert category_total("Lusail", "complex") < category_total("FedX", "complex")
+    # overall suite
+    assert total_runtime(runs, "Lusail") < total_runtime(runs, "FedX")

@@ -1,0 +1,62 @@
+"""Figure 11: geo-distributed federation (Azure latency profile).
+
+Paper shape: wide-area latency hurts every system, but hurts the
+bound-join baselines far more (each of their thousands of requests pays
+a transatlantic round trip).  Lusail executes all queries and leads on
+the complex and big categories; LUBM queries that took milliseconds
+locally still finish quickly for Lusail while FedX/HiBISCuS degrade by
+an order of magnitude.
+"""
+
+from conftest import ok_count, total_runtime
+
+from repro.bench.experiments import fig11_geo, fig11c_lubm_geo
+from repro.bench.reporting import format_runs
+
+GEO_TIMEOUT = 3600.0
+
+
+def bench_fig11ab_largerdfbench_geo(benchmark, record_table):
+    runs = benchmark.pedantic(
+        fig11_geo,
+        kwargs={"scale": 0.6, "timeout_seconds": GEO_TIMEOUT,
+                "real_time_limit": 10.0},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_runs(
+        runs, "Figure 11(a,b): LargeRDFBench complex+big, geo-distributed"
+    ))
+    # Lusail is the only system that completes everything
+    lusail_runs = [r for r in runs if r.system == "Lusail"]
+    assert all(r.status == "OK" for r in lusail_runs)
+    assert ok_count(runs, "FedX") < len(lusail_runs)
+    assert total_runtime(runs, "Lusail") < total_runtime(runs, "FedX")
+    assert total_runtime(runs, "Lusail") < total_runtime(runs, "HiBISCuS")
+
+
+def bench_fig11c_lubm_geo(benchmark, record_table):
+    runs = benchmark.pedantic(
+        fig11c_lubm_geo,
+        kwargs={"universities": 2, "timeout_seconds": GEO_TIMEOUT,
+                "real_time_limit": 10.0},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_runs(runs, "Figure 11(c): LUBM 2 endpoints, geo"))
+    for query in ("Q1", "Q2", "Q3", "Q4"):
+        lusail = next(r for r in runs if r.system == "Lusail" and r.query == query)
+        fedx = next(r for r in runs if r.system == "FedX" and r.query == query)
+        assert lusail.status == "OK"
+        if query == "Q3":
+            # Q3 is the selective exception even in the paper (the only
+            # query FedX still manages on four endpoints): just require
+            # that Lusail is not slower.
+            assert fedx.status != "OK" or (
+                fedx.runtime_seconds >= lusail.runtime_seconds
+            )
+        else:
+            # paper: Lusail ~1s, baselines >1000s (orders of magnitude)
+            assert fedx.status != "OK" or (
+                fedx.runtime_seconds > 5 * lusail.runtime_seconds
+            )

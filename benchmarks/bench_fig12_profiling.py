@@ -1,0 +1,53 @@
+"""Figure 12: profiling Lusail's phases and endpoint scaling.
+
+Paper shape (12a): query execution dominates total time; source
+selection and query analysis are lightweight.  (12b,c): with 4→256
+endpoints, execution remains the dominant phase, source selection grows
+with the endpoint count, and the ASK/check caches visibly cut the total.
+"""
+
+from repro.bench.experiments import fig12a_profiling, fig12bc_scaling
+from repro.bench.reporting import format_table
+
+
+def bench_fig12a_phases(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig12a_profiling, kwargs={"scale": 1.0}, rounds=1, iterations=1
+    )
+    record_table(format_table(
+        rows,
+        ["query", "source_selection_s", "analysis_s", "execution_s", "total_s"],
+        title="Figure 12(a): phase profiling (S10, C4, B1)",
+    ))
+    for row in rows:
+        # analysis never dominates (the paper's "lightweight" claim)
+        assert row["analysis_s"] <= row["total_s"] * 0.8
+    # the heavy B1 is execution-dominated
+    b1 = next(row for row in rows if row["query"] == "B1")
+    assert b1["execution_s"] > b1["source_selection_s"]
+    assert b1["execution_s"] > b1["analysis_s"]
+
+
+def bench_fig12bc_endpoint_scaling(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig12bc_scaling,
+        kwargs={"endpoint_counts": (4, 16, 64, 256)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_table(
+        rows,
+        ["query", "endpoints", "source_selection_s", "analysis_s",
+         "execution_s", "total_no_cache_s", "total_with_cache_s"],
+        title="Figure 12(b,c): LUBM Q3/Q4, 4-256 endpoints, cache on/off",
+    ))
+    for query in ("Q3", "Q4"):
+        series = [row for row in rows if row["query"] == query]
+        # source selection grows with the endpoint count
+        assert series[-1]["source_selection_s"] > series[0]["source_selection_s"]
+        # caching helps at every scale (paper: "the cache helps,
+        # especially ... when the number of endpoints is large")
+        for row in series:
+            assert row["total_with_cache_s"] <= row["total_no_cache_s"]
+        largest = series[-1]
+        assert largest["total_with_cache_s"] < largest["total_no_cache_s"]

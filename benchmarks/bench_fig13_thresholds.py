@@ -1,0 +1,42 @@
+"""Figure 13: sensitivity to the delayed-subquery threshold.
+
+Paper shape: ``mu+sigma`` performs consistently well in all three
+categories; ``mu`` over-delays and loses parallelism on the large
+queries; ``mu+2sigma`` / ``outliers`` under-delay and pay extra
+communication on simple/complex queries.
+"""
+
+from repro.bench.experiments import fig13_thresholds
+from repro.bench.reporting import format_table
+
+
+def bench_fig13_thresholds(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig13_thresholds, kwargs={"scale": 0.6}, rounds=1, iterations=1
+    )
+    record_table(format_table(
+        rows,
+        ["threshold", "category", "total_runtime_s"],
+        title="Figure 13: delay-threshold sensitivity (geo profile)",
+    ))
+    totals = {
+        (row["threshold"], row["category"]): row["total_runtime_s"]
+        for row in rows
+    }
+
+    def overall(threshold):
+        return sum(
+            totals[(threshold, category)]
+            for category in ("simple", "complex", "big")
+        )
+
+    # the paper's choice is never the worst anywhere and is the best (or
+    # within 20% of the best) overall
+    best = min(overall(t) for t in ("mu", "mu+sigma", "mu+2sigma", "outliers"))
+    assert overall("mu+sigma") <= 1.2 * best
+    for category in ("simple", "complex", "big"):
+        column = [totals[(t, category)] for t in
+                  ("mu", "mu+sigma", "mu+2sigma", "outliers")]
+        assert totals[("mu+sigma", category)] < max(column) or (
+            max(column) == min(column)
+        )

@@ -1,0 +1,34 @@
+"""Figure 14: effect of LADE and SAPE (ablation against FedX).
+
+Paper shape: LADE alone already beats FedX by pushing computation to the
+endpoints; adding SAPE improves on LADE-only (never hurts) by delaying
+the low-selectivity subqueries.
+"""
+
+from repro.bench.experiments import fig14_ablation
+from repro.bench.reporting import format_table
+
+
+def _seconds(cell):
+    return float("inf") if cell in ("TO", "OOM", "RE") else float(cell)
+
+
+def bench_fig14_ablation(benchmark, record_table):
+    rows = benchmark.pedantic(
+        fig14_ablation, kwargs={"lrb_scale": 1.0}, rounds=1, iterations=1
+    )
+    record_table(format_table(
+        rows,
+        ["benchmark", "query", "FedX", "LADE", "LADE+SAPE"],
+        title="Figure 14: FedX vs Lusail-LADE vs Lusail-LADE+SAPE",
+    ))
+    for row in rows:
+        fedx = _seconds(row["FedX"])
+        lade = _seconds(row["LADE"])
+        lade_sape = _seconds(row["LADE+SAPE"])
+        # LADE decomposition alone beats FedX on these queries
+        assert lade < fedx, row
+        # SAPE never makes things substantially worse, and the full
+        # system still beats FedX comfortably
+        assert lade_sape <= 1.5 * lade, row
+        assert lade_sape < fedx, row

@@ -1,0 +1,23 @@
+"""Section 4.1: cardinality-estimation quality (q-error).
+
+Paper: the median q-error of Lusail's subquery cardinality estimates on
+LargeRDFBench is 1.09 — close to the optimum of 1.
+"""
+
+from repro.bench.experiments import qerror_study
+from repro.bench.reporting import format_table
+
+
+def bench_qerror(benchmark, record_table):
+    result = benchmark.pedantic(
+        qerror_study, kwargs={"scale": 1.0}, rounds=1, iterations=1
+    )
+    record_table(format_table(
+        [result],
+        ["subqueries_measured", "median_qerror", "max_qerror"],
+        title="Cardinality estimation quality (Section 4.1; paper: 1.09)",
+    ))
+    assert result["subqueries_measured"] > 5
+    # the min/sum/max estimation rules stay within a small factor
+    assert result["median_qerror"] is not None
+    assert 1.0 <= result["median_qerror"] <= 3.0

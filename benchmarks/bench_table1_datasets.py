@@ -1,0 +1,22 @@
+"""Table 1: dataset statistics for the three benchmarks."""
+
+from repro.bench.experiments import table1_datasets
+from repro.bench.reporting import format_table
+
+
+def bench_table1(benchmark, record_table):
+    rows = benchmark.pedantic(table1_datasets, rounds=1, iterations=1)
+    record_table(format_table(
+        rows, ["benchmark", "endpoint", "triples"],
+        title="Table 1: dataset statistics (scaled-down reproduction)",
+    ))
+    by_benchmark = {}
+    for row in rows:
+        if row["endpoint"] != "Total":
+            by_benchmark.setdefault(row["benchmark"], []).append(row)
+    # QFed has 4 endpoints, LargeRDFBench 13 (paper Table 1)
+    assert len(by_benchmark["QFed"]) == 4
+    assert len(by_benchmark["LargeRDFBench"]) == 13
+    # the TCGA result stores dominate LargeRDFBench, as in the paper
+    lrb = {row["endpoint"]: row["triples"] for row in by_benchmark["LargeRDFBench"]}
+    assert lrb["tcga-m"] == max(lrb.values())

@@ -1,0 +1,25 @@
+"""Table 2: querying real (public) endpoints — Bio2RDF + LRB subset.
+
+Paper shape: Lusail answers every query; FedX hits runtime errors on
+several Bio2RDF query-log queries (public-endpoint request limits) and
+is substantially slower wherever intermediate results are non-trivial,
+while staying competitive on the most selective simple queries (S3/S4).
+"""
+
+from conftest import ok_count
+
+from repro.bench.experiments import table2_real_endpoints
+from repro.bench.reporting import format_runs
+
+
+def bench_table2(benchmark, record_table):
+    runs = benchmark.pedantic(table2_real_endpoints, rounds=1, iterations=1)
+    record_table(format_runs(runs, "Table 2: real endpoints (Lusail vs FedX)"))
+
+    lusail_total = sum(1 for r in runs if r.system == "Lusail")
+    assert ok_count(runs, "Lusail") == lusail_total  # Lusail: everything OK
+    assert ok_count(runs, "FedX") < lusail_total     # FedX: failures appear
+
+    bio_runs = [r for r in runs if r.benchmark == "Bio2RDF"]
+    fedx_failures = [r for r in bio_runs if r.system == "FedX" and r.status != "OK"]
+    assert fedx_failures, "expected FedX failures against public endpoints"

@@ -1,0 +1,18 @@
+"""Lusail reproduction: federated SPARQL query processing at scale.
+
+Public API highlights:
+
+- :mod:`repro.rdf` -- RDF terms, triples, namespaces, N-Triples I/O.
+- :mod:`repro.store` -- in-memory indexed triple store.
+- :mod:`repro.sparql` -- SPARQL subset parser / evaluator / serializer.
+- :mod:`repro.endpoint` -- simulated SPARQL endpoints and network model.
+- :mod:`repro.federation` -- source selection and request handling.
+- :mod:`repro.core` -- the Lusail engine (LADE + SAPE).
+- :mod:`repro.baselines` -- FedX, SPLENDID, and HiBISCuS reimplementations.
+- :mod:`repro.datasets` -- LUBM / QFed / LargeRDFBench-mini / Bio2RDF-mini
+  generators and benchmark queries.
+- :mod:`repro.bench` -- the experiment harness reproducing the paper's
+  tables and figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""Baseline federated engines: FedX, SPLENDID, and HiBISCuS."""
+
+from .common import BaseFederatedEngine
+from .fedx import FedXEngine
+from .hibiscus import HibiscusEngine
+from .splendid import SplendidEngine
+
+__all__ = [
+    "BaseFederatedEngine",
+    "FedXEngine",
+    "HibiscusEngine",
+    "SplendidEngine",
+]

@@ -1,0 +1,83 @@
+"""Shared machinery for the baseline federated engines."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..endpoint.errors import FederationError
+from ..endpoint.metrics import ExecutionContext
+from ..federation.federation import Federation
+from ..rdf.term import Variable
+from ..sparql.ast import Query
+from ..sparql.parser import parse_query
+from ..sparql.results import ResultSet
+from ..core.engine import QueryResult
+
+
+class BaseFederatedEngine:
+    """Execute wrapper shared by FedX / SPLENDID / HiBISCuS.
+
+    Subclasses implement ``_run(query, context)`` returning
+    ``(result, boolean)``; failures surface as the paper's status tags
+    (TO, OOM, RE) instead of exceptions.
+    """
+
+    name = "base"
+
+    def __init__(self, federation: Federation, pool_size: int = 8):
+        self.federation = federation
+        self.pool_size = pool_size
+
+    def execute(
+        self,
+        query_text: str,
+        timeout_seconds: float = 3600.0,
+        max_intermediate_rows: int = 5_000_000,
+        real_time_limit: float = None,
+    ) -> QueryResult:
+        context = self.federation.make_context(
+            timeout_seconds=timeout_seconds,
+            max_intermediate_rows=max_intermediate_rows,
+            real_time_limit=real_time_limit,
+        )
+        try:
+            query = parse_query(query_text)
+            result, boolean = self._run(query, context)
+            return QueryResult(
+                status="OK", result=result, boolean=boolean, metrics=context.metrics
+            )
+        except FederationError as error:
+            return QueryResult(
+                status=error.status,
+                result=None,
+                metrics=context.metrics,
+                error=str(error),
+            )
+        except Exception as error:
+            return QueryResult(
+                status="RE",
+                result=None,
+                metrics=context.metrics,
+                error=f"{type(error).__name__}: {error}",
+            )
+
+    def _run(
+        self, query: Query, context: ExecutionContext
+    ) -> Tuple[Optional[ResultSet], Optional[bool]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def finalize(query: Query, result: ResultSet) -> ResultSet:
+        """Apply projection / DISTINCT / ORDER / LIMIT / OFFSET."""
+        header: List[Variable] = query.projected_variables()
+        projected = result.project(header).distinct()
+        if query.order_by:
+            from ..sparql.evaluator import _order
+
+            projected = _order(projected, query.order_by)
+        if query.offset or query.limit is not None:
+            end = None if query.limit is None else query.offset + query.limit
+            projected = ResultSet(
+                projected.variables, projected.rows[query.offset:end]
+            )
+        return projected

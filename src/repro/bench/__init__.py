@@ -1,0 +1,23 @@
+"""Experiment harness reproducing the paper's tables and figures."""
+
+from .harness import QueryRun, SYSTEMS, build_engines, run_query, run_suite
+from .reporting import (
+    format_runs,
+    format_table,
+    runs_to_matrix,
+    summarize_by_category,
+)
+from . import experiments
+
+__all__ = [
+    "QueryRun",
+    "SYSTEMS",
+    "build_engines",
+    "experiments",
+    "format_runs",
+    "format_table",
+    "run_query",
+    "run_suite",
+    "runs_to_matrix",
+    "summarize_by_category",
+]

@@ -1,0 +1,142 @@
+"""Benchmark harness: run query suites across engines, collect rows.
+
+Every experiment in :mod:`repro.bench.experiments` is built from the same
+pieces: build a federation, build the competing engines, run each query
+under a virtual-time budget, and record the paper's measures (virtual
+runtime, request count, transferred bytes, status).  Following the paper
+(Section 5.1), every query is run twice and the *second* (cache-warm) run
+is reported — "all systems are allowed to cache the results of source
+selection".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines import FedXEngine, HibiscusEngine, SplendidEngine
+from ..core import LusailEngine
+from ..core.engine import QueryResult
+from ..federation.federation import Federation
+
+SYSTEMS = ("Lusail", "FedX", "HiBISCuS", "SPLENDID")
+
+
+@dataclass
+class QueryRun:
+    """One (system, query) measurement — one bar in the paper's figures."""
+
+    benchmark: str
+    query: str
+    system: str
+    status: str
+    rows: int
+    runtime_seconds: float
+    requests: int
+    bytes_sent: int
+    bytes_received: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def runtime_display(self) -> str:
+        """Paper notation: numbers for OK, TO / OOM / RE otherwise."""
+        if self.status != "OK":
+            return self.status
+        if self.runtime_seconds >= 100:
+            return f"{self.runtime_seconds:.0f}"
+        if self.runtime_seconds >= 1:
+            return f"{self.runtime_seconds:.2f}"
+        return f"{self.runtime_seconds:.4f}"
+
+
+def build_engines(
+    federation: Federation,
+    systems: Sequence[str] = SYSTEMS,
+    lusail_options: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Instantiate (and preprocess, where applicable) the engines."""
+    engines: Dict[str, object] = {}
+    for system in systems:
+        if system == "Lusail":
+            engines[system] = LusailEngine(federation, **(lusail_options or {}))
+        elif system == "FedX":
+            engines[system] = FedXEngine(federation)
+        elif system == "HiBISCuS":
+            engine = HibiscusEngine(federation)
+            engine.preprocess()
+            engines[system] = engine
+        elif system == "SPLENDID":
+            engine = SplendidEngine(federation)
+            engine.preprocess()
+            engines[system] = engine
+        else:
+            raise ValueError(f"unknown system {system!r}")
+    return engines
+
+
+def run_query(
+    engine,
+    benchmark: str,
+    query_name: str,
+    query_text: str,
+    timeout_seconds: float = 3600.0,
+    max_intermediate_rows: int = 5_000_000,
+    warm: bool = True,
+    real_time_limit: Optional[float] = None,
+) -> QueryRun:
+    """Execute one query; with ``warm`` the cache-warm second run counts."""
+    outcome: QueryResult = engine.execute(
+        query_text,
+        timeout_seconds=timeout_seconds,
+        max_intermediate_rows=max_intermediate_rows,
+        real_time_limit=real_time_limit,
+    )
+    if warm and outcome.status == "OK":
+        outcome = engine.execute(
+            query_text,
+            timeout_seconds=timeout_seconds,
+            max_intermediate_rows=max_intermediate_rows,
+            real_time_limit=real_time_limit,
+        )
+    metrics = outcome.metrics
+    return QueryRun(
+        benchmark=benchmark,
+        query=query_name,
+        system=getattr(engine, "name", type(engine).__name__),
+        status=outcome.status,
+        rows=len(outcome),
+        runtime_seconds=metrics.virtual_seconds,
+        requests=metrics.requests,
+        bytes_sent=metrics.bytes_sent,
+        bytes_received=metrics.bytes_received,
+        phase_seconds=dict(metrics.phase_seconds),
+        error=outcome.error,
+    )
+
+
+def run_suite(
+    federation: Federation,
+    queries: Dict[str, str],
+    benchmark: str,
+    systems: Sequence[str] = SYSTEMS,
+    timeout_seconds: float = 3600.0,
+    max_intermediate_rows: int = 5_000_000,
+    lusail_options: Optional[dict] = None,
+    real_time_limit: Optional[float] = None,
+) -> List[QueryRun]:
+    """The standard figure shape: every system runs every query."""
+    engines = build_engines(federation, systems, lusail_options)
+    runs: List[QueryRun] = []
+    for query_name, query_text in queries.items():
+        for system in systems:
+            runs.append(run_query(
+                engines[system],
+                benchmark,
+                query_name,
+                query_text,
+                timeout_seconds=timeout_seconds,
+                max_intermediate_rows=max_intermediate_rows,
+                real_time_limit=real_time_limit,
+            ))
+    return runs

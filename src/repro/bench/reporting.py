@@ -1,0 +1,109 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .harness import QueryRun
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Sequence[str], title: str = ""
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(
+            cell.ljust(widths[column]) for cell, column in zip(cells, columns)
+        ))
+    return "\n".join(lines)
+
+
+def runs_to_matrix(
+    runs: Iterable[QueryRun], value: str = "runtime"
+) -> List[Dict[str, object]]:
+    """Pivot runs into query-per-row, system-per-column form.
+
+    ``value`` selects what fills the cells: ``runtime`` (with TO/OOM/RE
+    markers, the paper's figures), ``requests``, or ``rows``.
+    """
+    by_key: Dict[tuple, Dict[str, object]] = {}
+    order: List[tuple] = []
+    benchmarks = {run.benchmark for run in runs}
+    for run in runs:
+        key = (run.benchmark, run.query)
+        if key not in by_key:
+            row: Dict[str, object] = {"query": run.query}
+            if len(benchmarks) > 1:
+                row["benchmark"] = run.benchmark
+            by_key[key] = row
+            order.append(key)
+        if value == "runtime":
+            cell: object = run.runtime_display
+        elif value == "requests":
+            cell = run.requests if run.status == "OK" else run.status
+        elif value == "rows":
+            cell = run.rows if run.status == "OK" else run.status
+        else:
+            raise ValueError(f"unknown value kind {value!r}")
+        by_key[key][run.system] = cell
+    return [by_key[key] for key in order]
+
+
+def format_runs(
+    runs: Sequence[QueryRun],
+    title: str,
+    value: str = "runtime",
+) -> str:
+    systems: List[str] = []
+    for run in runs:
+        if run.system not in systems:
+            systems.append(run.system)
+    matrix = runs_to_matrix(runs, value)
+    columns = ["query"] + systems
+    if any("benchmark" in row for row in matrix):
+        columns = ["benchmark", "query"] + systems
+    return format_table(matrix, columns, title=title)
+
+
+def summarize_by_category(
+    runs: Sequence[QueryRun],
+    categories: Dict[str, str],
+) -> List[Dict[str, object]]:
+    """Total runtime per (system, category) — the Figure-13 shape.
+
+    Failed queries contribute the timeout budget, mirroring how the paper
+    counts TO entries in category totals.
+    """
+    totals: Dict[tuple, float] = {}
+    for run in runs:
+        category = categories.get(run.query, "?")
+        key = (run.system, category)
+        totals[key] = totals.get(key, 0.0) + run.runtime_seconds
+    rows = []
+    for (system, category), total in sorted(totals.items()):
+        rows.append({
+            "system": system,
+            "category": category,
+            "total_runtime_s": round(total, 3),
+        })
+    return rows

@@ -1,0 +1,224 @@
+"""SAPE's cost model (Section 4.1).
+
+Per-triple-pattern cardinalities come from lightweight
+``SELECT (COUNT(*) AS ?c)`` probes sent during query analysis (with any
+pushable filters attached for tighter estimates).  Subquery cardinality
+follows the paper's rules:
+
+- per endpoint, the bindings of a join variable after a join are bounded
+  by the *minimum* cardinality of the patterns it joins;
+- a variable's total cardinality is the *sum* over relevant endpoints;
+- a subquery's cardinality is the *maximum* over its projected variables.
+
+Subqueries whose cardinality (or endpoint fan-out) exceeds ``μ + kσ`` —
+with Chauvenet's criterion rejecting outliers before computing μ and σ —
+are *delayed* and later evaluated with bound VALUES blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.ast import GroupPattern, count_query
+from ..sparql.expressions import Expression
+from ..sparql.serializer import serialize_query
+from ..federation.cache import canonical_pattern_key
+from ..federation.request_handler import ElasticRequestHandler, Request
+from .subquery import Subquery
+
+#: supported settings for the delay threshold (Figure 13)
+DELAY_THRESHOLDS = ("mu", "mu+sigma", "mu+2sigma", "outliers")
+
+
+def chauvenet_keep_mask(values: Sequence[float]) -> List[bool]:
+    """Chauvenet's criterion: flag values a sample of this size should not
+    contain.  Returns a keep/reject mask aligned with ``values``."""
+    n = len(values)
+    if n < 3:
+        return [True] * n
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    std = math.sqrt(variance)
+    if std == 0:
+        return [True] * n
+    mask = []
+    for value in values:
+        z = abs(value - mean) / std
+        expected = n * math.erfc(z / math.sqrt(2.0))
+        mask.append(expected >= 0.5)
+    return mask
+
+
+def robust_mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and standard deviation after Chauvenet outlier rejection."""
+    if not values:
+        return 0.0, 0.0
+    mask = chauvenet_keep_mask(values)
+    kept = [v for v, keep in zip(values, mask) if keep] or list(values)
+    mean = sum(kept) / len(kept)
+    variance = sum((v - mean) ** 2 for v in kept) / len(kept)
+    return mean, math.sqrt(variance)
+
+
+class CardinalityEstimator:
+    """COUNT-probe based cardinality estimation with a persistent cache."""
+
+    def __init__(
+        self,
+        handler: ElasticRequestHandler,
+        count_cache: Optional[Dict[Tuple[str, str], int]] = None,
+    ):
+        self.handler = handler
+        #: (endpoint_id, canonical probe key) -> count
+        self.count_cache = count_cache if count_cache is not None else {}
+
+    # -- probes ----------------------------------------------------------
+
+    @staticmethod
+    def _probe_key(
+        pattern: TriplePattern, filters: Sequence[Expression]
+    ) -> str:
+        key = canonical_pattern_key(pattern)
+        if filters:
+            key += " || " + " && ".join(sorted(f.to_sparql() for f in filters))
+        return key
+
+    def pattern_cardinalities(
+        self,
+        pattern: TriplePattern,
+        sources: Sequence[str],
+        filters: Sequence[Expression] = (),
+    ) -> Dict[str, int]:
+        """Triples matching ``pattern`` (with pushable filters) per source."""
+        pushable = [f for f in filters if f.variables() <= pattern.variables()
+                    and not f.contains_exists()]
+        key = self._probe_key(pattern, pushable)
+        counts: Dict[str, int] = {}
+        missing: List[str] = []
+        for endpoint_id in sources:
+            cached = self.count_cache.get((endpoint_id, key))
+            if cached is None:
+                missing.append(endpoint_id)
+            else:
+                counts[endpoint_id] = cached
+                self.handler.context.metrics.cache_hits += 1
+        if missing:
+            group = GroupPattern(elements=[pattern], filters=list(pushable))
+            text = serialize_query(count_query(group))
+            requests = [Request(eid, text, kind="SELECT") for eid in missing]
+            for response in self.handler.execute_batch(requests):
+                result = response.value
+                count = int(result.rows[0][0].lexical)  # type: ignore[union-attr]
+                counts[response.request.endpoint_id] = count
+                self.count_cache[(response.request.endpoint_id, key)] = count
+        return counts
+
+    # -- the paper's estimation rules ----------------------------------
+
+    def variable_cardinality(
+        self,
+        subquery: Subquery,
+        variable: Variable,
+        per_pattern: Dict[TriplePattern, Dict[str, int]],
+    ) -> float:
+        """``C(sq, v) = Σ_ep min over patterns containing v of C(tp, ep)``."""
+        containing = [p for p in subquery.patterns if variable in p.variables()]
+        if not containing:
+            return 0.0
+        total = 0.0
+        for endpoint_id in subquery.sources:
+            total += min(
+                per_pattern[pattern].get(endpoint_id, 0) for pattern in containing
+            )
+        return total
+
+    def subquery_cardinality(self, subquery: Subquery) -> float:
+        """``C(sq)``: max over projected variables of their cardinality."""
+        per_pattern = {
+            pattern: self.pattern_cardinalities(
+                pattern, subquery.sources, subquery.filters
+            )
+            for pattern in subquery.patterns
+        }
+        projection = subquery.effective_projection()
+        cardinalities = [
+            self.variable_cardinality(subquery, variable, per_pattern)
+            for variable in projection
+        ]
+        if not cardinalities:
+            return 0.0
+        return max(cardinalities)
+
+    def estimate_all(self, subqueries: Iterable[Subquery]) -> None:
+        for subquery in subqueries:
+            subquery.estimated_cardinality = self.subquery_cardinality(subquery)
+
+
+def classify_delayed(
+    subqueries: Sequence[Subquery],
+    threshold: str = "mu+sigma",
+) -> None:
+    """Mark subqueries as delayed per the paper's heuristic.
+
+    ``threshold`` selects the Figure-13 variant: ``mu``, ``mu+sigma``
+    (the paper's default), ``mu+2sigma``, or ``outliers`` (delay only
+    Chauvenet-rejected outliers).  Optional subqueries are always delayed;
+    at least one subquery always stays non-delayed so phase one can run.
+    """
+    if threshold not in DELAY_THRESHOLDS:
+        raise ValueError(
+            f"unknown delay threshold {threshold!r}; expected one of "
+            f"{DELAY_THRESHOLDS}"
+        )
+    for subquery in subqueries:
+        subquery.delayed = bool(subquery.optional)
+    candidates = [sq for sq in subqueries if not sq.optional]
+    if len(candidates) < 2:
+        _ensure_anchor(subqueries)
+        return
+    cardinalities = [float(sq.estimated_cardinality or 0.0) for sq in candidates]
+    fanouts = [float(len(sq.sources)) for sq in candidates]
+    if threshold == "outliers":
+        keep_c = chauvenet_keep_mask(cardinalities)
+        keep_f = chauvenet_keep_mask(fanouts)
+        for subquery, kc, kf in zip(candidates, keep_c, keep_f):
+            if not kc or not kf:
+                subquery.delayed = True
+    else:
+        k = {"mu": 0.0, "mu+sigma": 1.0, "mu+2sigma": 2.0}[threshold]
+        mean_c, std_c = robust_mean_std(cardinalities)
+        mean_f, std_f = robust_mean_std(fanouts)
+        for subquery, cardinality, fanout in zip(candidates, cardinalities, fanouts):
+            if cardinality > mean_c + k * std_c:
+                subquery.delayed = True
+            elif cardinality >= mean_c + k * std_c and cardinality > 1.2 * mean_c:
+                # Boundary case: with exactly two subqueries the larger
+                # one sits exactly at mu+sigma (max = mean + population
+                # std for n=2), so a strict comparison would never delay
+                # anything; delay it when it is clearly the heavy side.
+                subquery.delayed = True
+            if fanout > mean_f + k * std_f:
+                subquery.delayed = True
+    for subquery in subqueries:
+        if subquery.delayed and not subquery.is_safely_delayable:
+            subquery.delayed = False
+    _ensure_anchor(subqueries)
+
+
+def _ensure_anchor(subqueries: Sequence[Subquery]) -> None:
+    """Phase one needs at least one non-delayed subquery to produce the
+    bindings phase two binds against."""
+    if not subqueries or not all(sq.delayed for sq in subqueries):
+        return
+    anchor = min(
+        subqueries, key=lambda sq: float(sq.estimated_cardinality or 0.0)
+    )
+    anchor.delayed = False
+
+
+def decomposition_cost(subqueries: Sequence[Subquery]) -> float:
+    """Cost of a decomposition = expected intermediate-result volume."""
+    return sum(float(sq.estimated_cardinality or 0.0) for sq in subqueries)

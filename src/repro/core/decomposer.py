@@ -1,0 +1,266 @@
+"""Locality-aware query decomposition (Section 3.2, Algorithm 2).
+
+Given the GJV report, the query's triple patterns are partitioned into
+subqueries such that (i) every pattern in a subquery has the same
+relevant sources and (ii) no two patterns forming a *forbidden pair*
+(a pair that made some variable global) share a subquery.  The algorithm
+tries every GJV as the traversal root (branching phase), merges
+compatible subqueries (merging phase), and keeps the decomposition with
+the lowest estimated cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.term import PatternTerm, Term, Variable
+from ..rdf.triple import TriplePattern
+from .gjv import GJVReport
+from .subquery import Subquery, shared_variables
+
+CostEstimator = Callable[[List[Subquery]], float]
+
+
+class QueryGraph:
+    """Nodes are subject/object terms; edges are triple patterns."""
+
+    def __init__(self, patterns: Sequence[TriplePattern]):
+        self.patterns = list(patterns)
+        self._adjacency: Dict[Term, List[Tuple[TriplePattern, Term]]] = {}
+        for pattern in self.patterns:
+            self._add_edge(pattern.subject, pattern, pattern.object)
+            if pattern.subject != pattern.object:
+                self._add_edge(pattern.object, pattern, pattern.subject)
+
+    def _add_edge(self, node: PatternTerm, pattern: TriplePattern, dest: PatternTerm):
+        self._adjacency.setdefault(node, []).append((pattern, dest))
+
+    def edges(self, node: Term) -> List[Tuple[TriplePattern, Term]]:
+        return self._adjacency.get(node, [])
+
+    def nodes(self) -> List[Term]:
+        return list(self._adjacency)
+
+
+class Decomposer:
+    """Runs Algorithm 2."""
+
+    def __init__(
+        self,
+        source_selection: Dict[TriplePattern, Tuple[str, ...]],
+        report: GJVReport,
+        cost_estimator: Optional[CostEstimator] = None,
+    ):
+        self.selection = source_selection
+        self.report = report
+        self.cost_estimator = cost_estimator or self._default_cost
+
+    # ------------------------------------------------------------------
+
+    def decompose(self, patterns: Sequence[TriplePattern]) -> List[Subquery]:
+        patterns = list(patterns)
+        if not patterns:
+            return []
+        if not self.report.global_variables:
+            return self._subqueries_without_gjvs(patterns)
+        graph = QueryGraph(patterns)
+        best: Optional[List[Subquery]] = None
+        best_cost = float("inf")
+        for root in self.report.global_variables:
+            subqueries = self._branch_from(root, graph)
+            subqueries = self._merge(subqueries)
+            cost = self.cost_estimator(subqueries)
+            if cost < best_cost:
+                best = subqueries
+                best_cost = cost
+        assert best is not None
+        for i, subquery in enumerate(best):
+            subquery.label = subquery.label or f"sq{i}"
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _subqueries_without_gjvs(
+        self, patterns: List[TriplePattern]
+    ) -> List[Subquery]:
+        """No GJVs: each connected component travels as one unit.
+
+        Within a component every adjacent pair shares a variable, and a
+        pair with different sources would have made that variable global —
+        so each component has a uniform source list.  Distinct components
+        may still target different endpoints, hence one subquery each."""
+        subqueries = []
+        for component in _connected_components(patterns):
+            sources = self.selection.get(component[0], ())
+            subqueries.append(
+                Subquery(
+                    patterns=component,
+                    sources=sources,
+                    label=f"sq{len(subqueries)}",
+                )
+            )
+        return subqueries
+
+    def _can_add(self, subquery: Subquery, pattern: TriplePattern) -> bool:
+        if self.selection.get(pattern) != subquery.sources:
+            return False
+        return all(
+            not self.report.pair_forbidden(existing, pattern)
+            for existing in subquery.patterns
+        )
+
+    def _branch_from(self, root: Variable, graph: QueryGraph) -> List[Subquery]:
+        """Depth-first traversal building subqueries (lines 9-30)."""
+        visited: set = set()
+        subqueries: List[Subquery] = []
+        self._expand(root, graph, visited, subqueries, root_mode=True)
+        # Disconnected components (the paper executes them independently
+        # and joins at the global level): expand from any untouched node.
+        while len(visited) < len(graph.patterns):
+            seed_pattern = next(p for p in graph.patterns if p not in visited)
+            self._expand(
+                seed_pattern.subject, graph, visited, subqueries, root_mode=True
+            )
+        return subqueries
+
+    def _expand(
+        self,
+        root: Term,
+        graph: QueryGraph,
+        visited: set,
+        subqueries: List[Subquery],
+        root_mode: bool,
+    ) -> None:
+        stack: List[Term] = [root]
+        first_vertex = root_mode
+        while stack:
+            vertex = stack.pop()
+            edges = graph.edges(vertex)
+            if first_vertex:
+                # Root expansion: one subquery per outgoing edge.
+                first_vertex = False
+                for pattern, dest in edges:
+                    if pattern in visited:
+                        continue
+                    visited.add(pattern)
+                    subqueries.append(
+                        Subquery(
+                            patterns=[pattern],
+                            sources=self.selection.get(pattern, ()),
+                        )
+                    )
+                    stack.append(dest)
+                continue
+            parent = self._parent_subquery(vertex, subqueries)
+            for pattern, dest in edges:
+                if pattern in visited:
+                    continue
+                visited.add(pattern)
+                if parent is not None and self._can_add(parent, pattern):
+                    parent.patterns.append(pattern)
+                else:
+                    subqueries.append(
+                        Subquery(
+                            patterns=[pattern],
+                            sources=self.selection.get(pattern, ()),
+                        )
+                    )
+                stack.append(dest)
+
+    @staticmethod
+    def _parent_subquery(
+        vertex: Term, subqueries: List[Subquery]
+    ) -> Optional[Subquery]:
+        """The subquery owning an edge incident to ``vertex``."""
+        for subquery in subqueries:
+            for pattern in subquery.patterns:
+                if pattern.subject == vertex or pattern.object == vertex:
+                    return subquery
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _mergeable(self, a: Subquery, b: Subquery) -> bool:
+        if a.sources != b.sources:
+            return False
+        if not shared_variables(a, b):
+            return False
+        return all(
+            not self.report.pair_forbidden(pa, pb)
+            for pa in a.patterns
+            for pb in b.patterns
+        )
+
+    def _merge(self, subqueries: List[Subquery]) -> List[Subquery]:
+        """Fixed-point pairwise merging (line 32)."""
+        merged = list(subqueries)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(merged)):
+                for j in range(i + 1, len(merged)):
+                    if self._mergeable(merged[i], merged[j]):
+                        merged[i].patterns.extend(merged[j].patterns)
+                        del merged[j]
+                        changed = True
+                        break
+                if changed:
+                    break
+        return merged
+
+    @staticmethod
+    def _default_cost(subqueries: List[Subquery]) -> float:
+        """Without cardinality probes, prefer fewer and fatter subqueries
+        (more computation pushed to the endpoints)."""
+        single_pattern = sum(1 for sq in subqueries if len(sq.patterns) == 1)
+        return len(subqueries) * 10 + single_pattern
+
+
+def _connected_components(
+    patterns: Sequence[TriplePattern],
+) -> List[List[TriplePattern]]:
+    """Group patterns into components connected by shared variables."""
+    remaining = list(patterns)
+    components: List[List[TriplePattern]] = []
+    while remaining:
+        component = [remaining.pop(0)]
+        component_vars = set(component[0].variables())
+        grew = True
+        while grew:
+            grew = False
+            for pattern in list(remaining):
+                if pattern.variables() & component_vars:
+                    component.append(pattern)
+                    component_vars |= pattern.variables()
+                    remaining.remove(pattern)
+                    grew = True
+        components.append(component)
+    return components
+
+
+def compute_projections(
+    subqueries: Sequence[Subquery],
+    required_variables: frozenset,
+) -> None:
+    """Decide each subquery's projection list.
+
+    A variable must be shipped back when it appears in another subquery
+    (global join variable between results), in the query's own projection
+    or global filters (``required_variables``), or is an internal join
+    variable needed by the §3.3 Case-2 cross-endpoint re-join.
+    """
+    for subquery in subqueries:
+        own = subquery.variables()
+        needed = set(own & required_variables)
+        for other in subqueries:
+            if other is subquery:
+                continue
+            needed |= own & other.variables()
+        if len(subquery.sources) > 1 and len(subquery.patterns) > 1:
+            needed |= set(subquery.internal_join_variables())
+        for filter_expr in subquery.late_filters:
+            needed |= filter_expr.variables() & own
+        if not needed:
+            # A subquery must project something; keep it minimal.
+            needed = set(list(sorted(own, key=lambda v: v.name))[:1])
+        subquery.projection = sorted(needed, key=lambda v: v.name)

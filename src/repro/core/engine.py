@@ -1,0 +1,584 @@
+"""The Lusail engine: LADE decomposition + SAPE execution (Figure 3).
+
+``LusailEngine.execute`` takes SPARQL text and runs the full pipeline:
+
+1. *source selection* — cached ASK per triple pattern;
+2. *query analysis* — GJV detection (check queries), locality-aware
+   decomposition, cardinality probes, delay classification;
+3. *query execution* — SAPE subquery scheduling, global DP-ordered hash
+   joins, OPTIONAL / UNION / VALUES / global FILTER handling, and final
+   solution modifiers.
+
+Knobs reproduce the paper's ablations: ``enable_sape`` (Figure 14),
+``delay_threshold`` (Figure 13), ``use_cache`` (Figure 12), and
+``strict_checks`` (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..endpoint.errors import FederationError
+from ..endpoint.metrics import ExecutionContext, Metrics
+from ..federation.cache import AskCache, CheckCache
+from ..federation.federation import Federation
+from ..federation.request_handler import ElasticRequestHandler
+from ..federation.source_selection import SourceSelector
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.ast import (
+    BindElement,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+)
+from ..sparql.parser import parse_query
+from ..sparql.results import ResultSet
+from .cost import (
+    CardinalityEstimator,
+    classify_delayed,
+    decomposition_cost,
+)
+from .decomposer import Decomposer, compute_projections
+from .gjv import GJVDetector, GJVReport
+from .joins import hash_join, left_outer_join, union_all
+from .optimizer import Relation, plan_join_order
+from .subquery import Subquery, assign_filters
+from .trace import QueryTrace
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one federated query."""
+
+    status: str  # "OK" | "TO" | "OOM" | "RE"
+    result: Optional[ResultSet]
+    metrics: Metrics
+    boolean: Optional[bool] = None
+    error: Optional[str] = None
+    decomposition: List[Subquery] = field(default_factory=list)
+    #: execution narrative, populated when ``execute(..., trace=True)``
+    trace: Optional[QueryTrace] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "OK"
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.metrics.virtual_seconds
+
+    def __len__(self) -> int:
+        return 0 if self.result is None else len(self.result)
+
+
+class UnsupportedQueryError(FederationError):
+    """Query uses a feature outside the engine's supported subset."""
+
+    status = "RE"
+
+
+class LusailEngine:
+    """Federated SPARQL processing with locality-aware decomposition."""
+
+    name = "Lusail"
+
+    def __init__(
+        self,
+        federation: Federation,
+        pool_size: int = 8,
+        delay_threshold: str = "mu+sigma",
+        enable_sape: bool = True,
+        use_cache: bool = True,
+        strict_checks: bool = False,
+        values_block_size: int = 128,
+        join_threads: int = 4,
+        use_threads: bool = False,
+        max_retries: int = 2,
+    ):
+        self.federation = federation
+        self.pool_size = pool_size
+        self.delay_threshold = delay_threshold
+        self.enable_sape = enable_sape
+        self.use_cache = use_cache
+        self.strict_checks = strict_checks
+        self.values_block_size = values_block_size
+        self.join_threads = join_threads
+        #: run request batches on a real thread pool (the paper's ERH);
+        #: virtual-time accounting is identical either way
+        self.use_threads = use_threads
+        #: transient-failure retries per endpoint request
+        self.max_retries = max_retries
+        self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
+        self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
+        self.count_cache: Optional[Dict] = {} if use_cache else None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query_text: str,
+        timeout_seconds: float = 3600.0,
+        max_intermediate_rows: int = 5_000_000,
+        real_time_limit: float = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Run a federated query; never raises for per-query failures.
+
+        With ``trace=True`` the result carries a :class:`QueryTrace` of
+        the execution narrative (see :func:`repro.core.trace.render_trace`).
+        """
+        context = self.federation.make_context(
+            timeout_seconds=timeout_seconds,
+            max_intermediate_rows=max_intermediate_rows,
+            join_threads=self.join_threads,
+            real_time_limit=real_time_limit,
+        )
+        if trace:
+            context.trace = QueryTrace()
+        decomposition: List[Subquery] = []
+        try:
+            query = parse_query(query_text)
+            result, boolean, decomposition = self._run(query, context)
+            context.trace_event(
+                "done",
+                rows=0 if result is None else len(result),
+                requests=context.metrics.requests,
+            )
+            return QueryResult(
+                status="OK",
+                result=result,
+                boolean=boolean,
+                metrics=context.metrics,
+                decomposition=decomposition,
+                trace=context.trace,
+            )
+        except FederationError as error:
+            return QueryResult(
+                status=error.status,
+                result=None,
+                metrics=context.metrics,
+                error=str(error),
+                decomposition=decomposition,
+                trace=context.trace,
+            )
+        except Exception as error:  # runtime exception -> "RE"
+            return QueryResult(
+                status="RE",
+                result=None,
+                metrics=context.metrics,
+                error=f"{type(error).__name__}: {error}",
+                decomposition=decomposition,
+                trace=context.trace,
+            )
+
+    def explain(self, query_text: str) -> List[Subquery]:
+        """Decompose without executing; returns the subqueries."""
+        context = self.federation.make_context()
+        query = parse_query(query_text)
+        handler = ElasticRequestHandler(
+            self.federation, context, self.pool_size,
+            use_threads=self.use_threads, max_retries=self.max_retries,
+        )
+        subqueries, _report = self._analyze(query.where, handler, context)
+        return subqueries
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, query: Query, context: ExecutionContext
+    ) -> Tuple[Optional[ResultSet], Optional[bool], List[Subquery]]:
+        handler = ElasticRequestHandler(
+            self.federation, context, self.pool_size,
+            use_threads=self.use_threads, max_retries=self.max_retries,
+        )
+        if query.form == "ASK":
+            required = query.where.all_variables()
+        else:
+            needed = set(query.projected_variables())
+            needed |= set(query.group_by)
+            for aggregate in query.aggregates:
+                if aggregate.argument is not None:
+                    needed.add(aggregate.argument)
+            required = frozenset(needed)
+        with context.phase("execution"):
+            # phases inside _evaluate_group re-attribute analysis time
+            result, decomposition = self._evaluate_group(
+                query.where, handler, context, required=required
+            )
+        if query.form == "ASK":
+            return None, bool(len(result)), decomposition
+        result = self._apply_modifiers(query, result)
+        return result, None, decomposition
+
+    def _apply_modifiers(self, query: Query, result: ResultSet) -> ResultSet:
+        if query.aggregates or query.group_by:
+            # Federated aggregation: group/aggregate the (distinct) joined
+            # result at the federator.  Note the bag-vs-set caveat in
+            # DESIGN.md: counts are over distinct solutions.
+            from ..sparql.aggregation import aggregate_solutions
+
+            solutions = list(result.distinct().bindings())
+            return aggregate_solutions(
+                query.group_by, query.aggregates, solutions
+            )
+        header = query.projected_variables()
+        projected = result.project(header)
+        # Federated engines compare DISTINCT result sets (see DESIGN.md).
+        projected = projected.distinct()
+        if query.order_by:
+            from ..sparql.evaluator import _order
+
+            projected = _order(projected, query.order_by)
+        if query.offset or query.limit is not None:
+            # The paper: Lusail computes all results and truncates (C4).
+            end = None if query.limit is None else query.offset + query.limit
+            projected = ResultSet(
+                projected.variables, projected.rows[query.offset:end]
+            )
+        return projected
+
+    # ------------------------------------------------------------------
+    # Group evaluation (recursive over OPTIONAL / UNION bodies)
+    # ------------------------------------------------------------------
+
+    def _analyze(
+        self,
+        group: GroupPattern,
+        handler: ElasticRequestHandler,
+        context: ExecutionContext,
+    ) -> Tuple[List[Subquery], GJVReport]:
+        """Phases 1+2 for the BGP part of a group."""
+        patterns = group.triple_patterns()
+        if not patterns:
+            return [], GJVReport()
+        with context.phase("source_selection"):
+            selector = SourceSelector(handler, cache=self.ask_cache)
+            selection = selector.select_all(patterns)
+        context.trace_event(
+            "source_selection",
+            selection={p.n3(): list(s) for p, s in selection.items()},
+        )
+        with context.phase("analysis"):
+            detector = GJVDetector(
+                handler,
+                selection,
+                check_cache=self.check_cache,
+                strict_checks=self.strict_checks,
+            )
+            report = detector.detect(patterns)
+            estimator = CardinalityEstimator(
+                handler,
+                self.count_cache if self.count_cache is not None else {},
+            )
+            needs_estimates = bool(report.global_variables)
+
+            def cost_of(subqueries: List[Subquery]) -> float:
+                if not needs_estimates:
+                    return float(len(subqueries))
+                estimator.estimate_all(subqueries)
+                return decomposition_cost(subqueries)
+
+            decomposer = Decomposer(selection, report, cost_estimator=cost_of)
+            subqueries = decomposer.decompose(patterns)
+        context.trace_event(
+            "gjv",
+            variables=sorted(v.name for v in report.global_variables),
+            pairs=sorted(
+                f"{a.predicate.n3()} | {b.predicate.n3()}"
+                for pair in report.forbidden_pairs
+                for a, b in [sorted(pair, key=lambda t: t.n3())]
+            ),
+            check_queries=report.check_queries_sent,
+        )
+        return subqueries, report
+
+    def _evaluate_group(
+        self,
+        group: GroupPattern,
+        handler: ElasticRequestHandler,
+        context: ExecutionContext,
+        hint_values: Optional[ValuesBlock] = None,
+        required: frozenset = frozenset(),
+    ) -> Tuple[ResultSet, List[Subquery]]:
+        """Evaluate one group pattern; returns (result, decomposition).
+
+        ``required`` are the variables the caller needs in the output
+        (the query's projection, or the enclosing group's join needs);
+        subquery projections never drop them."""
+        from .sape import SubqueryEvaluator
+
+        elements = list(group.elements)
+        if hint_values is not None:
+            elements = [hint_values] + elements
+
+        values_blocks = [e for e in elements if isinstance(e, ValuesBlock)]
+        optionals = [e for e in elements if isinstance(e, OptionalPattern)]
+        unions = [e for e in elements if isinstance(e, UnionPattern)]
+        subselects = [e for e in elements if isinstance(e, SubSelect)]
+        binds = [e for e in elements if isinstance(e, BindElement)]
+        minuses = [e for e in elements if isinstance(e, MinusPattern)]
+
+        subqueries, _report = self._analyze(group, handler, context)
+
+        # Filter placement (paper: decided during decomposition).
+        with context.phase("analysis"):
+            global_filters = assign_filters(subqueries, group.filters)
+            needed = set(required)
+            for f in group.filters:
+                needed |= f.variables()
+            for element in optionals:
+                needed |= element.group.all_variables()
+            for element in unions:
+                for branch in element.branches:
+                    needed |= branch.all_variables()
+            for element in values_blocks:
+                needed |= set(element.variables)
+            for element in subselects:
+                needed |= set(element.query.projected_variables())
+            for element in binds:
+                needed |= element.expression.variables()
+            for element in minuses:
+                needed |= element.group.all_variables()
+            compute_projections(subqueries, frozenset(needed))
+
+            multiple_units = (
+                len(subqueries) + len(unions) + len(subselects) + len(values_blocks)
+            ) > 1
+            if self.enable_sape and (
+                multiple_units or any(sq.optional for sq in subqueries)
+            ):
+                estimator = CardinalityEstimator(
+                    handler,
+                    self.count_cache if self.count_cache is not None else {},
+                )
+                estimator.estimate_all(subqueries)
+                classify_delayed(subqueries, self.delay_threshold)
+                self._delay_against_values(subqueries, values_blocks)
+            elif not self.enable_sape:
+                # LADE-only ablation (Figure 14): no probes, no delays —
+                # every subquery is fetched concurrently.
+                for subquery in subqueries:
+                    subquery.delayed = False
+
+        # Initial relations: VALUES blocks and sub-SELECTs.
+        initial: Dict[str, ResultSet] = {}
+        for index, block in enumerate(values_blocks):
+            initial[f"values{index}"] = ResultSet(block.variables, block.rows)
+        for index, subselect in enumerate(subselects):
+            inner, _ = self._evaluate_group(
+                subselect.query.where, handler, context
+            )
+            inner = self._apply_modifiers(subselect.query, inner)
+            initial[f"subselect{index}"] = inner
+
+        context.trace_event(
+            "decomposition",
+            subqueries=[
+                {
+                    "label": sq.label,
+                    "patterns": len(sq.patterns),
+                    "sources": list(sq.sources),
+                    "estimated": sq.estimated_cardinality,
+                    "delayed": sq.delayed,
+                }
+                for sq in subqueries
+            ],
+        )
+        evaluator = SubqueryEvaluator(
+            handler, context, values_block_size=self.values_block_size
+        )
+        relations = evaluator.evaluate(subqueries, initial_relations=initial)
+
+        # UNION blocks: evaluate each branch recursively, union them.
+        for index, union in enumerate(unions):
+            branch_results = []
+            for branch in union.branches:
+                branch_result, _ = self._evaluate_group(
+                    branch, handler, context, required=frozenset(needed)
+                )
+                branch_results.append(branch_result)
+            relations[f"union{index}"] = union_all(branch_results, context)
+
+        result = self._global_join(relations, context)
+
+        # BIND: computed columns over the joined result (an evaluation
+        # error leaves the variable unbound, as in SPARQL).
+        for bind in binds:
+            result = self._apply_bind(bind, result, context)
+
+        # MINUS: evaluate the right side as its own subplan, anti-join.
+        for minus in minuses:
+            minus_result, _ = self._evaluate_group(
+                minus.group, handler, context, required=frozenset(needed)
+            )
+            result = self._apply_minus(result, minus_result, context)
+
+        # OPTIONAL groups: evaluated with found bindings, then left-joined.
+        for optional in optionals:
+            optional_result = self._evaluate_optional(
+                optional.group, result, handler, context, frozenset(needed)
+            )
+            result = left_outer_join(result, optional_result, context)
+
+        # Group-level filters apply to the whole group result (after
+        # OPTIONAL, so !BOUND-style filters see unbound cells).
+        result = self._apply_global_filters(result, global_filters, context)
+        return result, subqueries
+
+    @staticmethod
+    def _apply_bind(
+        bind: BindElement, result: ResultSet, context: ExecutionContext
+    ) -> ResultSet:
+        from ..sparql.expressions import ExpressionError
+
+        if bind.variable in result.variables:
+            raise UnsupportedQueryError(
+                f"BIND target {bind.variable.n3()} is already bound"
+            )
+        header = tuple(result.variables) + (bind.variable,)
+        rows = []
+        for row, binding in zip(result.rows, result.bindings()):
+            try:
+                value = bind.expression.evaluate(binding)
+            except ExpressionError:
+                value = None
+            rows.append(tuple(row) + (value,))
+        context.charge_join(len(result))
+        return ResultSet(header, rows)
+
+    @staticmethod
+    def _apply_minus(
+        result: ResultSet, minus_result: ResultSet, context: ExecutionContext
+    ) -> ResultSet:
+        """SPARQL MINUS over result tables: drop rows compatible with
+        (and sharing at least one bound variable with) a right-side row."""
+        shared = [v for v in minus_result.variables if v in result.variables]
+        if not shared:
+            return result
+        right_keys = set()
+        for binding in minus_result.bindings():
+            right_keys.add(tuple(binding.get(v) for v in shared))
+        kept = []
+        indexes = [result.variables.index(v) for v in shared]
+        for row in result.rows:
+            key = tuple(row[i] for i in indexes)
+            if all(cell is None for cell in key):
+                kept.append(row)
+                continue
+            removed = False
+            for right in right_keys:
+                agree = True
+                overlap = False
+                for left_cell, right_cell in zip(key, right):
+                    if left_cell is None or right_cell is None:
+                        continue
+                    overlap = True
+                    if left_cell != right_cell:
+                        agree = False
+                        break
+                if agree and overlap:
+                    removed = True
+                    break
+            if not removed:
+                kept.append(row)
+        context.charge_join(len(result) + len(minus_result))
+        return ResultSet(result.variables, kept)
+
+    @staticmethod
+    def _delay_against_values(
+        subqueries: Sequence[Subquery], values_blocks: Sequence[ValuesBlock]
+    ) -> None:
+        """A subquery sharing a variable with an explicit VALUES block is
+        evaluated bound against it (delayed) — the block is typically tiny."""
+        block_variables = {
+            variable for block in values_blocks for variable in block.variables
+        }
+        if not block_variables:
+            return
+        for subquery in subqueries:
+            if subquery.variables() & block_variables and subquery.is_safely_delayable:
+                subquery.delayed = True
+
+    def _evaluate_optional(
+        self,
+        group: GroupPattern,
+        current: ResultSet,
+        handler: ElasticRequestHandler,
+        context: ExecutionContext,
+        required: frozenset = frozenset(),
+    ) -> ResultSet:
+        """Evaluate an OPTIONAL body bound to the current bindings."""
+        hint = None
+        shared = [
+            v for v in group.all_variables() if v in current.variables
+        ]
+        if shared and len(current):
+            # Bind on the shared variable with the fewest distinct values.
+            variable = min(shared, key=lambda v: len(current.distinct_values(v)))
+            values = sorted(
+                current.distinct_values(variable), key=lambda t: t.sort_key()
+            )
+            if values and len(values) <= 10 * self.values_block_size:
+                hint = ValuesBlock([variable], [(v,) for v in values])
+        result, _ = self._evaluate_group(
+            group, handler, context, hint_values=hint, required=required
+        )
+        if hint is not None:
+            # The hint column is internal; it already matches `current`.
+            result = result.distinct()
+        return result
+
+    # ------------------------------------------------------------------
+    # Global join
+    # ------------------------------------------------------------------
+
+    def _global_join(
+        self, relations: Dict[str, ResultSet], context: ExecutionContext
+    ) -> ResultSet:
+        if not relations:
+            return ResultSet((), [()])  # one empty solution (empty BGP)
+        if len(relations) == 1:
+            return next(iter(relations.values()))
+        relation_objects = [
+            Relation(name=name, size=len(result), variables=frozenset(result.variables))
+            for name, result in relations.items()
+        ]
+        if self.enable_sape:
+            plan = plan_join_order(relation_objects, threads=self.join_threads)
+            order = plan.order
+        else:
+            order = [r.name for r in relation_objects]
+        context.trace_event("join_order", order=list(order))
+        result = relations[order[0]]
+        for name in order[1:]:
+            result = hash_join(result, relations[name], context)
+        return result
+
+    @staticmethod
+    def _apply_global_filters(
+        result: ResultSet, filters, context: ExecutionContext
+    ) -> ResultSet:
+        if not filters:
+            return result
+        plain = [f for f in filters if not f.contains_exists()]
+        if len(plain) != len(filters):
+            raise UnsupportedQueryError(
+                "FILTER EXISTS across subqueries is not supported at the "
+                "global level"
+            )
+        kept = []
+        for row, binding in zip(result.rows, result.bindings()):
+            if all(f.effective_boolean(binding) for f in plain):
+                kept.append(row)
+        context.charge_join(len(result))
+        return ResultSet(result.variables, kept)

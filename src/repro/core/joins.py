@@ -1,0 +1,197 @@
+"""Result-level join operators used by SAPE's global join evaluation.
+
+Joins follow SPARQL solution compatibility: two rows join when every
+shared variable that is bound in both has equal values.  Unbound cells
+(``None``, produced by OPTIONAL) act as wildcards.  All operators charge
+the execution context's virtual join clock and intermediate-row budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..endpoint.metrics import ExecutionContext
+from ..rdf.term import GroundTerm, Variable
+from ..sparql.results import ResultSet
+
+Row = Tuple[Optional[GroundTerm], ...]
+
+
+def _merge_headers(
+    left: ResultSet, right: ResultSet
+) -> Tuple[Tuple[Variable, ...], List[int], List[int]]:
+    """Output header = left vars + right-only vars, with index maps."""
+    header = list(left.variables)
+    right_extra_indexes: List[int] = []
+    for index, variable in enumerate(right.variables):
+        if variable not in left.variables:
+            header.append(variable)
+            right_extra_indexes.append(index)
+    shared = [v for v in right.variables if v in left.variables]
+    return tuple(header), right_extra_indexes, [right.variables.index(v) for v in shared]
+
+
+def _combine(
+    left_row: Row,
+    right_row: Row,
+    left: ResultSet,
+    right: ResultSet,
+    right_extra_indexes: List[int],
+) -> Optional[Row]:
+    """Merge two compatible rows; fill unbound left cells from the right."""
+    out = list(left_row)
+    for variable, value in zip(right.variables, right_row):
+        if variable in left.variables:
+            index = left.variables.index(variable)
+            if out[index] is None:
+                out[index] = value
+    out.extend(right_row[i] for i in right_extra_indexes)
+    return tuple(out)
+
+
+def _compatible(
+    left_row: Row, right_row: Row, left: ResultSet, right: ResultSet
+) -> bool:
+    for index, variable in enumerate(right.variables):
+        if variable not in left.variables:
+            continue
+        left_value = left_row[left.variables.index(variable)]
+        right_value = right_row[index]
+        if left_value is not None and right_value is not None and left_value != right_value:
+            return False
+    return True
+
+
+def hash_join(
+    left: ResultSet,
+    right: ResultSet,
+    context: Optional[ExecutionContext] = None,
+) -> ResultSet:
+    """Natural (inner) join; degenerates to a cross product when the
+    inputs share no variables."""
+    header, right_extra, _ = _merge_headers(left, right)
+    shared = [v for v in right.variables if v in left.variables]
+    if not shared:
+        rows = [
+            _combine(l, r, left, right, right_extra)
+            for l in left.rows
+            for r in right.rows
+        ]
+        result = ResultSet(header, rows)
+        _account(context, left, right, result)
+        return result
+
+    build, probe, build_is_left = (
+        (left, right, True) if len(left) <= len(right) else (right, left, False)
+    )
+    build_key_indexes = [build.variables.index(v) for v in shared]
+    probe_key_indexes = [probe.variables.index(v) for v in shared]
+    table: Dict[Tuple, List[Row]] = {}
+    wildcards: List[Row] = []
+    for row in build.rows:
+        key = tuple(row[i] for i in build_key_indexes)
+        if any(cell is None for cell in key):
+            wildcards.append(row)
+        else:
+            table.setdefault(key, []).append(row)
+
+    rows: List[Row] = []
+    for probe_row in probe.rows:
+        key = tuple(probe_row[i] for i in probe_key_indexes)
+        candidates: List[Row] = []
+        if any(cell is None for cell in key):
+            # unbound probe key: must scan everything
+            candidates = [r for bucket in table.values() for r in bucket] + wildcards
+        else:
+            candidates = list(table.get(key, ())) + wildcards
+        for build_row in candidates:
+            left_row, right_row = (
+                (build_row, probe_row) if build_is_left else (probe_row, build_row)
+            )
+            if _compatible(left_row, right_row, left, right):
+                combined = _combine(left_row, right_row, left, right, right_extra)
+                if combined is not None:
+                    rows.append(combined)
+    result = ResultSet(header, rows)
+    _account(context, left, right, result)
+    return result
+
+
+def left_outer_join(
+    left: ResultSet,
+    right: ResultSet,
+    context: Optional[ExecutionContext] = None,
+) -> ResultSet:
+    """SPARQL OPTIONAL semantics at the result level."""
+    header, right_extra, _ = _merge_headers(left, right)
+    shared = [v for v in right.variables if v in left.variables]
+    table: Dict[Tuple, List[Row]] = {}
+    wildcards: List[Row] = []
+    key_indexes = [right.variables.index(v) for v in shared]
+    for row in right.rows:
+        key = tuple(row[i] for i in key_indexes)
+        if any(cell is None for cell in key):
+            wildcards.append(row)
+        else:
+            table.setdefault(key, []).append(row)
+    left_key_indexes = [left.variables.index(v) for v in shared]
+    padding = tuple([None] * len(right_extra))
+    rows: List[Row] = []
+    for left_row in left.rows:
+        key = tuple(left_row[i] for i in left_key_indexes)
+        if shared and not any(cell is None for cell in key):
+            candidates = list(table.get(key, ())) + wildcards
+        else:
+            candidates = [r for bucket in table.values() for r in bucket] + wildcards
+        matched = False
+        for right_row in candidates:
+            if _compatible(left_row, right_row, left, right):
+                rows.append(_combine(left_row, right_row, left, right, right_extra))
+                matched = True
+        if not matched:
+            rows.append(tuple(left_row) + padding)
+    result = ResultSet(header, rows)
+    _account(context, left, right, result)
+    return result
+
+
+def union_all(
+    results: Sequence[ResultSet],
+    context: Optional[ExecutionContext] = None,
+) -> ResultSet:
+    """Union of result sets, aligning (possibly different) headers."""
+    if not results:
+        return ResultSet(())
+    header: List[Variable] = []
+    for result in results:
+        for variable in result.variables:
+            if variable not in header:
+                header.append(variable)
+    rows: List[Row] = []
+    for result in results:
+        indexes = [
+            result.variables.index(v) if v in result.variables else None
+            for v in header
+        ]
+        for row in result.rows:
+            rows.append(tuple(row[i] if i is not None else None for i in indexes))
+    merged = ResultSet(tuple(header), rows)
+    if context is not None:
+        context.note_intermediate_rows(len(merged))
+    return merged
+
+
+def distinct(result: ResultSet) -> ResultSet:
+    return result.distinct()
+
+
+def _account(
+    context: Optional[ExecutionContext],
+    left: ResultSet,
+    right: ResultSet,
+    output: ResultSet,
+) -> None:
+    if context is None:
+        return
+    context.charge_join(len(left) + len(right) + len(output))
+    context.note_intermediate_rows(len(output))

@@ -1,0 +1,109 @@
+"""Keyword search over a federation (the paper's stated future work).
+
+The conclusion names "keyword search as a means for querying federated
+RDF systems" as planned work.  This module implements the minimal viable
+version: each keyword becomes a literal-matching probe shipped to every
+endpoint in parallel, hits are grouped per entity, and entities matching
+*all* keywords rank first.  It reuses the same ERH/virtual-time plumbing
+as regular queries, so keyword searches are measured like everything
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..endpoint.metrics import ExecutionContext
+from ..federation.federation import Federation
+from ..federation.request_handler import ElasticRequestHandler, Request
+from ..rdf.term import GroundTerm, IRI, Variable
+from ..sparql.serializer import serialize_query
+from ..sparql.ast import GroupPattern, Query
+from ..sparql.expressions import (
+    BooleanExpr,
+    FunctionExpr,
+    TermExpr,
+)
+from ..rdf.term import Literal
+from ..rdf.triple import TriplePattern
+
+
+@dataclass
+class KeywordHit:
+    """One entity that matched; carries the witnessing triples."""
+
+    entity: GroundTerm
+    matched_keywords: List[str]
+    witnesses: List[tuple] = field(default_factory=list)  # (endpoint, predicate, literal)
+
+    @property
+    def score(self) -> int:
+        return len(set(self.matched_keywords))
+
+
+def _keyword_query(keyword: str) -> str:
+    """``SELECT ?s ?p ?o WHERE { ?s ?p ?o .
+    FILTER(ISLITERAL(?o) && CONTAINS(LCASE(STR(?o)), <kw>)) }``"""
+    s, p, o = Variable("s"), Variable("p"), Variable("o")
+    pattern = TriplePattern(s, p, o)
+    is_literal = FunctionExpr("ISLITERAL", (TermExpr(o),))
+    contains = FunctionExpr(
+        "CONTAINS",
+        (
+            FunctionExpr("LCASE", (FunctionExpr("STR", (TermExpr(o),)),)),
+            TermExpr(Literal(keyword.lower())),
+        ),
+    )
+    group = GroupPattern(
+        elements=[pattern], filters=[BooleanExpr("&&", is_literal, contains)]
+    )
+    return serialize_query(
+        Query(form="SELECT", where=group, select_variables=[s, p, o])
+    )
+
+
+def keyword_search(
+    federation: Federation,
+    keywords: Sequence[str],
+    limit: int = 25,
+    context: ExecutionContext = None,
+) -> List[KeywordHit]:
+    """Search every endpoint's literals for the keywords.
+
+    Returns hits ordered by how many distinct keywords an entity matched
+    (entities matching all keywords first), then by entity IRI.
+    """
+    keywords = [k.strip() for k in keywords if k.strip()]
+    if not keywords:
+        raise ValueError("keyword_search needs at least one keyword")
+    if context is None:
+        context = federation.make_context()
+    handler = ElasticRequestHandler(federation, context)
+
+    requests = []
+    for keyword in keywords:
+        text = _keyword_query(keyword)
+        for endpoint_id in federation.endpoint_ids:
+            requests.append((keyword, Request(endpoint_id, text, kind="SELECT")))
+    responses = handler.execute_batch([request for _, request in requests])
+
+    hits: Dict[GroundTerm, KeywordHit] = {}
+    for (keyword, request), response in zip(requests, responses):
+        result = response.value
+        for row in result.rows:  # type: ignore[union-attr]
+            subject, predicate, literal = row
+            if not isinstance(subject, IRI):
+                continue
+            hit = hits.get(subject)
+            if hit is None:
+                hit = hits[subject] = KeywordHit(entity=subject, matched_keywords=[])
+            hit.matched_keywords.append(keyword)
+            hit.witnesses.append(
+                (request.endpoint_id, predicate, literal)
+            )
+    ranked = sorted(
+        hits.values(),
+        key=lambda hit: (-hit.score, hit.entity.value),
+    )
+    return ranked[:limit]

@@ -1,0 +1,123 @@
+"""Dynamic-programming join ordering (Section 4.2, step ii).
+
+SAPE joins subquery results with a DP enumeration in the style of
+Moerkotte & Neumann: states are subsets of relations; expanding a state
+``S`` with relation ``R`` costs
+
+    JoinCost(S, R) = |S| / threads  (hash the smaller side)
+                   + |R| / threads  (probe with the larger side)
+
+and each state keeps the cheapest plan found.  Cross products are only
+considered when no connected expansion exists (disconnected components,
+e.g. the C5/B5/B6 queries joined by a filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.term import Variable
+
+
+@dataclass
+class Relation:
+    """A joinable intermediate: name, actual size, and variable set."""
+
+    name: str
+    size: int
+    variables: frozenset
+
+
+@dataclass
+class JoinPlan:
+    order: List[str]
+    cost: float
+    estimated_size: int
+
+
+def _join_cost(left_size: int, right_size: int, threads: int) -> float:
+    smaller, larger = sorted((left_size, right_size))
+    return smaller / threads + larger / threads
+
+
+def _estimate_output(left_size: int, right_size: int, connected: bool) -> int:
+    if not connected:
+        return left_size * right_size
+    # The paper's min-rule upper bound for joined bindings.
+    return max(1, min(left_size, right_size))
+
+
+def plan_join_order(
+    relations: Sequence[Relation],
+    threads: int = 4,
+) -> JoinPlan:
+    """Enumerate left-deep join orders over subsets with DP.
+
+    Returns the relation names in join order.  Subquery counts are small
+    (the paper: real queries have few triple patterns), so the 2^n state
+    space is tiny.
+    """
+    if not relations:
+        return JoinPlan(order=[], cost=0.0, estimated_size=0)
+    if len(relations) == 1:
+        return JoinPlan(
+            order=[relations[0].name], cost=0.0, estimated_size=relations[0].size
+        )
+    n = len(relations)
+    if n > 16:
+        # Degenerate guard: fall back to greedy smallest-first.
+        order = [r.name for r in sorted(relations, key=lambda r: r.size)]
+        return JoinPlan(order=order, cost=float("inf"),
+                        estimated_size=min(r.size for r in relations))
+
+    # state: bitmask -> (cost, size, order, variables)
+    states: Dict[int, Tuple[float, int, Tuple[str, ...], frozenset]] = {}
+    for i, relation in enumerate(relations):
+        states[1 << i] = (0.0, relation.size, (relation.name,), relation.variables)
+
+    full = (1 << n) - 1
+    for mask in range(1, full + 1):
+        if mask not in states:
+            continue
+        cost, size, order, variables = states[mask]
+        connected_expansions = []
+        disconnected_expansions = []
+        for i, relation in enumerate(relations):
+            bit = 1 << i
+            if mask & bit:
+                continue
+            connected = bool(variables & relation.variables)
+            (connected_expansions if connected else disconnected_expansions).append(
+                (i, relation, connected)
+            )
+        expansions = connected_expansions or disconnected_expansions
+        for i, relation, connected in expansions:
+            bit = 1 << i
+            new_mask = mask | bit
+            new_cost = cost + _join_cost(size, relation.size, threads)
+            new_size = _estimate_output(size, relation.size, connected)
+            existing = states.get(new_mask)
+            if existing is None or new_cost < existing[0]:
+                states[new_mask] = (
+                    new_cost,
+                    new_size,
+                    order + (relation.name,),
+                    variables | relation.variables,
+                )
+
+    cost, size, order, _ = states[full]
+    return JoinPlan(order=list(order), cost=cost, estimated_size=size)
+
+
+def refine_with_bindings(
+    relation: Relation, bindings: Dict[Variable, set]
+) -> int:
+    """Refined cardinality of a delayed subquery given found bindings:
+    bounded by the number of distinct values of any shared variable."""
+    bound = relation.size
+    for variable in relation.variables:
+        values = bindings.get(variable)
+        if values is not None:
+            bound = min(bound, len(values))
+    return bound

@@ -1,0 +1,323 @@
+"""Selectivity-Aware Planning and parallel Execution (Section 4, Alg. 3).
+
+Phase one evaluates every non-delayed subquery concurrently at its
+relevant endpoints.  Phase two evaluates delayed subqueries one at a
+time, most selective first, with their variables bound to already-found
+bindings through SPARQL ``VALUES`` blocks; subqueries containing fully
+unbound patterns get their source list refined with bound ASKs first.
+The results of one subquery gathered from different endpoints are merged
+with the §3.3 Case-2 cross-endpoint re-join when binding values overlap
+across endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..endpoint.metrics import ExecutionContext
+from ..rdf.term import GroundTerm, Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.ast import GroupPattern, Query, ValuesBlock
+from ..sparql.results import ResultSet
+from ..sparql.serializer import serialize_query
+from ..federation.request_handler import ElasticRequestHandler, Request
+from .joins import hash_join, union_all
+from .optimizer import Relation, refine_with_bindings
+from .subquery import Subquery
+
+Bindings = Dict[Variable, Set[GroundTerm]]
+
+
+class SubqueryEvaluator:
+    """Evaluates a set of LADE subqueries against the federation."""
+
+    def __init__(
+        self,
+        handler: ElasticRequestHandler,
+        context: ExecutionContext,
+        values_block_size: int = 128,
+    ):
+        self.handler = handler
+        self.context = context
+        self.values_block_size = max(1, values_block_size)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        subqueries: Sequence[Subquery],
+        initial_relations: Optional[Dict[str, ResultSet]] = None,
+    ) -> Dict[str, ResultSet]:
+        """Run Algorithm 3; returns relation name -> result set.
+
+        ``initial_relations`` seeds the binding map (e.g. VALUES blocks in
+        the original query); their values also bound delayed subqueries.
+        """
+        relations: Dict[str, ResultSet] = dict(initial_relations or {})
+        bindings = self._derive_bindings(relations.values())
+
+        non_delayed = [sq for sq in subqueries if not sq.delayed]
+        delayed = [sq for sq in subqueries if sq.delayed]
+
+        # Phase 1: concurrent evaluation of the non-delayed subqueries.
+        if non_delayed:
+            requests: List[Tuple[Subquery, Request]] = []
+            for subquery in non_delayed:
+                text = subquery.to_sparql()
+                for endpoint_id in subquery.sources:
+                    requests.append(
+                        (subquery, Request(endpoint_id, text, kind="SELECT"))
+                    )
+            responses = self.handler.execute_batch([r for _, r in requests])
+            per_subquery: Dict[str, Dict[str, ResultSet]] = {}
+            for (subquery, request), response in zip(requests, responses):
+                per_subquery.setdefault(subquery.label, {})[
+                    request.endpoint_id
+                ] = response.value  # type: ignore[assignment]
+            for subquery in non_delayed:
+                merged = self.combine_endpoint_results(
+                    subquery, per_subquery.get(subquery.label, {})
+                )
+                relations[subquery.label] = merged
+                subquery.actual_cardinality = len(merged)
+                self.context.note_intermediate_rows(len(merged))
+                self.context.trace_event(
+                    "subquery_result", label=subquery.label,
+                    rows=len(merged), mode="concurrent",
+                )
+            bindings = self._derive_bindings(relations.values())
+
+        # Phase 2: delayed subqueries, most selective first, bound joins.
+        remaining = list(delayed)
+        while remaining:
+            subquery = self._most_selective(remaining, bindings)
+            remaining.remove(subquery)
+            result = self._evaluate_delayed(subquery, bindings)
+            relations[subquery.label] = result
+            subquery.actual_cardinality = len(result)
+            self.context.note_intermediate_rows(len(result))
+            self.context.trace_event(
+                "subquery_result", label=subquery.label,
+                rows=len(result), mode="delayed (bound)",
+            )
+            bindings = self._derive_bindings(relations.values())
+        return relations
+
+    # ------------------------------------------------------------------
+    # Phase-2 helpers
+    # ------------------------------------------------------------------
+
+    def _most_selective(
+        self, subqueries: List[Subquery], bindings: Bindings
+    ) -> Subquery:
+        def refined(subquery: Subquery) -> float:
+            relation = Relation(
+                name=subquery.label,
+                size=int(subquery.estimated_cardinality or 0),
+                variables=subquery.variables(),
+            )
+            return refine_with_bindings(relation, {
+                v: values for v, values in bindings.items()
+            })
+
+        return min(subqueries, key=refined)
+
+    def _choose_bound_variable(
+        self, subquery: Subquery, bindings: Bindings
+    ) -> Optional[Variable]:
+        candidates = [
+            (len(values), variable)
+            for variable, values in bindings.items()
+            if variable in subquery.variables() and values
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _evaluate_delayed(
+        self, subquery: Subquery, bindings: Bindings
+    ) -> ResultSet:
+        variable = self._choose_bound_variable(subquery, bindings)
+        if variable is None:
+            # Nothing to bind against: evaluate unbound, concurrently.
+            per_endpoint = self._fetch_unbound(subquery)
+            return self.combine_endpoint_results(subquery, per_endpoint)
+        values = sorted(bindings[variable], key=lambda t: t.sort_key())
+        blocks = [
+            values[i:i + self.values_block_size]
+            for i in range(0, len(values), self.values_block_size)
+        ]
+        sources = list(subquery.sources)
+        if subquery.has_fully_unbound_pattern() and blocks:
+            sources = self._refine_sources(subquery, variable, blocks[0], sources)
+        per_endpoint: Dict[str, List[ResultSet]] = {eid: [] for eid in sources}
+        for block in blocks:
+            values_block = ValuesBlock([variable], [(v,) for v in block])
+            text = subquery.to_sparql(values=values_block)
+            requests = [Request(eid, text, kind="SELECT") for eid in sources]
+            for response in self.handler.execute_batch(requests):
+                per_endpoint[response.request.endpoint_id].append(
+                    response.value  # type: ignore[arg-type]
+                )
+        merged_per_endpoint = {
+            eid: union_all(results, self.context)
+            for eid, results in per_endpoint.items()
+            if results
+        }
+        return self.combine_endpoint_results(subquery, merged_per_endpoint)
+
+    def _fetch_unbound(self, subquery: Subquery) -> Dict[str, ResultSet]:
+        text = subquery.to_sparql()
+        requests = [Request(eid, text, kind="SELECT") for eid in subquery.sources]
+        responses = self.handler.execute_batch(requests)
+        return {
+            r.request.endpoint_id: r.value  # type: ignore[misc]
+            for r in responses
+        }
+
+    def _refine_sources(
+        self,
+        subquery: Subquery,
+        variable: Variable,
+        sample_block: List[GroundTerm],
+        sources: List[str],
+    ) -> List[str]:
+        """Re-run source selection with found bindings (Alg. 3 line 13).
+
+        Cheap bound ASKs weed out endpoints that cannot contribute, which
+        matters for ``?s ?p ?o``-style patterns relevant to everyone.
+        """
+        values_block = ValuesBlock([variable], [(v,) for v in sample_block])
+        group = GroupPattern(
+            elements=[values_block] + list(subquery.patterns),
+            filters=list(subquery.filters),
+        )
+        text = serialize_query(Query(form="ASK", where=group))
+        requests = [Request(eid, text, kind="ASK") for eid in sources]
+        responses = self.handler.execute_batch(requests)
+        refined = [
+            r.request.endpoint_id for r in responses if bool(r.value)
+        ]
+        return refined or sources
+
+    # ------------------------------------------------------------------
+    # Cross-endpoint combination (§3.3 Case 2)
+    # ------------------------------------------------------------------
+
+    def combine_endpoint_results(
+        self,
+        subquery: Subquery,
+        per_endpoint: Dict[str, ResultSet],
+    ) -> ResultSet:
+        """Merge one subquery's per-endpoint results.
+
+        Default is a union.  When the subquery has several patterns and a
+        local join variable's values appear at more than one endpoint,
+        local evaluation may miss cross-endpoint combinations (paper
+        §3.3, Case 2); in that case the server re-joins per-pattern
+        projections of the endpoint results, which is complete because
+        locality guarantees every local pattern row survived the local
+        join.
+        """
+        results = [r for r in per_endpoint.values() if isinstance(r, ResultSet)]
+        if not results:
+            return ResultSet(tuple(subquery.effective_projection()))
+        plain = union_all(results, self.context).distinct()
+        if len(per_endpoint) < 2 or len(subquery.patterns) < 2:
+            return self._apply_late_filters(subquery, plain)
+        header = plain.variables
+        internal = [
+            v for v in subquery.internal_join_variables() if v in header
+        ]
+        if not internal or not self._values_overlap(per_endpoint, internal):
+            return self._apply_late_filters(subquery, plain)
+        rejoined = self._projection_rejoin(subquery, plain, header)
+        return self._apply_late_filters(subquery, rejoined)
+
+    def _apply_late_filters(
+        self, subquery: Subquery, result: ResultSet
+    ) -> ResultSet:
+        """Federator-side filters that were unsafe to push (see
+        ``assign_filters``)."""
+        if not subquery.late_filters:
+            return result
+        for filter_expr in subquery.late_filters:
+            if filter_expr.variables() <= set(result.variables):
+                kept = [
+                    row
+                    for row, binding in zip(result.rows, result.bindings())
+                    if filter_expr.effective_boolean(binding)
+                ]
+                result = ResultSet(result.variables, kept)
+        self.context.charge_join(len(result) * max(1, len(subquery.late_filters)))
+        return result
+
+    @staticmethod
+    def _values_overlap(
+        per_endpoint: Dict[str, ResultSet], variables: List[Variable]
+    ) -> bool:
+        for variable in variables:
+            seen: Dict[GroundTerm, str] = {}
+            for endpoint_id, result in per_endpoint.items():
+                if variable not in result.variables:
+                    continue
+                for value in result.distinct_values(variable):
+                    owner = seen.get(value)
+                    if owner is None:
+                        seen[value] = endpoint_id
+                    elif owner != endpoint_id:
+                        return True
+        return False
+
+    def _projection_rejoin(
+        self,
+        subquery: Subquery,
+        union: ResultSet,
+        header: Tuple[Variable, ...],
+    ) -> ResultSet:
+        joined: Optional[ResultSet] = None
+        for pattern in subquery.patterns:
+            columns = sorted(
+                (v for v in pattern.variables() if v in header),
+                key=lambda v: v.name,
+            )
+            if not columns:
+                continue
+            piece = union.project(columns).distinct()
+            joined = piece if joined is None else hash_join(
+                joined, piece, self.context
+            )
+        if joined is None:
+            return union
+        for filter_expr in subquery.filters:
+            if filter_expr.variables() <= set(joined.variables):
+                kept = [
+                    row
+                    for row, binding in zip(joined.rows, joined.bindings())
+                    if filter_expr.effective_boolean(binding)
+                ]
+                joined = ResultSet(joined.variables, kept)
+        return joined.project(list(header)).distinct()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _derive_bindings(relations) -> Bindings:
+        """Distinct values per variable, intersected across relations.
+
+        A value can only survive the global join if it appears in every
+        relation mentioning the variable, so the intersection is both
+        sound and the tightest available bound set."""
+        bindings: Bindings = {}
+        seen_in: Dict[Variable, int] = {}
+        for result in relations:
+            for variable in result.variables:
+                values = result.distinct_values(variable)
+                if variable in bindings:
+                    bindings[variable] &= values
+                else:
+                    bindings[variable] = set(values)
+                seen_in[variable] = seen_in.get(variable, 0) + 1
+        return bindings

@@ -1,0 +1,148 @@
+"""Subqueries: the unit of work LADE produces and SAPE schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.ast import GroupPattern, Query, ValuesBlock
+from ..sparql.expressions import Expression
+from ..sparql.serializer import serialize_query
+
+
+@dataclass
+class Subquery:
+    """A group of triple patterns sent to endpoints as one unit.
+
+    ``sources`` is the shared relevant-endpoint list of every pattern in
+    the subquery (LADE invariant).  ``projection`` is decided after
+    decomposition: the variables other subqueries / the global query need.
+    """
+
+    patterns: List[TriplePattern]
+    sources: Tuple[str, ...]
+    filters: List[Expression] = field(default_factory=list)
+    #: filters belonging to this subquery that must NOT be pushed to the
+    #: endpoints: pruning rows endpoint-side would break the §3.3 Case-2
+    #: re-join's completeness guarantee (see assign_filters); applied at
+    #: the federator when per-endpoint results are combined
+    late_filters: List[Expression] = field(default_factory=list)
+    optional: bool = False
+    projection: List[Variable] = field(default_factory=list)
+    estimated_cardinality: Optional[float] = None
+    #: observed result size, recorded by SAPE (used by the q-error study)
+    actual_cardinality: Optional[int] = None
+    delayed: bool = False
+    label: str = ""
+
+    def variables(self) -> frozenset:
+        found = set()
+        for pattern in self.patterns:
+            found |= pattern.variables()
+        return frozenset(found)
+
+    def internal_join_variables(self) -> List[Variable]:
+        """Variables shared by at least two patterns of this subquery."""
+        counts = {}
+        for pattern in self.patterns:
+            for variable in pattern.variables():
+                counts[variable] = counts.get(variable, 0) + 1
+        return [v for v, n in counts.items() if n > 1]
+
+    def effective_projection(self) -> List[Variable]:
+        if self.projection:
+            return list(self.projection)
+        return sorted(self.variables(), key=lambda v: v.name)
+
+    def to_query(
+        self,
+        values: Optional[ValuesBlock] = None,
+        distinct: bool = True,
+    ) -> Query:
+        """Build the SELECT query to ship to an endpoint.
+
+        ``values`` carries SAPE's bound-join data block (Section 4.2).
+        """
+        elements: List = []
+        if values is not None:
+            elements.append(values)
+        elements.extend(self.patterns)
+        group = GroupPattern(elements=elements, filters=list(self.filters))
+        return Query(
+            form="SELECT",
+            where=group,
+            select_variables=self.effective_projection(),
+            distinct=distinct,
+        )
+
+    def to_sparql(self, values: Optional[ValuesBlock] = None) -> str:
+        return serialize_query(self.to_query(values))
+
+    @property
+    def is_safely_delayable(self) -> bool:
+        """Whether bound (delayed) evaluation preserves completeness.
+
+        A subquery with several patterns at several endpoints may need the
+        §3.3 Case-2 cross-endpoint re-join; evaluating it with VALUES
+        bindings suppresses the endpoints where only *some* patterns
+        match, losing the per-pattern projections the re-join needs.  Such
+        subqueries always run in the concurrent phase.
+        """
+        return len(self.patterns) <= 1 or len(self.sources) <= 1
+
+    def has_fully_unbound_pattern(self) -> bool:
+        """Does any pattern look like ``?s ?p ?o`` (relevant everywhere)?"""
+        return any(
+            all(isinstance(t, Variable) for t in p.as_tuple()) for p in self.patterns
+        )
+
+    def __repr__(self) -> str:
+        label = self.label or f"{len(self.patterns)}tp"
+        flags = []
+        if self.optional:
+            flags.append("optional")
+        if self.delayed:
+            flags.append("delayed")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"Subquery({label}, sources={list(self.sources)}{suffix})"
+
+
+def shared_variables(a: Subquery, b: Subquery) -> frozenset:
+    return a.variables() & b.variables()
+
+
+def assign_filters(
+    subqueries: Sequence[Subquery], filters: Sequence[Expression]
+) -> List[Expression]:
+    """Place each filter: pushed to endpoints, subquery-late, or global.
+
+    A filter whose variables one subquery covers is assigned to it.  It is
+    *pushed* into the SPARQL text sent to the endpoints only when doing so
+    cannot lose answers: for a subquery with several patterns evaluated at
+    several endpoints, endpoint-side pruning also prunes the per-pattern
+    projections the §3.3 Case-2 cross-endpoint re-join reconstructs rows
+    from, so there the filter is applied at the federator instead
+    (``late_filters``).  Filters no subquery covers — including every
+    EXISTS filter, whose inner pattern may span endpoints — are returned
+    for evaluation after the global join.
+    """
+    remaining: List[Expression] = []
+    for filter_expr in filters:
+        if filter_expr.contains_exists():
+            remaining.append(filter_expr)
+            continue
+        needed = filter_expr.variables()
+        target = None
+        for subquery in subqueries:
+            if needed and needed <= subquery.variables():
+                target = subquery
+                break
+        if target is None:
+            remaining.append(filter_expr)
+        elif len(target.sources) <= 1 or len(target.patterns) <= 1:
+            target.filters.append(filter_expr)
+        else:
+            target.late_filters.append(filter_expr)
+    return remaining

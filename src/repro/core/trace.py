@@ -1,0 +1,124 @@
+"""Execution tracing — the demonstration view of the engine.
+
+The SIGMOD demo of Lusail showcased what the engine *does* with a query:
+which endpoints are relevant, which join variables come out global, how
+the query decomposes, which subqueries are delayed, and how execution
+proceeds.  :class:`QueryTrace` captures those events as structured data;
+:func:`render_trace` turns them into the step-by-step narrative the demo
+showed on screen (see ``examples/demo_walkthrough.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One step of the execution narrative."""
+
+    kind: str
+    virtual_seconds: float
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class QueryTrace:
+    """Ordered trace of one federated query execution."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def record(self, kind: str, virtual_seconds: float, **detail) -> None:
+        self.events.append(TraceEvent(kind, virtual_seconds, dict(detail)))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+_RENDERERS = {}
+
+
+def _renders(kind: str):
+    def decorator(fn):
+        _RENDERERS[kind] = fn
+        return fn
+    return decorator
+
+
+@_renders("source_selection")
+def _render_source_selection(event: TraceEvent) -> str:
+    lines = ["source selection (ASK per triple pattern):"]
+    for pattern, sources in event.detail["selection"].items():
+        lines.append(f"    {pattern:<70} -> {sources}")
+    return "\n".join(lines)
+
+
+@_renders("gjv")
+def _render_gjv(event: TraceEvent) -> str:
+    names = event.detail["variables"]
+    checks = event.detail["check_queries"]
+    if not names:
+        return (f"locality analysis: no global join variables "
+                f"({checks} check queries) — the whole query is local")
+    pairs = event.detail["pairs"]
+    lines = [
+        f"locality analysis: global join variables {names} "
+        f"({checks} check queries)"
+    ]
+    for pair in pairs:
+        lines.append(f"    split: {pair}")
+    return "\n".join(lines)
+
+
+@_renders("decomposition")
+def _render_decomposition(event: TraceEvent) -> str:
+    lines = [f"decomposition: {len(event.detail['subqueries'])} subquery(ies)"]
+    for info in event.detail["subqueries"]:
+        delayed = "  [delayed]" if info["delayed"] else ""
+        lines.append(
+            f"    {info['label']}: {info['patterns']} pattern(s) "
+            f"-> {info['sources']}"
+            + (f", est. cardinality {info['estimated']:.0f}"
+               if info["estimated"] is not None else "")
+            + delayed
+        )
+    return "\n".join(lines)
+
+
+@_renders("subquery_result")
+def _render_subquery_result(event: TraceEvent) -> str:
+    return (f"subquery {event.detail['label']}: {event.detail['rows']} rows "
+            f"({event.detail['mode']})")
+
+
+@_renders("join_order")
+def _render_join_order(event: TraceEvent) -> str:
+    return f"global join order: {' >< '.join(event.detail['order'])}"
+
+
+@_renders("done")
+def _render_done(event: TraceEvent) -> str:
+    return (f"done: {event.detail['rows']} answers, "
+            f"{event.detail['requests']} endpoint requests, "
+            f"{event.virtual_seconds * 1000:.2f} ms virtual time")
+
+
+def render_trace(trace: QueryTrace) -> str:
+    """Human-readable execution narrative (the demo's storyline)."""
+    lines: List[str] = []
+    for index, event in enumerate(trace.events, start=1):
+        renderer = _RENDERERS.get(event.kind)
+        body = (
+            renderer(event)
+            if renderer
+            else f"{event.kind}: {event.detail}"
+        )
+        lines.append(f"[{index}] {body}")
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Bio2RDF-mini: the "real endpoints" federation of Table 2.
+
+The paper queries five public Bio2RDF endpoints with five queries taken
+from the Bio2RDF query log (R1–R5).  Public endpoints differ from a
+private deployment in two ways that the experiment exposes: wide-area
+latency, and *politeness limits* — a public endpoint will not serve the
+tens of thousands of bound-join requests FedX generates (FedX shows
+runtime errors / zero-result errors in Table 2).  Both are modeled here:
+endpoints sit behind the WIDE_AREA network profile and carry a
+``max_requests_per_query`` budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.network import NetworkModel, Region, WIDE_AREA
+from ..federation.federation import Federation
+from ..rdf.namespace import Namespace, OWL, RDF_TYPE
+from ..rdf.term import IRI, Literal
+from ..rdf.triple import Triple
+
+DRUGBANK = Namespace("http://bio2rdf.org/drugbank_vocabulary:")
+KEGG = Namespace("http://bio2rdf.org/kegg_vocabulary:")
+PHARMGKB = Namespace("http://bio2rdf.org/pharmgkb_vocabulary:")
+OMIM = Namespace("http://bio2rdf.org/omim_vocabulary:")
+HGNC = Namespace("http://bio2rdf.org/hgnc_vocabulary:")
+
+#: per-query request budget of a (simulated) public endpoint
+PUBLIC_ENDPOINT_REQUEST_LIMIT = 40
+
+ENDPOINT_REGIONS = {
+    "drugbank": Region("east-us"),
+    "kegg": Region("west-europe"),
+    "pharmgkb": Region("west-us"),
+    "omim": Region("north-europe"),
+    "hgnc": Region("uk-south"),
+}
+
+
+class Bio2RdfGenerator:
+    """Five interlinked Bio2RDF-style endpoints."""
+
+    def __init__(self, drugs: int = 1500, genes: int = 300, seed: int = 31):
+        self.drugs = drugs
+        self.genes = genes
+        self.seed = seed
+
+    def drug(self, i: int) -> IRI:
+        return IRI(f"http://bio2rdf.org/drugbank:DB{i:05d}")
+
+    def gene(self, i: int) -> IRI:
+        return IRI(f"http://bio2rdf.org/hgnc:{i:05d}")
+
+    def kegg_drug(self, i: int) -> IRI:
+        return IRI(f"http://bio2rdf.org/kegg:D{i:05d}")
+
+    def disorder(self, i: int) -> IRI:
+        return IRI(f"http://bio2rdf.org/omim:{600000 + i}")
+
+    def drugbank_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:drugbank")
+        triples: List[Triple] = []
+        groups = ["approved", "experimental", "withdrawn"]
+        for i in range(self.drugs):
+            drug = self.drug(i)
+            triples.append(Triple(drug, RDF_TYPE, DRUGBANK.Drug))
+            triples.append(Triple(drug, DRUGBANK.name, Literal(f"drug-{i:05d}")))
+            triples.append(Triple(
+                drug, DRUGBANK.group, Literal(groups[i % len(groups)])
+            ))
+            triples.append(Triple(drug, OWL.sameAs, self.kegg_drug(i)))
+            triples.append(Triple(
+                drug, DRUGBANK.target, self.gene(i % self.genes)
+            ))
+            if i % 5 == 0:
+                triples.append(Triple(
+                    drug, DRUGBANK.foodInteraction,
+                    Literal("Avoid alcohol and grapefruit juice."),
+                ))
+        return triples
+
+    def kegg_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.drugs):
+            entry = self.kegg_drug(i)
+            triples.append(Triple(entry, RDF_TYPE, KEGG.Drug))
+            triples.append(Triple(
+                entry, KEGG.formula, Literal(f"C{10 + i % 20}H{12 + i % 30}N{i % 5}")
+            ))
+            pathway = IRI(f"http://bio2rdf.org/kegg:map{i % 12:05d}")
+            triples.append(Triple(entry, KEGG.pathway, pathway))
+            triples.append(Triple(pathway, RDF_TYPE, KEGG.Pathway))
+            triples.append(Triple(
+                pathway, KEGG.pathwayName, Literal(f"pathway-{i % 12:02d}")
+            ))
+        return triples
+
+    def pharmgkb_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:pharmgkb")
+        triples: List[Triple] = []
+        for i in range(self.drugs):
+            if i % 2:
+                continue
+            annotation = IRI(f"http://bio2rdf.org/pharmgkb:PA{i:05d}")
+            triples.append(Triple(annotation, RDF_TYPE, PHARMGKB.DrugAnnotation))
+            triples.append(Triple(annotation, PHARMGKB.drug, self.drug(i)))
+            triples.append(Triple(
+                annotation, PHARMGKB.gene, self.gene(rng.randrange(self.genes))
+            ))
+            triples.append(Triple(
+                annotation, PHARMGKB.evidenceLevel,
+                Literal(str(1 + i % 4)),
+            ))
+        return triples
+
+    def omim_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.genes):
+            disorder = self.disorder(i)
+            triples.append(Triple(disorder, RDF_TYPE, OMIM.Phenotype))
+            triples.append(Triple(
+                disorder, OMIM.title, Literal(f"disorder-{i:04d}")
+            ))
+            triples.append(Triple(disorder, OMIM.gene, self.gene(i)))
+        return triples
+
+    def hgnc_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.genes):
+            gene = self.gene(i)
+            triples.append(Triple(gene, RDF_TYPE, HGNC.Gene))
+            triples.append(Triple(gene, HGNC.symbol, Literal(f"HG{i:04d}")))
+            triples.append(Triple(
+                gene, HGNC.chromosome, Literal(str(1 + i % 22))
+            ))
+        return triples
+
+    def build_federation(
+        self,
+        network: NetworkModel = WIDE_AREA,
+        request_limit: Optional[int] = PUBLIC_ENDPOINT_REQUEST_LIMIT,
+        client_region: Region = Region("central-us"),
+    ) -> Federation:
+        generators = {
+            "drugbank": self.drugbank_triples,
+            "kegg": self.kegg_triples,
+            "pharmgkb": self.pharmgkb_triples,
+            "omim": self.omim_triples,
+            "hgnc": self.hgnc_triples,
+        }
+        endpoints = [
+            LocalEndpoint.from_triples(
+                endpoint_id,
+                generate(),
+                region=ENDPOINT_REGIONS[endpoint_id],
+                max_requests_per_query=request_limit,
+            )
+            for endpoint_id, generate in generators.items()
+        ]
+        return Federation(endpoints, network=network, client_region=client_region)
+
+
+_R = RDF_TYPE.value
+_DB = DRUGBANK.base
+_KG = KEGG.base
+_PG = PHARMGKB.base
+_OM = OMIM.base
+_HG = HGNC.base
+_SA = OWL.sameAs.value
+
+#: Query-log style queries over the real endpoints (paper Table 2).
+BIO2RDF_QUERIES: Dict[str, str] = {
+    # approved drugs with their KEGG formulas
+    "R1": f"""
+    SELECT ?drug ?formula WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}group> "approved" .
+      ?drug <{_SA}> ?kegg .
+      ?kegg <{_KG}formula> ?formula .
+    }}
+    """,
+    # drug targets with HGNC symbols
+    "R2": f"""
+    SELECT ?drug ?gene ?symbol WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}target> ?gene .
+      ?gene <{_HG}symbol> ?symbol .
+    }}
+    """,
+    # pharmacogenomic annotations joining three endpoints
+    "R3": f"""
+    SELECT ?annotation ?drug ?gene ?symbol ?level WHERE {{
+      ?annotation <{_R}> <{_PG}DrugAnnotation> .
+      ?annotation <{_PG}drug> ?drug .
+      ?annotation <{_PG}gene> ?gene .
+      ?annotation <{_PG}evidenceLevel> ?level .
+      ?drug <{_DB}name> ?name .
+      ?gene <{_HG}symbol> ?symbol .
+    }}
+    """,
+    # disorders linked to genes targeted by approved drugs
+    "R4": f"""
+    SELECT ?disorder ?title ?drug WHERE {{
+      ?disorder <{_R}> <{_OM}Phenotype> .
+      ?disorder <{_OM}title> ?title .
+      ?disorder <{_OM}gene> ?gene .
+      ?drug <{_DB}target> ?gene .
+      ?drug <{_DB}group> "approved" .
+    }}
+    """,
+    # drugs with pathways and optional food interactions
+    "R5": f"""
+    SELECT ?drug ?pathwayName ?food WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_SA}> ?kegg .
+      ?kegg <{_KG}pathway> ?pathway .
+      ?pathway <{_KG}pathwayName> ?pathwayName .
+      OPTIONAL {{ ?drug <{_DB}foodInteraction> ?food }}
+    }}
+    """,
+}

@@ -1,0 +1,63 @@
+"""Dump and reload federations as N-Triples files.
+
+Lets users materialize any generated federation to disk (one ``.nt``
+file per endpoint) and rebuild a federation from a directory of
+N-Triples files — e.g. to load real data instead of the synthetic
+benchmarks, or to inspect what the generators produce.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Union
+
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.network import LOCAL_CLUSTER, NetworkModel, Region
+from ..federation.federation import Federation
+from ..rdf.ntriples import parse, serialize
+
+PathLike = Union[str, pathlib.Path]
+
+
+def dump_federation(
+    federation: Federation, directory: PathLike
+) -> Dict[str, pathlib.Path]:
+    """Write each endpoint's triples to ``<directory>/<endpoint_id>.nt``.
+
+    Returns a mapping from endpoint id to the written file path.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, pathlib.Path] = {}
+    for endpoint in federation.endpoints():
+        path = directory / f"{endpoint.endpoint_id}.nt"
+        triples = sorted(endpoint.store.triples(), key=lambda t: t.n3())
+        path.write_text(serialize(triples))
+        written[endpoint.endpoint_id] = path
+    return written
+
+
+def load_federation(
+    directory: PathLike,
+    network: NetworkModel = LOCAL_CLUSTER,
+    regions: Optional[Dict[str, Region]] = None,
+) -> Federation:
+    """Build a federation from every ``*.nt`` file in ``directory``.
+
+    The file stem becomes the endpoint id; ``regions`` optionally places
+    endpoints for geo-distributed simulation.
+    """
+    directory = pathlib.Path(directory)
+    files = sorted(directory.glob("*.nt"))
+    if not files:
+        raise FileNotFoundError(f"no .nt files found in {directory}")
+    regions = regions or {}
+    endpoints = []
+    for path in files:
+        endpoint_id = path.stem
+        endpoints.append(LocalEndpoint.from_triples(
+            endpoint_id,
+            parse(path.read_text()),
+            region=regions.get(endpoint_id, Region("local")),
+        ))
+    return Federation(endpoints, network=network)

@@ -1,0 +1,400 @@
+"""LargeRDFBench-mini: 13 interlinked endpoints (Saleem et al. 2017).
+
+The paper's billion-triple benchmark spans 13 real datasets.  This module
+reproduces the *federation topology* — the same 13 endpoints, the same
+kind of interlinks, and three query categories with the same
+characteristics — at a configurable fraction of the size:
+
+- **Life sciences**: DrugBank (hub) ↔ KEGG (kegg compound references),
+  ↔ ChEBI (CAS-number literal joins), ↔ DBPedia (sameAs);
+- **Cross domain**: DBPedia ↔ New York Times (sameAs), ↔ LinkedMDB
+  (film sameAs), ↔ GeoNames (NYT location sameAs), Jamendo ↔ GeoNames
+  (based-near), SWDF ↔ DBPedia (author sameAs);
+- **Cancer genomics**: LinkedTCGA-A (clinical) referenced by the two
+  giant result sets LinkedTCGA-M (methylation) and LinkedTCGA-E
+  (expression); Affymetrix probes join both via gene-symbol literals.
+
+Queries follow the paper's categories: S1–S14 simple (few patterns,
+selective), C1–C10 complex (many patterns, OPTIONAL / UNION / FILTER /
+LIMIT; C5 joins two disjoint subgraphs through a filter variable), and
+B1–B8 big (large intermediate results; B5/B6 disjoint-plus-filter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.network import LOCAL_CLUSTER, NetworkModel, Region
+from ..federation.federation import Federation
+from ..rdf.namespace import Namespace, OWL, RDF_TYPE
+from ..rdf.term import IRI, Literal
+from ..rdf.triple import Triple
+
+DRUGBANK = Namespace("http://drugbank.bio2rdf.org/vocab/")
+KEGG = Namespace("http://kegg.bio2rdf.org/vocab/")
+CHEBI = Namespace("http://chebi.bio2rdf.org/vocab/")
+DBPEDIA = Namespace("http://dbpedia.org/ontology/")
+GEONAMES = Namespace("http://www.geonames.org/ontology#")
+JAMENDO = Namespace("http://purl.org/jamendo/")
+LINKEDMDB = Namespace("http://data.linkedmdb.org/vocab/")
+NYT = Namespace("http://data.nytimes.com/vocab/")
+SWDF = Namespace("http://data.semanticweb.org/vocab/")
+AFFY = Namespace("http://affymetrix.bio2rdf.org/vocab/")
+TCGA = Namespace("http://tcga.deri.ie/vocab/")
+
+SAME_AS = OWL.sameAs
+
+COUNTRIES = ["US", "DE", "FR", "JP", "BR", "IN", "EG", "CA"]
+CANCER_TYPES = ["BRCA", "LUAD", "GBM", "KIRC"]
+
+ENDPOINT_IDS = [
+    "tcga-m", "tcga-e", "tcga-a", "chebi", "dbpedia", "drugbank",
+    "geonames", "jamendo", "kegg", "linkedmdb", "nyt", "swdf", "affymetrix",
+]
+
+
+class LargeRdfBenchGenerator:
+    """Deterministic mini-LargeRDFBench federation builder."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 23):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.n_drugs = max(12, int(80 * scale))
+        self.n_compounds = max(10, int(60 * scale))
+        self.n_genes = max(8, int(40 * scale))
+        self.n_patients = max(10, int(50 * scale))
+        self.n_values_per_patient = max(4, int(30 * scale))
+        self.n_places = max(10, int(60 * scale))
+        self.n_artists = max(8, int(30 * scale))
+        self.n_films = max(8, int(40 * scale))
+        self.n_people = max(10, int(50 * scale))
+        self.n_papers = max(8, int(25 * scale))
+        self.n_probes = max(10, int(60 * scale))
+
+    def _rng(self, name: str) -> random.Random:
+        return random.Random(f"{self.seed}:{name}")
+
+    # -- entity IRIs shared across endpoints -----------------------------
+
+    def drug(self, i: int) -> IRI:
+        return IRI(f"http://drugbank.bio2rdf.org/drugs/DB{i:05d}")
+
+    def kegg_compound(self, i: int) -> IRI:
+        return IRI(f"http://kegg.bio2rdf.org/compound/C{i:05d}")
+
+    def chebi_compound(self, i: int) -> IRI:
+        return IRI(f"http://chebi.bio2rdf.org/compound/CHEBI{i:05d}")
+
+    def dbpedia_resource(self, kind: str, i: int) -> IRI:
+        return IRI(f"http://dbpedia.org/resource/{kind}{i:04d}")
+
+    def place(self, i: int) -> IRI:
+        return IRI(f"http://sws.geonames.org/{100000 + i}/")
+
+    def patient(self, i: int) -> IRI:
+        return IRI(f"http://tcga.deri.ie/patient/TCGA-{i:05d}")
+
+    def gene_symbol(self, i: int) -> Literal:
+        return Literal(f"GENE{i % self.n_genes:04d}")
+
+    def person_name(self, i: int) -> Literal:
+        return Literal(f"Person Name {i:04d}")
+
+    def enzyme(self, i: int) -> IRI:
+        return IRI(f"http://kegg.bio2rdf.org/enzyme/E{i % 20:03d}")
+
+    # -- per-endpoint generators ------------------------------------------
+
+    def drugbank_triples(self) -> List[Triple]:
+        rng = self._rng("drugbank")
+        triples: List[Triple] = []
+        for i in range(self.n_drugs):
+            drug = self.drug(i)
+            triples.append(Triple(drug, RDF_TYPE, DRUGBANK.Drug))
+            triples.append(Triple(drug, DRUGBANK.name, Literal(f"Drug {i:05d}")))
+            triples.append(Triple(
+                drug, DRUGBANK.casRegistryNumber, Literal(f"CAS-{i % self.n_compounds:05d}")
+            ))
+            triples.append(Triple(
+                drug, DRUGBANK.keggCompoundId, self.kegg_compound(i % self.n_compounds)
+            ))
+            triples.append(Triple(
+                drug, SAME_AS, self.dbpedia_resource("Drug", i)
+            ))
+            target = IRI(f"http://drugbank.bio2rdf.org/targets/T{i % 25:04d}")
+            triples.append(Triple(drug, DRUGBANK.target, target))
+            triples.append(Triple(target, RDF_TYPE, DRUGBANK.Target))
+            triples.append(Triple(
+                target, DRUGBANK.geneName, self.gene_symbol(i)
+            ))
+            triples.append(Triple(
+                target, DRUGBANK.keggEnzyme, self.enzyme(i)
+            ))
+            if i % 4 == 0:
+                triples.append(Triple(
+                    drug, DRUGBANK.interactsWith,
+                    self.drug(rng.randrange(self.n_drugs)),
+                ))
+        return triples
+
+    def kegg_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.n_compounds):
+            compound = self.kegg_compound(i)
+            triples.append(Triple(compound, RDF_TYPE, KEGG.Compound))
+            triples.append(Triple(
+                compound, KEGG.mass, Literal.decimal(100.0 + 3.5 * i)
+            ))
+            triples.append(Triple(
+                compound, SAME_AS, self.chebi_compound(i)
+            ))
+        for e in range(20):
+            enzyme = self.enzyme(e)
+            triples.append(Triple(enzyme, RDF_TYPE, KEGG.Enzyme))
+            triples.append(Triple(
+                enzyme, KEGG.enzymeName, Literal(f"enzyme-{e:03d}")
+            ))
+        return triples
+
+    def chebi_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.n_compounds):
+            compound = self.chebi_compound(i)
+            triples.append(Triple(compound, RDF_TYPE, CHEBI.Compound))
+            triples.append(Triple(
+                compound, CHEBI.casRegistryNumber, Literal(f"CAS-{i:05d}")
+            ))
+            triples.append(Triple(
+                compound, CHEBI.formula, Literal(f"C{i}H{2 * i}O{i % 5}")
+            ))
+            triples.append(Triple(
+                compound, CHEBI.mass, Literal.decimal(100.0 + 3.5 * i)
+            ))
+        return triples
+
+    def dbpedia_triples(self) -> List[Triple]:
+        rng = self._rng("dbpedia")
+        triples: List[Triple] = []
+        words = "studied approved treatment compound history cinema".split()
+        for i in range(self.n_drugs):
+            resource = self.dbpedia_resource("Drug", i)
+            triples.append(Triple(resource, RDF_TYPE, DBPEDIA.Drug))
+            triples.append(Triple(
+                resource, DBPEDIA.abstract,
+                Literal(" ".join(rng.choice(words) for _ in range(40))),
+            ))
+        for i in range(self.n_films):
+            film = self.dbpedia_resource("Film", i)
+            triples.append(Triple(film, RDF_TYPE, DBPEDIA.Film))
+            triples.append(Triple(
+                film, DBPEDIA.director, self.dbpedia_resource("Person", i % self.n_people)
+            ))
+        for i in range(self.n_people):
+            person = self.dbpedia_resource("Person", i)
+            triples.append(Triple(person, RDF_TYPE, DBPEDIA.Person))
+            triples.append(Triple(person, DBPEDIA.name, self.person_name(i)))
+            if i % 2 == 0:
+                triples.append(Triple(
+                    person, DBPEDIA.party, Literal("Party A" if i % 4 else "Party B")
+                ))
+        for c, code in enumerate(COUNTRIES):
+            country = self.dbpedia_resource("Country", c)
+            triples.append(Triple(country, RDF_TYPE, DBPEDIA.Country))
+            triples.append(Triple(country, DBPEDIA.countryCode, Literal(code)))
+        return triples
+
+    def geonames_triples(self) -> List[Triple]:
+        rng = self._rng("geonames")
+        triples: List[Triple] = []
+        for i in range(self.n_places):
+            place = self.place(i)
+            triples.append(Triple(place, RDF_TYPE, GEONAMES.Feature))
+            triples.append(Triple(place, GEONAMES.name, Literal(f"City {i:04d}")))
+            triples.append(Triple(
+                place, GEONAMES.countryCode, Literal(COUNTRIES[i % len(COUNTRIES)])
+            ))
+            triples.append(Triple(
+                place, GEONAMES.population, Literal.integer(rng.randrange(1000, 9_000_000))
+            ))
+        return triples
+
+    def jamendo_triples(self) -> List[Triple]:
+        rng = self._rng("jamendo")
+        triples: List[Triple] = []
+        for i in range(self.n_artists):
+            artist = IRI(f"http://purl.org/jamendo/artist/{i:04d}")
+            triples.append(Triple(artist, RDF_TYPE, JAMENDO.Artist))
+            # Some artist names collide with SWDF/DBPedia person names on
+            # purpose: C5/B6 join disjoint subgraphs through name filters.
+            name = self.person_name(i) if i % 3 == 0 else Literal(f"Band {i:04d}")
+            triples.append(Triple(artist, JAMENDO.name, name))
+            # deterministic coverage of the first places guarantees every
+            # country code hosts some artist at any scale
+            triples.append(Triple(
+                artist, JAMENDO.basedNear, self.place(i % self.n_places)
+            ))
+            record = IRI(f"http://purl.org/jamendo/record/{i:04d}")
+            triples.append(Triple(record, RDF_TYPE, JAMENDO.Record))
+            triples.append(Triple(record, JAMENDO.maker, artist))
+            triples.append(Triple(
+                record, JAMENDO.tag, Literal(rng.choice(["rock", "jazz", "ambient"]))
+            ))
+        return triples
+
+    def linkedmdb_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.n_films):
+            film = IRI(f"http://data.linkedmdb.org/film/{i:04d}")
+            triples.append(Triple(film, RDF_TYPE, LINKEDMDB.Film))
+            triples.append(Triple(film, LINKEDMDB.title, Literal(f"Film {i:04d}")))
+            triples.append(Triple(
+                film, SAME_AS, self.dbpedia_resource("Film", i)
+            ))
+            actor = IRI(f"http://data.linkedmdb.org/actor/{i % self.n_people:04d}")
+            triples.append(Triple(film, LINKEDMDB.actor, actor))
+            triples.append(Triple(actor, RDF_TYPE, LINKEDMDB.Actor))
+            triples.append(Triple(
+                actor, LINKEDMDB.actorName, self.person_name(i % self.n_people)
+            ))
+        return triples
+
+    def nyt_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(0, self.n_people, 2):
+            topic = IRI(f"http://data.nytimes.com/person/{i:04d}")
+            triples.append(Triple(topic, RDF_TYPE, NYT.Topic))
+            triples.append(Triple(topic, SAME_AS, self.dbpedia_resource("Person", i)))
+            triples.append(Triple(
+                topic, NYT.topicPage, IRI(f"http://nytimes.com/topics/p{i:04d}")
+            ))
+            triples.append(Triple(
+                topic, NYT.articleCount, Literal.integer(10 + 7 * i)
+            ))
+        for i in range(0, self.n_places, 3):
+            location = IRI(f"http://data.nytimes.com/location/{i:04d}")
+            triples.append(Triple(location, RDF_TYPE, NYT.Topic))
+            triples.append(Triple(location, SAME_AS, self.place(i)))
+            triples.append(Triple(
+                location, NYT.topicPage, IRI(f"http://nytimes.com/topics/l{i:04d}")
+            ))
+        return triples
+
+    def swdf_triples(self) -> List[Triple]:
+        rng = self._rng("swdf")
+        triples: List[Triple] = []
+        for i in range(self.n_papers):
+            paper = IRI(f"http://data.semanticweb.org/paper/{i:04d}")
+            triples.append(Triple(paper, RDF_TYPE, SWDF.InProceedings))
+            triples.append(Triple(paper, SWDF.title, Literal(f"Paper {i:04d}")))
+            triples.append(Triple(
+                paper, SWDF.year, Literal.integer(2005 + i % 10)
+            ))
+            author = IRI(f"http://data.semanticweb.org/person/{i % self.n_people:04d}")
+            triples.append(Triple(paper, SWDF.author, author))
+            triples.append(Triple(author, RDF_TYPE, SWDF.Person))
+            triples.append(Triple(
+                author, SWDF.name, self.person_name(i % self.n_people)
+            ))
+            triples.append(Triple(
+                author, SAME_AS, self.dbpedia_resource("Person", i % self.n_people)
+            ))
+        return triples
+
+    def tcga_a_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.n_patients):
+            patient = self.patient(i)
+            triples.append(Triple(patient, RDF_TYPE, TCGA.Patient))
+            triples.append(Triple(
+                patient, TCGA.cancerType, Literal(CANCER_TYPES[i % len(CANCER_TYPES)])
+            ))
+            triples.append(Triple(
+                patient, TCGA.country, Literal(COUNTRIES[i % len(COUNTRIES)])
+            ))
+            triples.append(Triple(
+                patient, TCGA.gender, Literal("female" if i % 2 else "male")
+            ))
+            triples.append(Triple(
+                patient, TCGA.barcode, Literal(f"TCGA-{i:05d}")
+            ))
+        return triples
+
+    def tcga_m_triples(self) -> List[Triple]:
+        rng = self._rng("tcga-m")
+        triples: List[Triple] = []
+        for i in range(self.n_patients):
+            for v in range(self.n_values_per_patient):
+                result = IRI(f"http://tcga.deri.ie/methylation/{i:05d}-{v:04d}")
+                triples.append(Triple(result, RDF_TYPE, TCGA.MethylationResult))
+                triples.append(Triple(result, TCGA.patient, self.patient(i)))
+                triples.append(Triple(
+                    result, TCGA.geneSymbol, self.gene_symbol(v)
+                ))
+                triples.append(Triple(
+                    result, TCGA.betaValue, Literal.decimal(round(rng.random(), 4))
+                ))
+        return triples
+
+    def tcga_e_triples(self) -> List[Triple]:
+        rng = self._rng("tcga-e")
+        triples: List[Triple] = []
+        for i in range(self.n_patients):
+            for v in range(max(2, self.n_values_per_patient - 5)):
+                result = IRI(f"http://tcga.deri.ie/expression/{i:05d}-{v:04d}")
+                triples.append(Triple(result, RDF_TYPE, TCGA.ExpressionResult))
+                triples.append(Triple(result, TCGA.patient, self.patient(i)))
+                triples.append(Triple(
+                    result, TCGA.geneSymbol, self.gene_symbol(v + 1)
+                ))
+                triples.append(Triple(
+                    result, TCGA.rpkm, Literal.decimal(round(rng.random() * 100, 3))
+                ))
+        return triples
+
+    def affymetrix_triples(self) -> List[Triple]:
+        triples: List[Triple] = []
+        for i in range(self.n_probes):
+            probe = IRI(f"http://affymetrix.bio2rdf.org/probeset/{i:05d}")
+            triples.append(Triple(probe, RDF_TYPE, AFFY.Probeset))
+            triples.append(Triple(probe, AFFY.geneSymbol, self.gene_symbol(i)))
+            triples.append(Triple(probe, AFFY.keggEnzyme, self.enzyme(i)))
+            triples.append(Triple(
+                probe, AFFY.chromosome, Literal(str(1 + i % 22))
+            ))
+        return triples
+
+    # -- federation ----------------------------------------------------------
+
+    def build_federation(
+        self,
+        network: NetworkModel = LOCAL_CLUSTER,
+        regions: Dict[str, Region] = None,
+    ) -> Federation:
+        generators = {
+            "tcga-m": self.tcga_m_triples,
+            "tcga-e": self.tcga_e_triples,
+            "tcga-a": self.tcga_a_triples,
+            "chebi": self.chebi_triples,
+            "dbpedia": self.dbpedia_triples,
+            "drugbank": self.drugbank_triples,
+            "geonames": self.geonames_triples,
+            "jamendo": self.jamendo_triples,
+            "kegg": self.kegg_triples,
+            "linkedmdb": self.linkedmdb_triples,
+            "nyt": self.nyt_triples,
+            "swdf": self.swdf_triples,
+            "affymetrix": self.affymetrix_triples,
+        }
+        regions = regions or {}
+        default = Region("local")
+        endpoints = [
+            LocalEndpoint.from_triples(
+                endpoint_id, generate(), region=regions.get(endpoint_id, default)
+            )
+            for endpoint_id, generate in generators.items()
+        ]
+        return Federation(endpoints, network=network)

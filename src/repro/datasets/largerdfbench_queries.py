@@ -1,0 +1,402 @@
+"""The LargeRDFBench-mini query suites: S1-S14, C1-C10, B1-B8.
+
+Category characteristics mirror the paper (Section 5.1):
+
+- **Simple (S)**: 2-7 triple patterns, selective, 2-4 endpoints.  S13 and
+  S14 deliberately return comparatively large intermediate results (the
+  two simple queries where the paper reports Lusail fastest).
+- **Complex (C)**: 8+ triple patterns and advanced clauses (DISTINCT,
+  OPTIONAL, UNION, LIMIT).  C2 is highly selective; C4 carries LIMIT 50;
+  C5 joins two *disjoint* subgraphs through a FILTER variable (supported
+  by Lusail only, per the paper).
+- **Big (B)**: low-selectivity patterns over the largest endpoints
+  (LinkedTCGA-M/E); B1 is a UNION of two pattern sets; B5 and B6 repeat
+  the disjoint-subgraph-plus-filter shape; B8 contains an unbound
+  predicate pattern, exercising SAPE's source-selection refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .largerdfbench import (
+    AFFY,
+    CHEBI,
+    DBPEDIA,
+    DRUGBANK,
+    GEONAMES,
+    JAMENDO,
+    KEGG,
+    LINKEDMDB,
+    NYT,
+    SAME_AS,
+    SWDF,
+    TCGA,
+)
+from ..rdf.namespace import RDF_TYPE
+
+_R = RDF_TYPE.value
+_SA = SAME_AS.value
+_DB = DRUGBANK.base
+_KG = KEGG.base
+_CH = CHEBI.base
+_DP = DBPEDIA.base
+_GN = GEONAMES.base
+_JA = JAMENDO.base
+_MD = LINKEDMDB.base
+_NY = NYT.base
+_SW = SWDF.base
+_AF = AFFY.base
+_TC = TCGA.base
+
+SIMPLE_QUERIES: Dict[str, str] = {
+    # NYT coverage of party politicians (dbpedia + nyt)
+    "S1": f"""
+    SELECT ?person ?party ?page WHERE {{
+      ?person <{_R}> <{_DP}Person> .
+      ?person <{_DP}party> ?party .
+      ?topic <{_SA}> ?person .
+      ?topic <{_NY}topicPage> ?page .
+    }}
+    """,
+    # film directors through the LinkedMDB/DBPedia sameAs bridge
+    "S2": f"""
+    SELECT ?film ?director WHERE {{
+      ?film <{_R}> <{_MD}Film> .
+      ?film <{_SA}> ?dbfilm .
+      ?dbfilm <{_DP}director> ?director .
+    }}
+    """,
+    # drug masses through the DrugBank -> KEGG compound reference
+    "S3": f"""
+    SELECT ?drug ?mass WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}keggCompoundId> ?compound .
+      ?compound <{_KG}mass> ?mass .
+    }}
+    """,
+    # CAS-number literal join between DrugBank and ChEBI
+    "S4": f"""
+    SELECT ?drug ?formula WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}casRegistryNumber> ?cas .
+      ?compound <{_CH}casRegistryNumber> ?cas .
+      ?compound <{_CH}formula> ?formula .
+    }}
+    """,
+    # NYT location pages with their GeoNames names
+    "S5": f"""
+    SELECT ?location ?name ?page WHERE {{
+      ?location <{_SA}> ?place .
+      ?location <{_NY}topicPage> ?page .
+      ?place <{_GN}name> ?name .
+    }}
+    """,
+    # German-based Jamendo artists
+    "S6": f"""
+    SELECT ?artist ?name WHERE {{
+      ?artist <{_R}> <{_JA}Artist> .
+      ?artist <{_JA}name> ?name .
+      ?artist <{_JA}basedNear> ?place .
+      ?place <{_GN}countryCode> "DE" .
+    }}
+    """,
+    # a specific drug's DBPedia abstract (selective: bound name)
+    "S7": f"""
+    SELECT ?drug ?abstract WHERE {{
+      ?drug <{_DB}name> "Drug 00003" .
+      ?drug <{_SA}> ?resource .
+      ?resource <{_DP}abstract> ?abstract .
+    }}
+    """,
+    # heavy compounds bridging KEGG and ChEBI
+    "S8": f"""
+    SELECT ?compound ?mass WHERE {{
+      ?compound <{_R}> <{_KG}Compound> .
+      ?compound <{_SA}> ?chebi .
+      ?chebi <{_CH}mass> ?mass .
+      FILTER(?mass > 120)
+    }}
+    """,
+    # semantic web authors who are DBPedia persons
+    "S9": f"""
+    SELECT ?paper ?author ?name WHERE {{
+      ?paper <{_R}> <{_SW}InProceedings> .
+      ?paper <{_SW}author> ?author .
+      ?author <{_SA}> ?person .
+      ?person <{_DP}name> ?name .
+    }}
+    """,
+    # BRCA patients and their home-country places
+    "S10": f"""
+    SELECT ?patient ?place WHERE {{
+      ?patient <{_R}> <{_TC}Patient> .
+      ?patient <{_TC}cancerType> "BRCA" .
+      ?patient <{_TC}country> ?country .
+      ?place <{_GN}countryCode> ?country .
+    }}
+    """,
+    # actors of films that exist in DBPedia
+    "S11": f"""
+    SELECT ?film ?actorName WHERE {{
+      ?film <{_R}> <{_MD}Film> .
+      ?film <{_MD}actor> ?actor .
+      ?actor <{_MD}actorName> ?actorName .
+      ?film <{_SA}> ?dbfilm .
+      ?dbfilm <{_R}> <{_DP}Film> .
+    }}
+    """,
+    # drug interaction partners with KEGG masses (selective head)
+    "S12": f"""
+    SELECT ?drug ?other ?mass WHERE {{
+      ?drug <{_DB}name> "Drug 00004" .
+      ?drug <{_DB}interactsWith> ?other .
+      ?other <{_DB}keggCompoundId> ?compound .
+      ?compound <{_KG}mass> ?mass .
+    }}
+    """,
+    # ALL drugs with abstracts: a large intermediate result (paper: S13)
+    "S13": f"""
+    SELECT ?drug ?abstract WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_SA}> ?resource .
+      ?resource <{_DP}abstract> ?abstract .
+    }}
+    """,
+    # ALL drug targets joined to Affymetrix probes (paper: S14)
+    "S14": f"""
+    SELECT ?drug ?gene ?probe WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}target> ?target .
+      ?target <{_DB}geneName> ?gene .
+      ?probe <{_AF}geneSymbol> ?gene .
+    }}
+    """,
+}
+
+COMPLEX_QUERIES: Dict[str, str] = {
+    # clinical + methylation + expression for BRCA patients
+    "C1": f"""
+    SELECT ?patient ?country ?mgene ?beta ?rpkm WHERE {{
+      ?patient <{_R}> <{_TC}Patient> .
+      ?patient <{_TC}cancerType> "BRCA" .
+      ?patient <{_TC}country> ?country .
+      ?m <{_R}> <{_TC}MethylationResult> .
+      ?m <{_TC}patient> ?patient .
+      ?m <{_TC}geneSymbol> ?mgene .
+      ?m <{_TC}betaValue> ?beta .
+      ?e <{_TC}patient> ?patient .
+      ?e <{_TC}geneSymbol> ?mgene .
+      ?e <{_TC}rpkm> ?rpkm .
+    }}
+    """,
+    # very selective multi-hop drug chain (paper: C2 returns 4 rows)
+    "C2": f"""
+    SELECT ?drug ?other ?formula ?abstract WHERE {{
+      ?drug <{_DB}name> "Drug 00008" .
+      ?drug <{_DB}interactsWith> ?other .
+      ?other <{_DB}casRegistryNumber> ?cas .
+      ?compound <{_CH}casRegistryNumber> ?cas .
+      ?compound <{_CH}formula> ?formula .
+      ?other <{_SA}> ?resource .
+      ?resource <{_DP}abstract> ?abstract .
+    }}
+    """,
+    # films + directors + NYT coverage with OPTIONAL
+    "C3": f"""
+    SELECT DISTINCT ?film ?title ?director ?page WHERE {{
+      ?film <{_R}> <{_MD}Film> .
+      ?film <{_MD}title> ?title .
+      ?film <{_SA}> ?dbfilm .
+      ?dbfilm <{_DP}director> ?director .
+      ?director <{_R}> <{_DP}Person> .
+      OPTIONAL {{
+        ?topic <{_SA}> ?director .
+        ?topic <{_NY}topicPage> ?page .
+      }}
+    }}
+    """,
+    # like C3 but broad and LIMIT 50 (FedX short-circuits; Lusail
+    # computes everything then truncates — the paper's C4 discussion)
+    "C4": f"""
+    SELECT ?film ?title ?actorName ?director WHERE {{
+      ?film <{_R}> <{_MD}Film> .
+      ?film <{_MD}title> ?title .
+      ?film <{_MD}actor> ?actor .
+      ?actor <{_MD}actorName> ?actorName .
+      ?film <{_SA}> ?dbfilm .
+      ?dbfilm <{_DP}director> ?director .
+    }} LIMIT 50
+    """,
+    # two DISJOINT subgraphs joined by a filter variable (Lusail-only)
+    "C5": f"""
+    SELECT ?artist ?aname ?author ?sname WHERE {{
+      ?artist <{_R}> <{_JA}Artist> .
+      ?artist <{_JA}name> ?aname .
+      ?author <{_R}> <{_SW}Person> .
+      ?author <{_SW}name> ?sname .
+      FILTER(?aname = ?sname)
+    }}
+    """,
+    # drugs reachable from ChEBI by CAS or KEGG bridges (UNION)
+    "C6": f"""
+    SELECT ?drug ?mass WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      {{
+        ?drug <{_DB}keggCompoundId> ?compound .
+        ?compound <{_KG}mass> ?mass .
+      }} UNION {{
+        ?drug <{_DB}casRegistryNumber> ?cas .
+        ?chebi <{_CH}casRegistryNumber> ?cas .
+        ?chebi <{_CH}mass> ?mass .
+      }}
+    }}
+    """,
+    # populous places in NYT coverage with optional Jamendo artists
+    "C7": f"""
+    SELECT ?place ?name ?population ?artist WHERE {{
+      ?place <{_R}> <{_GN}Feature> .
+      ?place <{_GN}name> ?name .
+      ?place <{_GN}population> ?population .
+      ?location <{_SA}> ?place .
+      ?location <{_NY}topicPage> ?page .
+      OPTIONAL {{ ?artist <{_JA}basedNear> ?place }}
+      FILTER(?population > 100000)
+    }}
+    """,
+    # probes for enzymes targeted by drugs (affymetrix + kegg + drugbank)
+    "C8": f"""
+    SELECT DISTINCT ?drug ?enzyme ?probe ?ename WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}target> ?target .
+      ?target <{_DB}keggEnzyme> ?enzyme .
+      ?enzyme <{_KG}enzymeName> ?ename .
+      ?probe <{_AF}keggEnzyme> ?enzyme .
+      ?probe <{_AF}chromosome> ?chr .
+    }}
+    """,
+    # methylation genes probed by Affymetrix for GBM patients
+    "C9": f"""
+    SELECT ?patient ?gene ?probe ?beta WHERE {{
+      ?patient <{_TC}cancerType> "GBM" .
+      ?m <{_TC}patient> ?patient .
+      ?m <{_TC}geneSymbol> ?gene .
+      ?m <{_TC}betaValue> ?beta .
+      ?probe <{_AF}geneSymbol> ?gene .
+      ?probe <{_AF}chromosome> ?chr .
+      FILTER(?beta > 0.5)
+    }}
+    """,
+    # authors in the news OR in films, with optional party affiliation
+    "C10": f"""
+    SELECT DISTINCT ?person ?name ?party WHERE {{
+      ?person <{_R}> <{_DP}Person> .
+      ?person <{_DP}name> ?name .
+      {{
+        ?topic <{_SA}> ?person .
+        ?topic <{_NY}articleCount> ?count .
+      }} UNION {{
+        ?dbfilm <{_DP}director> ?person .
+        ?film <{_SA}> ?dbfilm .
+      }}
+      OPTIONAL {{ ?person <{_DP}party> ?party }}
+    }}
+    """,
+}
+
+BIG_QUERIES: Dict[str, str] = {
+    # union over the two giant endpoints (paper: B1 is a UNION)
+    "B1": f"""
+    SELECT ?patient ?gene ?value WHERE {{
+      ?patient <{_TC}cancerType> "LUAD" .
+      {{
+        ?r <{_TC}patient> ?patient .
+        ?r <{_TC}geneSymbol> ?gene .
+        ?r <{_TC}betaValue> ?value .
+      }} UNION {{
+        ?r <{_TC}patient> ?patient .
+        ?r <{_TC}geneSymbol> ?gene .
+        ?r <{_TC}rpkm> ?value .
+      }}
+    }}
+    """,
+    # all expression values whose genes have probes (big join)
+    "B2": f"""
+    SELECT ?e ?gene ?rpkm ?probe WHERE {{
+      ?e <{_R}> <{_TC}ExpressionResult> .
+      ?e <{_TC}geneSymbol> ?gene .
+      ?e <{_TC}rpkm> ?rpkm .
+      ?probe <{_AF}geneSymbol> ?gene .
+    }}
+    """,
+    # all methylation results of US patients (big scan + clinical join)
+    "B3": f"""
+    SELECT ?patient ?m ?beta WHERE {{
+      ?patient <{_TC}country> "US" .
+      ?m <{_TC}patient> ?patient .
+      ?m <{_TC}betaValue> ?beta .
+    }}
+    """,
+    # every drug with its abstract and target gene (broad, big literals)
+    "B4": f"""
+    SELECT ?drug ?abstract ?gene WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_SA}> ?resource .
+      ?resource <{_DP}abstract> ?abstract .
+      ?drug <{_DB}target> ?target .
+      ?target <{_DB}geneName> ?gene .
+    }}
+    """,
+    # disjoint subgraphs joined by a gene-symbol filter (Lusail-only)
+    "B5": f"""
+    SELECT ?m ?mgene ?probe ?pgene WHERE {{
+      ?m <{_R}> <{_TC}MethylationResult> .
+      ?m <{_TC}geneSymbol> ?mgene .
+      ?probe <{_R}> <{_AF}Probeset> .
+      ?probe <{_AF}geneSymbol> ?pgene .
+      FILTER(?mgene = ?pgene)
+    }}
+    """,
+    # disjoint subgraphs joined by a name filter (Lusail-only)
+    "B6": f"""
+    SELECT ?artist ?aname ?actor ?acname WHERE {{
+      ?artist <{_R}> <{_JA}Artist> .
+      ?artist <{_JA}name> ?aname .
+      ?actor <{_R}> <{_MD}Actor> .
+      ?actor <{_MD}actorName> ?acname .
+      FILTER(?aname = ?acname)
+    }}
+    """,
+    # join of the two biggest endpoints on patient (huge intermediate)
+    "B7": f"""
+    SELECT ?patient ?beta ?rpkm WHERE {{
+      ?m <{_R}> <{_TC}MethylationResult> .
+      ?m <{_TC}patient> ?patient .
+      ?m <{_TC}betaValue> ?beta .
+      ?e <{_R}> <{_TC}ExpressionResult> .
+      ?e <{_TC}patient> ?patient .
+      ?e <{_TC}rpkm> ?rpkm .
+    }}
+    """,
+    # unbound predicate over drug targets (source refinement exercise)
+    "B8": f"""
+    SELECT ?drug ?target ?p ?o WHERE {{
+      ?drug <{_R}> <{_DB}Drug> .
+      ?drug <{_DB}target> ?target .
+      ?target ?p ?o .
+    }}
+    """,
+}
+
+LRB_QUERIES: Dict[str, str] = {}
+LRB_QUERIES.update(SIMPLE_QUERIES)
+LRB_QUERIES.update(COMPLEX_QUERIES)
+LRB_QUERIES.update(BIG_QUERIES)
+
+QUERY_CATEGORY: Dict[str, str] = {}
+for _name in SIMPLE_QUERIES:
+    QUERY_CATEGORY[_name] = "simple"
+for _name in COMPLEX_QUERIES:
+    QUERY_CATEGORY[_name] = "complex"
+for _name in BIG_QUERIES:
+    QUERY_CATEGORY[_name] = "big"

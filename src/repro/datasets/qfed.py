@@ -1,0 +1,298 @@
+"""QFed-style federated life-science benchmark (Rakhmawati et al. 2014).
+
+Four real datasets in the paper — DailyMed, Diseasome, DrugBank, Sider —
+are reproduced as synthetic endpoints with the same *interlink topology*:
+
+- DrugBank is the hub: drugs with names, indications, and targets;
+- Sider drugs reference DrugBank drugs via ``sameAs`` and carry side
+  effects;
+- Diseasome diseases reference DrugBank drugs via ``possibleDrug``;
+- DailyMed labels reference DrugBank drugs via ``genericDrug`` and carry
+  *big literals* (the multi-kilobyte package descriptions behind the
+  paper's C2P2B* queries).
+
+Query naming follows QFed: ``C2P2`` = two classes and two cross-dataset
+predicates; suffix ``F`` adds a FILTER, ``O`` an OPTIONAL, ``B`` a big
+literal object.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.network import LOCAL_CLUSTER, NetworkModel, Region
+from ..federation.federation import Federation
+from ..rdf.namespace import Namespace, RDF_TYPE
+from ..rdf.term import IRI, Literal
+from ..rdf.triple import Triple
+
+DRUGBANK = Namespace("http://drugbank.org/vocab/")
+SIDER = Namespace("http://sideeffects.org/vocab/")
+DISEASOME = Namespace("http://diseasome.org/vocab/")
+DAILYMED = Namespace("http://dailymed.org/vocab/")
+
+_WORDS = (
+    "tablet oral administration dose patients clinical hepatic renal "
+    "metabolism plasma concentration adverse reactions contraindicated "
+    "pregnancy pediatric monitoring therapy treatment indicated chronic "
+    "acute infection bacterial receptor inhibitor enzyme pathway trial"
+).split()
+
+
+def _big_literal(rng: random.Random, words: int) -> Literal:
+    return Literal(" ".join(rng.choice(_WORDS) for _ in range(words)))
+
+
+class QFedGenerator:
+    """Deterministic generator for the four-endpoint QFed federation."""
+
+    def __init__(
+        self,
+        drugs: int = 120,
+        diseases: int = 40,
+        side_effects: int = 30,
+        description_words: int = 220,
+        seed: int = 11,
+    ):
+        self.drugs = drugs
+        self.diseases = diseases
+        self.side_effects = side_effects
+        self.description_words = description_words
+        self.seed = seed
+
+    # -- per-endpoint data -------------------------------------------------
+
+    def drug_iri(self, index: int) -> IRI:
+        return IRI(f"http://drugbank.org/drugs/DB{index:05d}")
+
+    def drugbank_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:drugbank")
+        triples: List[Triple] = []
+        for i in range(self.drugs):
+            drug = self.drug_iri(i)
+            triples.append(Triple(drug, RDF_TYPE, DRUGBANK.Drug))
+            triples.append(Triple(drug, DRUGBANK.name, Literal(f"Drug-{i:05d}")))
+            triples.append(Triple(
+                drug, DRUGBANK.indication, _big_literal(rng, 24)
+            ))
+            target = IRI(f"http://drugbank.org/targets/T{i % 40:04d}")
+            triples.append(Triple(drug, DRUGBANK.target, target))
+            triples.append(Triple(target, RDF_TYPE, DRUGBANK.Target))
+            triples.append(Triple(
+                target, DRUGBANK.geneName, Literal(f"GENE{i % 40:04d}")
+            ))
+            if i % 3 == 0 and i + 1 < self.drugs:
+                triples.append(Triple(
+                    drug, DRUGBANK.interactsWith, self.drug_iri(i + 1)
+                ))
+        return triples
+
+    def sider_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:sider")
+        triples: List[Triple] = []
+        effects = [
+            IRI(f"http://sideeffects.org/effects/E{e:04d}")
+            for e in range(self.side_effects)
+        ]
+        for e, effect in enumerate(effects):
+            triples.append(Triple(effect, RDF_TYPE, SIDER.SideEffect))
+            triples.append(Triple(
+                effect, SIDER.effectName, Literal(f"effect-{e:04d}")
+            ))
+        # Every second DrugBank drug has a Sider entry.
+        for i in range(0, self.drugs, 2):
+            sider_drug = IRI(f"http://sideeffects.org/drugs/S{i:05d}")
+            triples.append(Triple(sider_drug, RDF_TYPE, SIDER.Drug))
+            triples.append(Triple(sider_drug, SIDER.sameAs, self.drug_iri(i)))
+            triples.append(Triple(
+                sider_drug, SIDER.drugName, Literal(f"Drug-{i:05d}")
+            ))
+            for _ in range(rng.randint(1, 3)):
+                triples.append(Triple(
+                    sider_drug, SIDER.sideEffect, rng.choice(effects)
+                ))
+        return triples
+
+    def diseasome_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:diseasome")
+        triples: List[Triple] = []
+        for d in range(self.diseases):
+            disease = IRI(f"http://diseasome.org/diseases/D{d:04d}")
+            triples.append(Triple(disease, RDF_TYPE, DISEASOME.Disease))
+            triples.append(Triple(
+                disease, DISEASOME.diseaseName, Literal(f"disease-{d:04d}")
+            ))
+            gene = IRI(f"http://diseasome.org/genes/G{d % 25:04d}")
+            triples.append(Triple(disease, DISEASOME.associatedGene, gene))
+            triples.append(Triple(gene, RDF_TYPE, DISEASOME.Gene))
+            for _ in range(rng.randint(1, 3)):
+                triples.append(Triple(
+                    disease, DISEASOME.possibleDrug,
+                    self.drug_iri(rng.randrange(self.drugs)),
+                ))
+        return triples
+
+    def dailymed_triples(self) -> List[Triple]:
+        rng = random.Random(f"{self.seed}:dailymed")
+        triples: List[Triple] = []
+        organizations = [
+            IRI(f"http://dailymed.org/organizations/O{o}") for o in range(6)
+        ]
+        for org in organizations:
+            triples.append(Triple(org, RDF_TYPE, DAILYMED.Organization))
+        # Every third DrugBank drug has a DailyMed label.
+        for i in range(0, self.drugs, 3):
+            label = IRI(f"http://dailymed.org/labels/L{i:05d}")
+            triples.append(Triple(label, RDF_TYPE, DAILYMED.Drug))
+            triples.append(Triple(label, DAILYMED.genericDrug, self.drug_iri(i)))
+            triples.append(Triple(
+                label, DAILYMED.fullDescription,
+                _big_literal(rng, self.description_words),
+            ))
+            triples.append(Triple(
+                label, DAILYMED.producedBy, rng.choice(organizations)
+            ))
+        return triples
+
+    # -- federation ---------------------------------------------------------
+
+    def build_federation(
+        self,
+        network: NetworkModel = LOCAL_CLUSTER,
+        regions: Dict[str, Region] = None,
+    ) -> Federation:
+        regions = regions or {}
+        default = Region("local")
+        return Federation(
+            [
+                LocalEndpoint.from_triples(
+                    "dailymed", self.dailymed_triples(),
+                    region=regions.get("dailymed", default),
+                ),
+                LocalEndpoint.from_triples(
+                    "diseasome", self.diseasome_triples(),
+                    region=regions.get("diseasome", default),
+                ),
+                LocalEndpoint.from_triples(
+                    "drugbank", self.drugbank_triples(),
+                    region=regions.get("drugbank", default),
+                ),
+                LocalEndpoint.from_triples(
+                    "sider", self.sider_triples(),
+                    region=regions.get("sider", default),
+                ),
+            ],
+            network=network,
+        )
+
+
+# ----------------------------------------------------------------------
+# Benchmark queries
+# ----------------------------------------------------------------------
+
+_RDF = RDF_TYPE.value
+_DB = DRUGBANK.base
+_SI = SIDER.base
+_DI = DISEASOME.base
+_DM = DAILYMED.base
+
+#: side effects of drugs that may treat a disease (2 classes, 2 links)
+QUERY_C2P2 = f"""
+SELECT ?disease ?drug ?effect WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?sdrug <{_RDF}> <{_SI}Drug> .
+  ?sdrug <{_SI}sameAs> ?drug .
+  ?sdrug <{_SI}sideEffect> ?effect .
+}}
+"""
+
+QUERY_C2P2F = f"""
+SELECT ?disease ?name ?effect WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}diseaseName> ?name .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?sdrug <{_RDF}> <{_SI}Drug> .
+  ?sdrug <{_SI}sameAs> ?drug .
+  ?sdrug <{_SI}sideEffect> ?effect .
+  FILTER regex(?name, "disease-000")
+}}
+"""
+
+QUERY_C2P2OF = f"""
+SELECT ?disease ?name ?effect ?indication WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}diseaseName> ?name .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?sdrug <{_RDF}> <{_SI}Drug> .
+  ?sdrug <{_SI}sameAs> ?drug .
+  ?sdrug <{_SI}sideEffect> ?effect .
+  OPTIONAL {{ ?drug <{_DB}indication> ?indication }}
+  FILTER regex(?name, "disease-00")
+}}
+"""
+
+#: big-literal query: full DailyMed descriptions of disease drugs
+QUERY_C2P2B = f"""
+SELECT ?disease ?drug ?description WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?label <{_RDF}> <{_DM}Drug> .
+  ?label <{_DM}genericDrug> ?drug .
+  ?label <{_DM}fullDescription> ?description .
+}}
+"""
+
+QUERY_C2P2BF = f"""
+SELECT ?disease ?name ?description WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}diseaseName> ?name .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?label <{_RDF}> <{_DM}Drug> .
+  ?label <{_DM}genericDrug> ?drug .
+  ?label <{_DM}fullDescription> ?description .
+  FILTER regex(?name, "disease-000")
+}}
+"""
+
+QUERY_C2P2BO = f"""
+SELECT ?disease ?drug ?description ?effect WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?label <{_RDF}> <{_DM}Drug> .
+  ?label <{_DM}genericDrug> ?drug .
+  ?label <{_DM}fullDescription> ?description .
+  OPTIONAL {{
+    ?sdrug <{_SI}sameAs> ?drug .
+    ?sdrug <{_SI}sideEffect> ?effect .
+  }}
+}}
+"""
+
+QUERY_C2P2BOF = f"""
+SELECT ?disease ?name ?description ?effect WHERE {{
+  ?disease <{_RDF}> <{_DI}Disease> .
+  ?disease <{_DI}diseaseName> ?name .
+  ?disease <{_DI}possibleDrug> ?drug .
+  ?label <{_RDF}> <{_DM}Drug> .
+  ?label <{_DM}genericDrug> ?drug .
+  ?label <{_DM}fullDescription> ?description .
+  OPTIONAL {{
+    ?sdrug <{_SI}sameAs> ?drug .
+    ?sdrug <{_SI}sideEffect> ?effect .
+  }}
+  FILTER regex(?name, "disease-00")
+}}
+"""
+
+QFED_QUERIES: Dict[str, str] = {
+    "C2P2": QUERY_C2P2,
+    "C2P2F": QUERY_C2P2F,
+    "C2P2OF": QUERY_C2P2OF,
+    "C2P2B": QUERY_C2P2B,
+    "C2P2BF": QUERY_C2P2BF,
+    "C2P2BO": QUERY_C2P2BO,
+    "C2P2BOF": QUERY_C2P2BOF,
+}

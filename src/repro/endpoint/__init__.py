@@ -1,0 +1,43 @@
+"""Simulated SPARQL endpoints, network model, and execution metrics."""
+
+from .base import EndpointResponse, SPARQLEndpoint
+from .errors import (
+    EndpointRateLimitError,
+    EndpointUnavailableError,
+    FederationError,
+    MemoryLimitError,
+    QueryTimeoutError,
+)
+from .local import LocalEndpoint
+from .metrics import ExecutionContext, Metrics
+from .network import (
+    AZURE_GEO,
+    AZURE_REGIONS,
+    FAST_CLUSTER,
+    LOCAL_CLUSTER,
+    LinkProfile,
+    NetworkModel,
+    Region,
+    WIDE_AREA,
+)
+
+__all__ = [
+    "AZURE_GEO",
+    "AZURE_REGIONS",
+    "EndpointRateLimitError",
+    "EndpointUnavailableError",
+    "EndpointResponse",
+    "ExecutionContext",
+    "FAST_CLUSTER",
+    "FederationError",
+    "LOCAL_CLUSTER",
+    "LinkProfile",
+    "LocalEndpoint",
+    "MemoryLimitError",
+    "Metrics",
+    "NetworkModel",
+    "QueryTimeoutError",
+    "Region",
+    "SPARQLEndpoint",
+    "WIDE_AREA",
+]

@@ -1,0 +1,42 @@
+"""The SPARQL endpoint abstraction.
+
+Endpoints expose exactly the protocol surface a remote SPARQL service
+would: they accept *query text* and return booleans (ASK) or result sets
+(SELECT).  Federated engines never reach into an endpoint's store —
+everything flows through :meth:`SPARQLEndpoint.execute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Union
+
+from ..sparql.results import ResultSet
+from .network import Region
+
+
+@dataclass
+class EndpointResponse:
+    """What comes back from one request."""
+
+    value: Union[bool, ResultSet]
+    #: number of solution rows produced while answering (drives the
+    #: deterministic endpoint-compute model)
+    rows_touched: int
+    #: serialized response size in bytes
+    bytes_received: int
+
+
+class SPARQLEndpoint(Protocol):
+    """Anything that can stand in for a remote SPARQL endpoint."""
+
+    endpoint_id: str
+    region: Region
+
+    def execute(self, query_text: str) -> EndpointResponse:
+        """Run SPARQL text; ASK yields bool, SELECT yields a ResultSet."""
+        ...
+
+    def triple_count(self) -> int:
+        """Dataset size (for Table 1 reporting only)."""
+        ...

@@ -1,0 +1,65 @@
+"""Errors raised during (simulated) federated execution."""
+
+from __future__ import annotations
+
+
+class FederationError(RuntimeError):
+    """Base class for failures the harness reports per query."""
+
+    #: short status tag used in benchmark tables (paper notation)
+    status = "RE"
+
+
+class QueryTimeoutError(FederationError):
+    """The query exceeded the virtual time limit (paper: ``TO``)."""
+
+    status = "TO"
+
+    def __init__(self, limit_seconds: float):
+        super().__init__(f"virtual time limit of {limit_seconds:.0f}s exceeded")
+        self.limit_seconds = limit_seconds
+
+
+class MemoryLimitError(FederationError):
+    """Intermediate results exceeded the row budget (paper: ``OOM``)."""
+
+    status = "OOM"
+
+    def __init__(self, rows: int, limit: int):
+        super().__init__(f"intermediate result of {rows} rows exceeds limit {limit}")
+        self.rows = rows
+        self.limit = limit
+
+
+class EndpointUnavailableError(FederationError):
+    """A (simulated) endpoint failed to answer a request transiently.
+
+    Real federations see these constantly — overloaded public endpoints,
+    network blips.  The request handler retries a configurable number of
+    times before giving up; an exhausted retry budget surfaces as ``RE``.
+    """
+
+    status = "RE"
+
+    def __init__(self, endpoint_id: str):
+        super().__init__(f"endpoint {endpoint_id!r} did not answer")
+        self.endpoint_id = endpoint_id
+
+
+class EndpointRateLimitError(FederationError):
+    """A (simulated) public endpoint refused further requests.
+
+    Real federations hit this constantly (the paper's Table 2 shows FedX
+    failing with runtime errors against Bio2RDF); endpoints here can be
+    configured with a per-query request budget to reproduce it.
+    """
+
+    status = "RE"
+
+    def __init__(self, endpoint_id: str, limit: int):
+        super().__init__(
+            f"endpoint {endpoint_id!r} rejected request: more than "
+            f"{limit} requests in one query"
+        )
+        self.endpoint_id = endpoint_id
+        self.limit = limit

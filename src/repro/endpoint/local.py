@@ -1,0 +1,99 @@
+"""A local in-process SPARQL endpoint backed by a triple store."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from ..rdf.triple import Triple
+from ..sparql.ast import Query
+from ..sparql.evaluator import Evaluator
+from ..sparql.parser import parse_query
+from ..sparql.results import ResultSet
+from ..store.triplestore import TripleStore
+from .base import EndpointResponse
+from .errors import EndpointRateLimitError, EndpointUnavailableError
+from .network import Region
+
+_DEFAULT_REGION = Region("local")
+
+
+class LocalEndpoint:
+    """Wraps a :class:`TripleStore` behind the endpoint protocol.
+
+    ``max_requests_per_query`` simulates a public endpoint's politeness
+    limit (see Table 2): the owning engine resets the window per query via
+    :meth:`reset_request_window`; exceeding the limit raises
+    :class:`EndpointRateLimitError`.
+
+    ``failure_rate`` injects transient faults: that fraction of requests
+    raises :class:`EndpointUnavailableError` (deterministically, from a
+    seeded stream), exercising the request handler's retry logic.
+    """
+
+    def __init__(
+        self,
+        endpoint_id: str,
+        store: TripleStore,
+        region: Region = _DEFAULT_REGION,
+        max_requests_per_query: Optional[int] = None,
+        failure_rate: float = 0.0,
+        failure_seed: int = 97,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        self.endpoint_id = endpoint_id
+        self.store = store
+        self.region = region
+        self.max_requests_per_query = max_requests_per_query
+        self.failure_rate = failure_rate
+        self._failure_rng = random.Random(f"{failure_seed}:{endpoint_id}")
+        self._requests_in_window = 0
+        self._evaluator = Evaluator(store)
+        self._parse_cache: Dict[str, Query] = {}
+
+    @classmethod
+    def from_triples(
+        cls,
+        endpoint_id: str,
+        triples: Iterable[Triple],
+        region: Region = _DEFAULT_REGION,
+        **kwargs,
+    ) -> "LocalEndpoint":
+        return cls(endpoint_id, TripleStore(triples), region, **kwargs)
+
+    def reset_request_window(self) -> None:
+        self._requests_in_window = 0
+
+    def execute(self, query_text: str) -> EndpointResponse:
+        if self.max_requests_per_query is not None:
+            self._requests_in_window += 1
+            if self._requests_in_window > self.max_requests_per_query:
+                raise EndpointRateLimitError(
+                    self.endpoint_id, self.max_requests_per_query
+                )
+        if self.failure_rate and self._failure_rng.random() < self.failure_rate:
+            raise EndpointUnavailableError(self.endpoint_id)
+        query = self._parse_cache.get(query_text)
+        if query is None:
+            query = parse_query(query_text)
+            if len(self._parse_cache) < 4096:
+                self._parse_cache[query_text] = query
+        if query.form == "ASK":
+            answer = self._evaluator.ask(query)
+            return EndpointResponse(value=answer, rows_touched=1, bytes_received=16)
+        result: ResultSet = self._evaluator.select(query)
+        return EndpointResponse(
+            value=result,
+            rows_touched=max(1, len(result)),
+            bytes_received=64 + result.estimated_bytes(),
+        )
+
+    def triple_count(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalEndpoint({self.endpoint_id!r}, {len(self.store)} triples, "
+            f"region={self.region.name!r})"
+        )

@@ -1,0 +1,142 @@
+"""Per-query execution metrics and the virtual clock.
+
+Every federated engine in this repository executes against an
+:class:`ExecutionContext`: it accumulates virtual time (network + modeled
+compute), counts requests and transferred bytes, tracks per-phase time
+(source selection / query analysis / execution — Figure 12), and enforces
+the virtual timeout and intermediate-result budgets.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .errors import MemoryLimitError, QueryTimeoutError
+from .network import NetworkModel, Region
+
+
+@dataclass
+class Metrics:
+    """Counters for one query execution."""
+
+    requests: int = 0
+    ask_requests: int = 0
+    select_requests: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    virtual_seconds: float = 0.0
+    peak_intermediate_rows: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "ask_requests": self.ask_requests,
+            "select_requests": self.select_requests,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "virtual_seconds": self.virtual_seconds,
+            "peak_intermediate_rows": self.peak_intermediate_rows,
+            "cache_hits": self.cache_hits,
+            **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
+        }
+
+
+class ExecutionContext:
+    """Virtual clock plus budgets for one federated query."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        client_region: Region,
+        timeout_seconds: float = 3600.0,
+        max_intermediate_rows: int = 5_000_000,
+        join_rate: float = 4_000_000.0,
+        join_threads: int = 4,
+        real_time_limit: Optional[float] = None,
+    ):
+        self.network = network
+        self.client_region = client_region
+        self.timeout_seconds = timeout_seconds
+        self.max_intermediate_rows = max_intermediate_rows
+        #: rows/second one federator thread can hash-join (virtual model)
+        self.join_rate = join_rate
+        self.join_threads = max(1, join_threads)
+        #: optional wall-clock cap (simulation budget); exceeding it
+        #: aborts the query as a timeout, like killing a stuck run
+        self.real_time_limit = real_time_limit
+        self._started_at = time.monotonic()
+        self.metrics = Metrics()
+        self._current_phase: Optional[str] = None
+        #: optional QueryTrace collecting the execution narrative
+        self.trace = None
+
+    def trace_event(self, kind: str, **detail) -> None:
+        """Record a trace event when tracing is enabled (no-op otherwise)."""
+        if self.trace is not None:
+            self.trace.record(kind, self.metrics.virtual_seconds, **detail)
+
+    # -- virtual clock --------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.metrics.virtual_seconds += seconds
+        if self._current_phase is not None:
+            bucket = self.metrics.phase_seconds
+            bucket[self._current_phase] = bucket.get(self._current_phase, 0.0) + seconds
+        self.check_deadline()
+
+    def charge_join(self, rows: int, threads: Optional[int] = None) -> None:
+        """Charge federator-side join work, divided over join threads
+        (the paper's JoinCost model, Section 4.2)."""
+        effective_threads = threads or self.join_threads
+        self.charge(rows / (self.join_rate * effective_threads))
+
+    def check_deadline(self) -> None:
+        if self.metrics.virtual_seconds > self.timeout_seconds:
+            raise QueryTimeoutError(self.timeout_seconds)
+        if (
+            self.real_time_limit is not None
+            and time.monotonic() - self._started_at > self.real_time_limit
+        ):
+            raise QueryTimeoutError(self.real_time_limit)
+
+    def note_intermediate_rows(self, rows: int) -> None:
+        if rows > self.metrics.peak_intermediate_rows:
+            self.metrics.peak_intermediate_rows = rows
+        if rows > self.max_intermediate_rows:
+            raise MemoryLimitError(rows, self.max_intermediate_rows)
+
+    # -- phases ----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute virtual time charged inside the block to ``name``."""
+        previous = self._current_phase
+        self._current_phase = name
+        self.metrics.phase_seconds.setdefault(name, 0.0)
+        try:
+            yield self
+        finally:
+            self._current_phase = previous
+
+    # -- request accounting (used by the request handler) -----------------
+
+    def record_request(
+        self,
+        kind: str,
+        bytes_sent: int,
+        bytes_received: int,
+    ) -> None:
+        self.metrics.requests += 1
+        if kind == "ASK":
+            self.metrics.ask_requests += 1
+        else:
+            self.metrics.select_requests += 1
+        self.metrics.bytes_sent += bytes_sent
+        self.metrics.bytes_received += bytes_received

@@ -1,0 +1,19 @@
+"""Federation plumbing: endpoint registry, ERH, source selection, caches."""
+
+from .cache import AskCache, CheckCache, canonical_pattern_key
+from .federation import DEFAULT_CLIENT_REGION, Federation
+from .request_handler import ElasticRequestHandler, Request, Response
+from .source_selection import SourceSelector, ask_query_text
+
+__all__ = [
+    "AskCache",
+    "CheckCache",
+    "DEFAULT_CLIENT_REGION",
+    "ElasticRequestHandler",
+    "Federation",
+    "Request",
+    "Response",
+    "SourceSelector",
+    "ask_query_text",
+    "canonical_pattern_key",
+]

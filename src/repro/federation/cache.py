@@ -1,0 +1,88 @@
+"""Caches for source selection and locality checks.
+
+The paper: "Lusail caches the results of both the source selection phase
+and the check queries" (Section 2).  Cache keys canonicalize variable
+names so structurally identical patterns from different queries hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+
+
+def canonical_pattern_key(pattern: TriplePattern) -> str:
+    """A key invariant under variable renaming."""
+    names: Dict[Variable, str] = {}
+    parts = []
+    for term in pattern.as_tuple():
+        if isinstance(term, Variable):
+            name = names.setdefault(term, f"?v{len(names)}")
+            parts.append(name)
+        else:
+            parts.append(term.n3())
+    return " ".join(parts)
+
+
+class AskCache:
+    """Caches per-endpoint ASK answers keyed by canonical pattern."""
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str], bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, endpoint_id: str, pattern: TriplePattern) -> Optional[bool]:
+        value = self._entries.get((endpoint_id, canonical_pattern_key(pattern)))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, endpoint_id: str, pattern: TriplePattern, answer: bool) -> None:
+        self._entries[(endpoint_id, canonical_pattern_key(pattern))] = answer
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CheckCache:
+    """Caches GJV check outcomes.
+
+    Key: (endpoint id, canonical signature of the ordered pattern pair).
+    Value: ``True`` when the endpoint has witnesses making the variable
+    global for that pair (i.e. the check query returned a row).
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str], bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def signature(
+        pattern_i: TriplePattern,
+        pattern_j: TriplePattern,
+        type_constraint: Optional[TriplePattern],
+    ) -> str:
+        parts = [canonical_pattern_key(pattern_i), canonical_pattern_key(pattern_j)]
+        if type_constraint is not None:
+            parts.append(canonical_pattern_key(type_constraint))
+        return " | ".join(parts)
+
+    def get(self, endpoint_id: str, signature: str) -> Optional[bool]:
+        value = self._entries.get((endpoint_id, signature))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, endpoint_id: str, signature: str, is_global: bool) -> None:
+        self._entries[(endpoint_id, signature)] = is_global
+
+    def __len__(self) -> int:
+        return len(self._entries)

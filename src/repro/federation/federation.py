@@ -1,0 +1,82 @@
+"""The federation: a registry of endpoints plus the network they live on."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.metrics import ExecutionContext
+from ..endpoint.network import LOCAL_CLUSTER, NetworkModel, Region
+
+DEFAULT_CLIENT_REGION = Region("federator")
+
+
+class Federation:
+    """A set of independent SPARQL endpoints reachable over one network."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[LocalEndpoint],
+        network: NetworkModel = LOCAL_CLUSTER,
+        client_region: Region = DEFAULT_CLIENT_REGION,
+    ):
+        if not endpoints:
+            raise ValueError("a federation needs at least one endpoint")
+        self._endpoints: Dict[str, LocalEndpoint] = {}
+        for endpoint in endpoints:
+            if endpoint.endpoint_id in self._endpoints:
+                raise ValueError(f"duplicate endpoint id {endpoint.endpoint_id!r}")
+            self._endpoints[endpoint.endpoint_id] = endpoint
+        self.network = network
+        self.client_region = client_region
+
+    # -- registry --------------------------------------------------------
+
+    def endpoint(self, endpoint_id: str) -> LocalEndpoint:
+        try:
+            return self._endpoints[endpoint_id]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {endpoint_id!r}") from None
+
+    @property
+    def endpoint_ids(self) -> List[str]:
+        return list(self._endpoints)
+
+    def endpoints(self) -> Iterable[LocalEndpoint]:
+        return self._endpoints.values()
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def __contains__(self, endpoint_id: str) -> bool:
+        return endpoint_id in self._endpoints
+
+    # -- execution support -------------------------------------------------
+
+    def make_context(
+        self,
+        timeout_seconds: float = 3600.0,
+        max_intermediate_rows: int = 5_000_000,
+        join_threads: int = 4,
+        real_time_limit: float = None,
+    ) -> ExecutionContext:
+        """Fresh virtual clock and budgets for one query execution."""
+        self.reset_request_windows()
+        return ExecutionContext(
+            network=self.network,
+            client_region=self.client_region,
+            timeout_seconds=timeout_seconds,
+            max_intermediate_rows=max_intermediate_rows,
+            join_threads=join_threads,
+            real_time_limit=real_time_limit,
+        )
+
+    def reset_request_windows(self) -> None:
+        for endpoint in self._endpoints.values():
+            endpoint.reset_request_window()
+
+    def total_triples(self) -> int:
+        return sum(e.triple_count() for e in self._endpoints.values())
+
+    def __repr__(self) -> str:
+        return f"Federation({len(self)} endpoints, {self.total_triples()} triples)"

@@ -1,0 +1,77 @@
+"""ASK-based source selection.
+
+Like FedX and Lusail (both index-free), relevance of an endpoint to a
+triple pattern is established by sending ``ASK { pattern }`` to every
+endpoint, with answers cached across queries (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.ast import GroupPattern, Query
+from ..sparql.serializer import serialize_query
+from .cache import AskCache
+from .request_handler import ElasticRequestHandler, Request
+
+
+def ask_query_text(pattern: TriplePattern) -> str:
+    """``ASK { <pattern> }`` as SPARQL text."""
+    query = Query(form="ASK", where=GroupPattern(elements=[pattern]))
+    return serialize_query(query)
+
+
+class SourceSelector:
+    """Finds the relevant endpoints per triple pattern."""
+
+    def __init__(
+        self,
+        handler: ElasticRequestHandler,
+        cache: Optional[AskCache] = None,
+    ):
+        self.handler = handler
+        self.cache = cache
+
+    def relevant_sources(self, pattern: TriplePattern) -> Tuple[str, ...]:
+        """Endpoint ids (federation order) that can answer ``pattern``."""
+        endpoint_ids = self.handler.federation.endpoint_ids
+        answers: Dict[str, bool] = {}
+        missing: List[str] = []
+        for endpoint_id in endpoint_ids:
+            cached = self.cache.get(endpoint_id, pattern) if self.cache else None
+            if cached is None:
+                missing.append(endpoint_id)
+            else:
+                answers[endpoint_id] = cached
+                self.handler.context.metrics.cache_hits += 1
+        if missing:
+            text = ask_query_text(pattern)
+            requests = [Request(eid, text, kind="ASK") for eid in missing]
+            for response in self.handler.execute_batch(requests):
+                endpoint_id = response.request.endpoint_id
+                answer = bool(response.value)
+                answers[endpoint_id] = answer
+                if self.cache is not None:
+                    self.cache.put(endpoint_id, pattern, answer)
+        return tuple(eid for eid in endpoint_ids if answers.get(eid))
+
+    def select_all(
+        self, patterns: Sequence[TriplePattern]
+    ) -> Dict[TriplePattern, Tuple[str, ...]]:
+        """Source selection for a whole query's patterns.
+
+        A pattern with an unbound predicate and no bound subject/object is
+        relevant to every endpoint without asking (``?s ?p ?o`` matches
+        anything non-empty).
+        """
+        selection: Dict[TriplePattern, Tuple[str, ...]] = {}
+        for pattern in patterns:
+            if pattern in selection:
+                continue
+            if all(isinstance(t, Variable) for t in pattern.as_tuple()):
+                selection[pattern] = tuple(self.handler.federation.endpoint_ids)
+            else:
+                selection[pattern] = self.relevant_sources(pattern)
+        return selection

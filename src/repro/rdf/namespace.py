@@ -1,0 +1,67 @@
+"""Namespace helpers and well-known vocabularies."""
+
+from __future__ import annotations
+
+from .term import IRI
+
+
+class Namespace:
+    """IRI factory for a common prefix: ``UB = Namespace(...); UB.advisor``."""
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local_name(self, iri: IRI) -> str:
+        """The part of ``iri`` after this namespace's base."""
+        if iri not in self:
+            raise ValueError(f"{iri!r} is not in namespace {self._base}")
+        return iri.value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: LUBM university ontology namespace (as used in the paper's examples).
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+
+RDF_TYPE = RDF.type
+OWL_SAME_AS = OWL.sameAs
+RDFS_LABEL = RDFS.label
+RDFS_SEE_ALSO = RDFS.seeAlso
+
+#: Default prefix table used by the SPARQL parser when queries do not
+#: declare their own prefixes.  Query text in the benchmarks uses these.
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "owl": OWL.base,
+    "xsd": XSD_NS.base,
+    "foaf": FOAF.base,
+    "ub": UB.base,
+}

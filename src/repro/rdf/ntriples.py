@@ -1,0 +1,181 @@
+"""A small, strict N-Triples parser and serializer.
+
+Supports the line-based N-Triples syntax: IRIs in angle brackets, blank
+nodes, plain / language-tagged / datatyped literals with the standard
+string escapes.  Used for dataset round-tripping and for sizing messages
+in the network simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from .term import BNode, GroundTerm, IRI, Literal
+from .triple import Triple
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input."""
+
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class _LineParser:
+    """Cursor over one N-Triples line."""
+
+    def __init__(self, line: str, line_number: int):
+        self.text = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> NTriplesError:
+        return NTriplesError(
+            f"line {self.line_number}, column {self.pos + 1}: {message}"
+        )
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.text[self.pos]
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self.text[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse_iri(self) -> IRI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        if not value:
+            raise self.error("empty IRI")
+        return IRI(value)
+
+    def parse_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "-_."
+        ):
+            self.pos += 1
+        label = self.text[start:self.pos]
+        if not label:
+            raise self.error("empty blank node label")
+        return BNode(label)
+
+    def parse_string_body(self) -> str:
+        self.expect('"')
+        parts: List[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == '"':
+                return "".join(parts)
+            if char == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                escape = self.text[self.pos]
+                self.pos += 1
+                if escape in _ESCAPES:
+                    parts.append(_ESCAPES[escape])
+                elif escape == "u":
+                    hex_digits = self.text[self.pos:self.pos + 4]
+                    if len(hex_digits) != 4:
+                        raise self.error("bad \\u escape")
+                    parts.append(chr(int(hex_digits, 16)))
+                    self.pos += 4
+                elif escape == "U":
+                    hex_digits = self.text[self.pos:self.pos + 8]
+                    if len(hex_digits) != 8:
+                        raise self.error("bad \\U escape")
+                    parts.append(chr(int(hex_digits, 16)))
+                    self.pos += 8
+                else:
+                    raise self.error(f"unknown escape \\{escape}")
+            else:
+                parts.append(char)
+
+    def parse_literal(self) -> Literal:
+        body = self.parse_string_body()
+        if not self.at_end() and self.text[self.pos] == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            tag = self.text[start:self.pos]
+            if not tag:
+                raise self.error("empty language tag")
+            return Literal(body, language=tag)
+        if self.text[self.pos:self.pos + 2] == "^^":
+            self.pos += 2
+            datatype = self.parse_iri()
+            return Literal(body, datatype=datatype.value)
+        return Literal(body)
+
+    def parse_term(self, allow_literal: bool) -> GroundTerm:
+        self.skip_whitespace()
+        char = self.peek()
+        if char == "<":
+            return self.parse_iri()
+        if char == "_":
+            return self.parse_bnode()
+        if char == '"':
+            if not allow_literal:
+                raise self.error("literal not allowed in this position")
+            return self.parse_literal()
+        raise self.error(f"unexpected character {char!r}")
+
+
+def parse_line(line: str, line_number: int = 1) -> Triple:
+    """Parse a single N-Triples statement line."""
+    parser = _LineParser(line, line_number)
+    subject = parser.parse_term(allow_literal=False)
+    predicate = parser.parse_term(allow_literal=False)
+    if not isinstance(predicate, IRI):
+        raise parser.error("predicate must be an IRI")
+    obj = parser.parse_term(allow_literal=True)
+    parser.skip_whitespace()
+    parser.expect(".")
+    parser.skip_whitespace()
+    if not parser.at_end():
+        raise parser.error("trailing content after '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples.
+
+    Blank lines and ``#`` comment lines are skipped.
+    """
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line, line_number)
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples as an N-Triples document."""
+    return "".join(triple.n3() + "\n" for triple in triples)

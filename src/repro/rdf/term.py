@@ -1,0 +1,311 @@
+"""RDF term model: IRIs, literals, blank nodes, and query variables.
+
+Terms are immutable, hashable, and totally ordered so they can be used as
+dictionary keys in the store indexes and sorted deterministically in query
+results.  The ordering is (term kind, lexical fields) and carries no RDF
+semantics beyond determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+# Sort keys for cross-kind ordering.  Blank nodes < IRIs < literals <
+# variables; within a kind, lexical order applies.
+_KIND_BNODE = 0
+_KIND_IRI = 1
+_KIND_LITERAL = 2
+_KIND_VARIABLE = 3
+
+#: Datatype IRIs used for typed-literal coercion in SPARQL expressions.
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_BOOLEAN = XSD + "boolean"
+XSD_STRING = XSD + "string"
+
+_NUMERIC_DATATYPES = frozenset(
+    {
+        XSD_INTEGER,
+        XSD_DECIMAL,
+        XSD_DOUBLE,
+        XSD + "float",
+        XSD + "int",
+        XSD + "long",
+        XSD + "short",
+        XSD + "byte",
+        XSD + "nonNegativeInteger",
+        XSD + "positiveInteger",
+        XSD + "unsignedInt",
+    }
+)
+
+
+class Term:
+    """Base class for all RDF terms and query variables."""
+
+    __slots__ = ()
+
+    _kind: int = -1
+
+    def n3(self) -> str:
+        """Render this term in N-Triples / SPARQL surface syntax."""
+        raise NotImplementedError
+
+    def sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+class IRI(Term):
+    """An absolute IRI reference, e.g. ``<http://example.org/x>``."""
+
+    __slots__ = ("value", "_hash")
+
+    _kind = _KIND_IRI
+
+    def __init__(self, value: str):
+        if not isinstance(value, str) or not value:
+            raise ValueError(f"IRI requires a non-empty string, got {value!r}")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((_KIND_IRI, value)))
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("IRI is immutable")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def sort_key(self) -> tuple:
+        return (_KIND_IRI, self.value)
+
+    @property
+    def authority(self) -> str:
+        """The scheme+authority prefix, used by HiBISCuS-style summaries.
+
+        For ``http://drugbank.org/drugs/DB001`` this is
+        ``http://drugbank.org``.  Falls back to the full IRI when there is
+        no ``//`` component (e.g. ``urn:`` IRIs).
+        """
+        value = self.value
+        scheme_end = value.find("://")
+        if scheme_end < 0:
+            colon = value.find(":")
+            return value if colon < 0 else value[:colon]
+        path_start = value.find("/", scheme_end + 3)
+        return value if path_start < 0 else value[:path_start]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IRI) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+
+class BNode(Term):
+    """A blank node with a local label."""
+
+    __slots__ = ("label", "_hash")
+
+    _kind = _KIND_BNODE
+
+    def __init__(self, label: str):
+        if not isinstance(label, str) or not label:
+            raise ValueError(f"BNode requires a non-empty label, got {label!r}")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash((_KIND_BNODE, label)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BNode is immutable")
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def sort_key(self) -> tuple:
+        return (_KIND_BNODE, self.label)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"BNode({self.label!r})"
+
+
+class Literal(Term):
+    """An RDF literal: lexical form plus optional datatype or language tag."""
+
+    __slots__ = ("lexical", "datatype", "language", "_hash")
+
+    _kind = _KIND_LITERAL
+
+    def __init__(
+        self,
+        lexical: str,
+        datatype: Optional[str] = None,
+        language: Optional[str] = None,
+    ):
+        if not isinstance(lexical, str):
+            raise ValueError(f"Literal lexical form must be str, got {lexical!r}")
+        if datatype is not None and language is not None:
+            raise ValueError("a literal cannot have both a datatype and a language")
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+        object.__setattr__(
+            self, "_hash", hash((_KIND_LITERAL, lexical, datatype, language))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Literal is immutable")
+
+    @classmethod
+    def integer(cls, value: int) -> "Literal":
+        return cls(str(int(value)), datatype=XSD_INTEGER)
+
+    @classmethod
+    def decimal(cls, value: float) -> "Literal":
+        return cls(repr(float(value)), datatype=XSD_DOUBLE)
+
+    @classmethod
+    def boolean(cls, value: bool) -> "Literal":
+        return cls("true" if value else "false", datatype=XSD_BOOLEAN)
+
+    @property
+    def is_numeric(self) -> bool:
+        if self.datatype in _NUMERIC_DATATYPES:
+            return True
+        if self.datatype is None and self.language is None:
+            try:
+                float(self.lexical)
+                return True
+            except ValueError:
+                return False
+        return False
+
+    def numeric_value(self) -> Union[int, float]:
+        """Return the numeric value; raises ``ValueError`` for non-numerics."""
+        text = self.lexical
+        if self.datatype == XSD_INTEGER:
+            return int(text)
+        try:
+            return int(text)
+        except ValueError:
+            return float(text)
+
+    def boolean_value(self) -> bool:
+        if self.datatype == XSD_BOOLEAN or self.datatype is None:
+            if self.lexical in ("true", "1"):
+                return True
+            if self.lexical in ("false", "0"):
+                return False
+        raise ValueError(f"not a boolean literal: {self!r}")
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype is not None and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def sort_key(self) -> tuple:
+        return (
+            _KIND_LITERAL,
+            self.lexical,
+            self.datatype or "",
+            self.language or "",
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.datatype:
+            extra = f", datatype={self.datatype!r}"
+        elif self.language:
+            extra = f", language={self.language!r}"
+        return f"Literal({self.lexical!r}{extra})"
+
+
+class Variable(Term):
+    """A SPARQL query variable, e.g. ``?name``."""
+
+    __slots__ = ("name", "_hash")
+
+    _kind = _KIND_VARIABLE
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"Variable requires a non-empty name, got {name!r}")
+        if name.startswith("?") or name.startswith("$"):
+            name = name[1:]
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((_KIND_VARIABLE, name)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Variable is immutable")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def sort_key(self) -> tuple:
+        return (_KIND_VARIABLE, self.name)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+#: Concrete (ground) term — anything that can appear in stored data.
+GroundTerm = Union[IRI, BNode, Literal]
+#: Anything that can appear in a triple pattern.
+PatternTerm = Union[IRI, BNode, Literal, Variable]

@@ -1,0 +1,132 @@
+"""Triples and triple patterns."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .term import GroundTerm, PatternTerm, Term, Variable
+
+
+class Triple:
+    """A ground RDF triple ``(subject, predicate, object)``."""
+
+    __slots__ = ("subject", "predicate", "object", "_hash")
+
+    def __init__(self, subject: GroundTerm, predicate: GroundTerm, object: GroundTerm):
+        for position, term in (("subject", subject), ("predicate", predicate), ("object", object)):
+            if isinstance(term, Variable):
+                raise ValueError(f"triple {position} may not be a variable: {term!r}")
+            if not isinstance(term, Term):
+                raise ValueError(f"triple {position} must be a Term, got {term!r}")
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", object)
+        super().__setattr__("_hash", hash((subject, predicate, object)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Triple is immutable")
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def as_tuple(self) -> Tuple[GroundTerm, GroundTerm, GroundTerm]:
+        return (self.subject, self.predicate, self.object)
+
+    def __iter__(self) -> Iterator[GroundTerm]:
+        return iter(self.as_tuple())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Triple)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+class TriplePattern:
+    """A triple pattern: each position is a ground term or a variable."""
+
+    __slots__ = ("subject", "predicate", "object", "_hash")
+
+    def __init__(self, subject: PatternTerm, predicate: PatternTerm, object: PatternTerm):
+        for position, term in (("subject", subject), ("predicate", predicate), ("object", object)):
+            if not isinstance(term, Term):
+                raise ValueError(f"pattern {position} must be a Term, got {term!r}")
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", object)
+        super().__setattr__("_hash", hash((subject, predicate, object)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TriplePattern is immutable")
+
+    def variables(self) -> frozenset:
+        """All variables appearing in this pattern."""
+        return frozenset(
+            term for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Variable)
+        )
+
+    def matches(self, triple: Triple) -> Optional[dict]:
+        """Match a ground triple; return a binding dict or ``None``.
+
+        A binding maps each variable in the pattern to the corresponding
+        term in the triple; a variable used twice must bind consistently.
+        """
+        binding: dict = {}
+        for pattern_term, triple_term in (
+            (self.subject, triple.subject),
+            (self.predicate, triple.predicate),
+            (self.object, triple.object),
+        ):
+            if isinstance(pattern_term, Variable):
+                bound = binding.get(pattern_term)
+                if bound is None:
+                    binding[pattern_term] = triple_term
+                elif bound != triple_term:
+                    return None
+            elif pattern_term != triple_term:
+                return None
+        return binding
+
+    def substitute(self, binding: dict) -> "TriplePattern":
+        """Replace variables that appear in ``binding`` with their values."""
+
+        def resolve(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Variable):
+                return binding.get(term, term)
+            return term
+
+        return TriplePattern(
+            resolve(self.subject), resolve(self.predicate), resolve(self.object)
+        )
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def as_tuple(self) -> Tuple[PatternTerm, PatternTerm, PatternTerm]:
+        return (self.subject, self.predicate, self.object)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"

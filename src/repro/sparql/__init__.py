@@ -1,0 +1,65 @@
+"""SPARQL subset: parser, AST, evaluator, serializer, result sets."""
+
+from .aggregation import aggregate_solutions, compute_aggregate
+from .ast import (
+    Aggregate,
+    BindElement,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+    count_query,
+)
+from .evaluator import Evaluator
+from .expressions import (
+    ArithmeticExpr,
+    BooleanExpr,
+    CompareExpr,
+    ExistsExpr,
+    Expression,
+    ExpressionError,
+    FunctionExpr,
+    InExpr,
+    NotExpr,
+    TermExpr,
+)
+from .lexer import SparqlSyntaxError, tokenize
+from .parser import parse_query
+from .results import Binding, ResultSet
+from .serializer import serialize_group, serialize_query
+
+__all__ = [
+    "Aggregate",
+    "BindElement",
+    "MinusPattern",
+    "aggregate_solutions",
+    "compute_aggregate",
+    "ArithmeticExpr",
+    "Binding",
+    "BooleanExpr",
+    "CompareExpr",
+    "Evaluator",
+    "ExistsExpr",
+    "Expression",
+    "ExpressionError",
+    "FunctionExpr",
+    "GroupPattern",
+    "InExpr",
+    "NotExpr",
+    "OptionalPattern",
+    "Query",
+    "ResultSet",
+    "SparqlSyntaxError",
+    "SubSelect",
+    "TermExpr",
+    "UnionPattern",
+    "ValuesBlock",
+    "count_query",
+    "parse_query",
+    "serialize_group",
+    "serialize_query",
+    "tokenize",
+]

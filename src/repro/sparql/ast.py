@@ -1,0 +1,202 @@
+"""Abstract syntax for the SPARQL subset used throughout the system.
+
+The subset covers everything the paper's machinery needs: SELECT / ASK,
+basic graph patterns, FILTER (including EXISTS / NOT EXISTS with nested
+sub-SELECTs, as in the Figure-5 check queries), OPTIONAL, UNION, VALUES
+blocks (used by SAPE's bound subqueries), sub-SELECT, DISTINCT, ORDER BY,
+LIMIT / OFFSET, and COUNT aggregates (used by the cost model's probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.term import GroundTerm, Variable
+from ..rdf.triple import TriplePattern
+from .expressions import Expression
+
+# ----------------------------------------------------------------------
+# Graph patterns
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupPattern:
+    """A ``{ ... }`` group: ordered elements plus group-level filters."""
+
+    elements: List["PatternElement"] = field(default_factory=list)
+    filters: List[Expression] = field(default_factory=list)
+
+    def triple_patterns(self) -> List[TriplePattern]:
+        """All triple patterns at the top level of this group (no descent
+        into OPTIONAL / UNION / sub-SELECT bodies)."""
+        return [e for e in self.elements if isinstance(e, TriplePattern)]
+
+    def all_variables(self) -> frozenset:
+        """Every variable mentioned anywhere in the group, recursively."""
+        found = set()
+        for element in self.elements:
+            if isinstance(element, TriplePattern):
+                found |= element.variables()
+            elif isinstance(element, OptionalPattern):
+                found |= element.group.all_variables()
+            elif isinstance(element, UnionPattern):
+                for branch in element.branches:
+                    found |= branch.all_variables()
+            elif isinstance(element, SubSelect):
+                found |= set(element.query.projected_variables())
+            elif isinstance(element, ValuesBlock):
+                found |= set(element.variables)
+            elif isinstance(element, BindElement):
+                found |= element.expression.variables()
+                found.add(element.variable)
+            elif isinstance(element, MinusPattern):
+                found |= element.group.all_variables()
+        for expr in self.filters:
+            found |= expr.variables()
+        return frozenset(found)
+
+
+@dataclass
+class OptionalPattern:
+    """``OPTIONAL { ... }``."""
+
+    group: GroupPattern
+
+
+@dataclass
+class UnionPattern:
+    """``{ A } UNION { B } UNION ...``."""
+
+    branches: List[GroupPattern]
+
+
+@dataclass
+class ValuesBlock:
+    """``VALUES (?a ?b) { (x y) ... }``; ``None`` cells mean UNDEF."""
+
+    variables: List[Variable]
+    rows: List[Tuple[Optional[GroundTerm], ...]]
+
+    def __post_init__(self):
+        for row in self.rows:
+            if len(row) != len(self.variables):
+                raise ValueError(
+                    f"VALUES row width {len(row)} does not match "
+                    f"{len(self.variables)} variables"
+                )
+
+
+@dataclass
+class SubSelect:
+    """A nested ``SELECT`` used inside a group."""
+
+    query: "Query"
+
+
+@dataclass
+class BindElement:
+    """``BIND(expr AS ?var)``."""
+
+    expression: Expression
+    variable: Variable
+
+
+@dataclass
+class MinusPattern:
+    """``MINUS { ... }``: removes compatible solutions."""
+
+    group: GroupPattern
+
+
+PatternElement = Union[
+    TriplePattern,
+    OptionalPattern,
+    UnionPattern,
+    ValuesBlock,
+    SubSelect,
+    BindElement,
+    MinusPattern,
+]
+
+
+# ----------------------------------------------------------------------
+# Query forms
+# ----------------------------------------------------------------------
+
+
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE")
+
+
+@dataclass
+class Aggregate:
+    """``(COUNT(expr) AS ?alias)`` and friends.
+
+    ``argument=None`` is only valid for ``COUNT(*)``.
+    """
+
+    function: str
+    argument: Optional[Variable]
+    alias: Variable
+    distinct: bool = False
+
+    def __post_init__(self):
+        function = self.function.upper()
+        if function not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unsupported aggregate {self.function!r}")
+        if self.argument is None and function != "COUNT":
+            raise ValueError(f"{function}(*) is not valid SPARQL")
+
+
+@dataclass
+class Query:
+    """A parsed SELECT or ASK query."""
+
+    form: str  # "SELECT" | "ASK"
+    where: GroupPattern
+    select_variables: Optional[List[Variable]] = None  # None => SELECT *
+    aggregates: List[Aggregate] = field(default_factory=list)
+    distinct: bool = False
+    group_by: List[Variable] = field(default_factory=list)
+    order_by: List[Tuple[Variable, bool]] = field(default_factory=list)  # (var, ascending)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    def __post_init__(self):
+        if self.form not in ("SELECT", "ASK"):
+            raise ValueError(f"unsupported query form {self.form!r}")
+        if self.form == "ASK" and (self.select_variables or self.aggregates):
+            raise ValueError("ASK queries cannot have a projection")
+
+    def projected_variables(self) -> List[Variable]:
+        """The variables appearing in the result rows."""
+        if self.aggregates:
+            names: List[Variable] = [agg.alias for agg in self.aggregates]
+            if self.select_variables:
+                names = list(self.select_variables) + names
+            return names
+        if self.select_variables is not None:
+            return list(self.select_variables)
+        return sorted(self.where.all_variables(), key=lambda v: v.name)
+
+    def triple_patterns(self) -> List[TriplePattern]:
+        return self.where.triple_patterns()
+
+    def is_conjunctive(self) -> bool:
+        """True when the WHERE clause is a flat BGP plus plain filters."""
+        plain_filters = all(not f.contains_exists() for f in self.where.filters)
+        return plain_filters and all(
+            isinstance(e, TriplePattern) for e in self.where.elements
+        )
+
+
+def count_query(where: GroupPattern, alias: str = "count") -> Query:
+    """Build ``SELECT (COUNT(*) AS ?alias) WHERE { ... }`` — the cost
+    model's cardinality probe."""
+    return Query(
+        form="SELECT",
+        where=where,
+        select_variables=[],
+        aggregates=[Aggregate("COUNT", None, Variable(alias))],
+    )

@@ -1,0 +1,291 @@
+"""Query evaluation over a :class:`~repro.store.TripleStore`.
+
+This is the engine that runs *inside* every simulated SPARQL endpoint.
+It implements standard bottom-up evaluation with greedy selectivity-based
+pattern ordering for BGPs, plus OPTIONAL (left join), UNION, VALUES,
+FILTER with correlated (NOT) EXISTS, sub-SELECT, DISTINCT, ORDER BY,
+LIMIT/OFFSET, and COUNT aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..rdf.term import GroundTerm, Literal, Variable, XSD_INTEGER
+from ..rdf.triple import TriplePattern
+from ..store.triplestore import TripleStore
+from .ast import (
+    BindElement,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+)
+from .expressions import ExpressionError
+from .expressions import Binding, Expression
+
+_EMPTY_BINDING: Binding = {}
+
+
+class Evaluator:
+    """Evaluates parsed queries against one store."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def ask(self, query: Query) -> bool:
+        for _ in self._evaluate_group(query.where, _EMPTY_BINDING):
+            return True
+        return False
+
+    def select(self, query: Query):
+        """Evaluate a SELECT query; returns a :class:`ResultSet`."""
+        from .results import ResultSet
+
+        solutions = list(self._evaluate_group(query.where, _EMPTY_BINDING))
+        if query.aggregates or query.group_by:
+            return self._aggregate(query, solutions)
+        header = query.projected_variables()
+        result = ResultSet.from_bindings(header, solutions)
+        if query.distinct:
+            result = result.distinct()
+        if query.order_by:
+            result = _order(result, query.order_by)
+        if query.offset or query.limit is not None:
+            end = None if query.limit is None else query.offset + query.limit
+            result = type(result)(result.variables, result.rows[query.offset:end])
+        return result
+
+    def evaluate(self, query: Query):
+        """Dispatch on the query form; ASK returns bool."""
+        if query.form == "ASK":
+            return self.ask(query)
+        return self.select(query)
+
+    def exists(self, group: GroupPattern, binding: Binding) -> bool:
+        """Correlated EXISTS check used by filter expressions."""
+        for _ in self._evaluate_group(group, binding):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Group evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_group(self, group: GroupPattern, initial: Binding) -> Iterator[Binding]:
+        solutions: Iterable[Binding] = [dict(initial)]
+        # Evaluate the BGP portion with a greedy join order, then fold in
+        # the non-BGP elements in their syntactic order.
+        patterns = [e for e in group.elements if isinstance(e, TriplePattern)]
+        others = [e for e in group.elements if not isinstance(e, TriplePattern)]
+        if patterns:
+            solutions = self._evaluate_bgp(patterns, solutions)
+        for element in others:
+            solutions = self._apply_element(element, solutions)
+        if group.filters:
+            solutions = self._apply_filters(group.filters, solutions)
+        return iter(solutions) if not isinstance(solutions, Iterator) else solutions
+
+    def _apply_element(self, element, solutions: Iterable[Binding]) -> Iterator[Binding]:
+        if isinstance(element, OptionalPattern):
+            return self._left_join(element.group, solutions)
+        if isinstance(element, UnionPattern):
+            return self._union(element.branches, solutions)
+        if isinstance(element, ValuesBlock):
+            return self._values_join(element, solutions)
+        if isinstance(element, SubSelect):
+            return self._subselect_join(element.query, solutions)
+        if isinstance(element, BindElement):
+            return self._bind(element, solutions)
+        if isinstance(element, MinusPattern):
+            return self._minus(element.group, solutions)
+        raise TypeError(f"unexpected group element {element!r}")
+
+    def _bind(
+        self, element: BindElement, solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """``BIND(expr AS ?v)``: an evaluation error leaves ?v unbound."""
+        for binding in solutions:
+            extended = dict(binding)
+            try:
+                extended[element.variable] = element.expression.evaluate(
+                    binding, self
+                )
+            except ExpressionError:
+                pass
+            yield extended
+
+    def _minus(
+        self, group: GroupPattern, solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """SPARQL MINUS: drop solutions compatible with (and sharing at
+        least one variable with) a solution of the right-hand group."""
+        right = list(self._evaluate_group(group, _EMPTY_BINDING))
+        for binding in solutions:
+            removed = False
+            for other in right:
+                shared = set(binding) & set(other)
+                if shared and all(binding[v] == other[v] for v in shared):
+                    removed = True
+                    break
+            if not removed:
+                yield binding
+
+    def _apply_filters(
+        self, filters: List[Expression], solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        for binding in solutions:
+            if all(f.effective_boolean(binding, self) for f in filters):
+                yield binding
+
+    # ------------------------------------------------------------------
+    # Basic graph patterns
+    # ------------------------------------------------------------------
+
+    def _evaluate_bgp(
+        self, patterns: List[TriplePattern], solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        for binding in solutions:
+            yield from self._join_patterns(patterns, binding)
+
+    def _join_patterns(
+        self, patterns: List[TriplePattern], binding: Binding
+    ) -> Iterator[Binding]:
+        if not patterns:
+            yield binding
+            return
+        remaining = list(patterns)
+        index = self._pick_next_pattern(remaining, binding)
+        pattern = remaining.pop(index)
+        substituted = pattern.substitute(binding)
+        for triple in self.store.match(substituted):
+            match = substituted.matches(triple)
+            if match is None:
+                continue
+            extended = dict(binding)
+            extended.update(match)
+            yield from self._join_patterns(remaining, extended)
+
+    def _pick_next_pattern(self, patterns: List[TriplePattern], binding: Binding) -> int:
+        """Greedy ordering: choose the pattern with the fewest estimated
+        matches once current bindings are substituted in."""
+        best_index = 0
+        best_cost = None
+        for i, pattern in enumerate(patterns):
+            substituted = pattern.substitute(binding)
+            cost = self.store.count(substituted) if len(patterns) > 1 else 0
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = i
+            if best_cost == 0:
+                break
+        return best_index
+
+    # ------------------------------------------------------------------
+    # Non-BGP operators
+    # ------------------------------------------------------------------
+
+    def _left_join(
+        self, group: GroupPattern, solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        for binding in solutions:
+            matched = False
+            for extended in self._evaluate_group(group, binding):
+                matched = True
+                yield extended
+            if not matched:
+                yield binding
+
+    def _union(
+        self, branches: List[GroupPattern], solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        for binding in solutions:
+            for branch in branches:
+                yield from self._evaluate_group(branch, binding)
+
+    def _values_join(
+        self, values: ValuesBlock, solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        for binding in solutions:
+            for row in values.rows:
+                extended = dict(binding)
+                compatible = True
+                for variable, cell in zip(values.variables, row):
+                    if cell is None:
+                        continue
+                    bound = extended.get(variable)
+                    if bound is None:
+                        extended[variable] = cell
+                    elif bound != cell:
+                        compatible = False
+                        break
+                if compatible:
+                    yield extended
+
+    def _subselect_join(self, query: Query, solutions: Iterable[Binding]) -> Iterator[Binding]:
+        inner = self.select(query)
+        inner_rows = list(inner.bindings())
+        for binding in solutions:
+            for inner_binding in inner_rows:
+                extended = dict(binding)
+                compatible = True
+                for variable, value in inner_binding.items():
+                    bound = extended.get(variable)
+                    if bound is None:
+                        extended[variable] = value
+                    elif bound != value:
+                        compatible = False
+                        break
+                if compatible:
+                    yield extended
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _aggregate(self, query: Query, solutions: List[Binding]):
+        from .aggregation import aggregate_solutions
+
+        group_by = list(query.group_by)
+        extra = set(query.select_variables or []) - set(group_by)
+        if extra:
+            raise NotImplementedError(
+                "non-aggregated SELECT variables require GROUP BY"
+            )
+        return aggregate_solutions(group_by, query.aggregates, solutions)
+
+
+def _order(result, order_by: List[Tuple[Variable, bool]]):
+    from .results import ResultSet
+
+    indexes = []
+    for variable, ascending in order_by:
+        try:
+            indexes.append((result.variables.index(variable), ascending))
+        except ValueError:
+            continue
+
+    def key(row):
+        parts = []
+        for index, ascending in indexes:
+            cell = row[index]
+            cell_key = ("",) if cell is None else cell.sort_key()
+            parts.append(cell_key)
+        return tuple(parts)
+
+    rows = list(result.rows)
+    # Python's sort is stable: apply keys from the last to the first so
+    # descending components can be sorted independently.
+    for index, ascending in reversed(indexes):
+        rows.sort(
+            key=lambda row: ("",) if row[index] is None else row[index].sort_key(),
+            reverse=not ascending,
+        )
+    return ResultSet(result.variables, rows)

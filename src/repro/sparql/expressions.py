@@ -1,0 +1,484 @@
+"""FILTER expression AST and evaluation.
+
+Expressions follow SPARQL's *effective boolean value* rules pragmatically:
+evaluation errors (unbound variables, type mismatches) raise
+:class:`ExpressionError`, which FILTER evaluation treats as ``false``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..rdf.term import (
+    BNode,
+    GroundTerm,
+    IRI,
+    Literal,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_STRING,
+)
+
+Binding = Dict[Variable, GroundTerm]
+
+
+class ExpressionError(ValueError):
+    """Evaluation error inside a FILTER expression (treated as false)."""
+
+
+class Expression:
+    """Base class for filter expressions."""
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        """Return the expression value as an RDF term.
+
+        ``evaluator`` is the active query evaluator; it is required only
+        by EXISTS expressions, which need to run a nested pattern.
+        """
+        raise NotImplementedError
+
+    def effective_boolean(self, binding: Binding, evaluator=None) -> bool:
+        try:
+            return _ebv(self.evaluate(binding, evaluator))
+        except ExpressionError:
+            return False
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+    def contains_exists(self) -> bool:
+        return False
+
+    def to_sparql(self) -> str:
+        raise NotImplementedError
+
+
+def _ebv(term: GroundTerm) -> bool:
+    """SPARQL effective boolean value of a term."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.boolean_value()
+        if term.is_numeric:
+            return term.numeric_value() != 0
+        if term.datatype in (None, XSD_STRING) and term.language is None:
+            return bool(term.lexical)
+        raise ExpressionError(f"no boolean value for {term!r}")
+    raise ExpressionError(f"no boolean value for {term!r}")
+
+
+_TRUE = Literal("true", datatype=XSD_BOOLEAN)
+_FALSE = Literal("false", datatype=XSD_BOOLEAN)
+
+
+def _bool_literal(value: bool) -> Literal:
+    return _TRUE if value else _FALSE
+
+
+def _numeric(term: GroundTerm):
+    if isinstance(term, Literal) and term.is_numeric:
+        return term.numeric_value()
+    raise ExpressionError(f"not numeric: {term!r}")
+
+
+def _string(term: GroundTerm) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"no string form for {term!r}")
+
+
+@dataclass(frozen=True)
+class TermExpr(Expression):
+    """A constant term or a variable reference."""
+
+    term: Term
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        if isinstance(self.term, Variable):
+            value = binding.get(self.term)
+            if value is None:
+                raise ExpressionError(f"unbound variable {self.term.n3()}")
+            return value
+        return self.term  # type: ignore[return-value]
+
+    def variables(self) -> frozenset:
+        if isinstance(self.term, Variable):
+            return frozenset({self.term})
+        return frozenset()
+
+    def to_sparql(self) -> str:
+        return self.term.n3()
+
+
+@dataclass(frozen=True)
+class BooleanExpr(Expression):
+    """``&&``, ``||`` with SPARQL's error-tolerant short-circuiting."""
+
+    operator: str  # "&&" | "||"
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        try:
+            left = _ebv(self.left.evaluate(binding, evaluator))
+        except ExpressionError:
+            left = None
+        try:
+            right = _ebv(self.right.evaluate(binding, evaluator))
+        except ExpressionError:
+            right = None
+        if self.operator == "&&":
+            if left is False or right is False:
+                return _FALSE
+            if left is True and right is True:
+                return _TRUE
+        else:
+            if left is True or right is True:
+                return _TRUE
+            if left is False and right is False:
+                return _FALSE
+        raise ExpressionError("boolean operand error")
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def contains_exists(self) -> bool:
+        return self.left.contains_exists() or self.right.contains_exists()
+
+    def to_sparql(self) -> str:
+        return f"({self.left.to_sparql()} {self.operator} {self.right.to_sparql()})"
+
+
+@dataclass(frozen=True)
+class NotExpr(Expression):
+    inner: Expression
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        return _bool_literal(not _ebv(self.inner.evaluate(binding, evaluator)))
+
+    def variables(self) -> frozenset:
+        return self.inner.variables()
+
+    def contains_exists(self) -> bool:
+        return self.inner.contains_exists()
+
+    def to_sparql(self) -> str:
+        return f"(!{self.inner.to_sparql()})"
+
+
+_COMPARE_OPS: Dict[str, Callable] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class CompareExpr(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        left = self.left.evaluate(binding, evaluator)
+        right = self.right.evaluate(binding, evaluator)
+        op = _COMPARE_OPS[self.operator]
+        if self.operator in ("=", "!="):
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                if left.is_numeric and right.is_numeric:
+                    return _bool_literal(op(left.numeric_value(), right.numeric_value()))
+            return _bool_literal(op(left, right))
+        # Ordering comparisons
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            if left.is_numeric and right.is_numeric:
+                return _bool_literal(op(left.numeric_value(), right.numeric_value()))
+            return _bool_literal(op(left.lexical, right.lexical))
+        if isinstance(left, IRI) and isinstance(right, IRI):
+            return _bool_literal(op(left.value, right.value))
+        raise ExpressionError(f"cannot order {left!r} and {right!r}")
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def contains_exists(self) -> bool:
+        return self.left.contains_exists() or self.right.contains_exists()
+
+    def to_sparql(self) -> str:
+        return f"({self.left.to_sparql()} {self.operator} {self.right.to_sparql()})"
+
+
+_ARITH_OPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class ArithmeticExpr(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        left = _numeric(self.left.evaluate(binding, evaluator))
+        right = _numeric(self.right.evaluate(binding, evaluator))
+        try:
+            value = _ARITH_OPS[self.operator](left, right)
+        except ZeroDivisionError as exc:
+            raise ExpressionError("division by zero") from exc
+        if isinstance(value, int):
+            return Literal.integer(value)
+        return Literal.decimal(value)
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def contains_exists(self) -> bool:
+        return self.left.contains_exists() or self.right.contains_exists()
+
+    def to_sparql(self) -> str:
+        return f"({self.left.to_sparql()} {self.operator} {self.right.to_sparql()})"
+
+
+@dataclass(frozen=True)
+class InExpr(Expression):
+    """``expr IN (a, b, ...)`` / ``expr NOT IN (...)``."""
+
+    subject: Expression
+    options: Sequence[Expression]
+    negated: bool = False
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        value = self.subject.evaluate(binding, evaluator)
+        found = any(
+            option.evaluate(binding, evaluator) == value for option in self.options
+        )
+        return _bool_literal(found != self.negated)
+
+    def variables(self) -> frozenset:
+        found = set(self.subject.variables())
+        for option in self.options:
+            found |= option.variables()
+        return frozenset(found)
+
+    def to_sparql(self) -> str:
+        options = ", ".join(o.to_sparql() for o in self.options)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.subject.to_sparql()} {keyword} ({options}))"
+
+
+@dataclass(frozen=True)
+class FunctionExpr(Expression):
+    """Built-in function call: BOUND, REGEX, STR, LANG, CONTAINS, ..."""
+
+    name: str
+    arguments: Sequence[Expression] = field(default_factory=tuple)
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        name = self.name.upper()
+        handler = _FUNCTIONS.get(name)
+        if handler is None:
+            raise ExpressionError(f"unknown function {self.name!r}")
+        return handler(self, binding, evaluator)
+
+    def variables(self) -> frozenset:
+        found = set()
+        for argument in self.arguments:
+            found |= argument.variables()
+        return frozenset(found)
+
+    def to_sparql(self) -> str:
+        args = ", ".join(a.to_sparql() for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+def _fn_bound(expr: FunctionExpr, binding: Binding, evaluator) -> GroundTerm:
+    (argument,) = expr.arguments
+    if not isinstance(argument, TermExpr) or not isinstance(argument.term, Variable):
+        raise ExpressionError("BOUND requires a variable")
+    return _bool_literal(argument.term in binding)
+
+
+def _fn_str(expr: FunctionExpr, binding: Binding, evaluator) -> GroundTerm:
+    (argument,) = expr.arguments
+    return Literal(_string(argument.evaluate(binding, evaluator)))
+
+
+def _fn_lang(expr: FunctionExpr, binding: Binding, evaluator) -> GroundTerm:
+    (argument,) = expr.arguments
+    value = argument.evaluate(binding, evaluator)
+    if isinstance(value, Literal):
+        return Literal(value.language or "")
+    raise ExpressionError("LANG requires a literal")
+
+
+def _fn_datatype(expr: FunctionExpr, binding: Binding, evaluator) -> GroundTerm:
+    (argument,) = expr.arguments
+    value = argument.evaluate(binding, evaluator)
+    if isinstance(value, Literal):
+        if value.language is not None:
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+        return IRI(value.datatype or XSD_STRING)
+    raise ExpressionError("DATATYPE requires a literal")
+
+
+def _fn_regex(expr: FunctionExpr, binding: Binding, evaluator) -> GroundTerm:
+    if len(expr.arguments) not in (2, 3):
+        raise ExpressionError("REGEX takes 2 or 3 arguments")
+    text = _string(expr.arguments[0].evaluate(binding, evaluator))
+    pattern = _string(expr.arguments[1].evaluate(binding, evaluator))
+    flags = 0
+    if len(expr.arguments) == 3:
+        flag_text = _string(expr.arguments[2].evaluate(binding, evaluator))
+        if "i" in flag_text:
+            flags |= re.IGNORECASE
+        if "s" in flag_text:
+            flags |= re.DOTALL
+    try:
+        return _bool_literal(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from exc
+
+
+def _string_pair(expr: FunctionExpr, binding: Binding, evaluator):
+    first = _string(expr.arguments[0].evaluate(binding, evaluator))
+    second = _string(expr.arguments[1].evaluate(binding, evaluator))
+    return first, second
+
+
+def _fn_contains(expr, binding, evaluator):
+    first, second = _string_pair(expr, binding, evaluator)
+    return _bool_literal(second in first)
+
+
+def _fn_strstarts(expr, binding, evaluator):
+    first, second = _string_pair(expr, binding, evaluator)
+    return _bool_literal(first.startswith(second))
+
+
+def _fn_strends(expr, binding, evaluator):
+    first, second = _string_pair(expr, binding, evaluator)
+    return _bool_literal(first.endswith(second))
+
+
+def _fn_lcase(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    value = argument.evaluate(binding, evaluator)
+    if isinstance(value, Literal):
+        return Literal(value.lexical.lower(), datatype=value.datatype, language=value.language)
+    raise ExpressionError("LCASE requires a literal")
+
+
+def _fn_ucase(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    value = argument.evaluate(binding, evaluator)
+    if isinstance(value, Literal):
+        return Literal(value.lexical.upper(), datatype=value.datatype, language=value.language)
+    raise ExpressionError("UCASE requires a literal")
+
+
+def _fn_strlen(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    return Literal.integer(len(_string(argument.evaluate(binding, evaluator))))
+
+
+def _fn_isiri(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    return _bool_literal(isinstance(argument.evaluate(binding, evaluator), IRI))
+
+
+def _fn_isliteral(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    return _bool_literal(isinstance(argument.evaluate(binding, evaluator), Literal))
+
+
+def _fn_isblank(expr, binding, evaluator):
+    (argument,) = expr.arguments
+    return _bool_literal(isinstance(argument.evaluate(binding, evaluator), BNode))
+
+
+def _fn_sameterm(expr, binding, evaluator):
+    first = expr.arguments[0].evaluate(binding, evaluator)
+    second = expr.arguments[1].evaluate(binding, evaluator)
+    return _bool_literal(first == second)
+
+
+def _fn_if(expr, binding, evaluator):
+    condition, then_expr, else_expr = expr.arguments
+    if _ebv(condition.evaluate(binding, evaluator)):
+        return then_expr.evaluate(binding, evaluator)
+    return else_expr.evaluate(binding, evaluator)
+
+
+def _fn_coalesce(expr, binding, evaluator):
+    for argument in expr.arguments:
+        try:
+            return argument.evaluate(binding, evaluator)
+        except ExpressionError:
+            continue
+    raise ExpressionError("COALESCE: all arguments errored")
+
+
+_FUNCTIONS = {
+    "BOUND": _fn_bound,
+    "STR": _fn_str,
+    "LANG": _fn_lang,
+    "DATATYPE": _fn_datatype,
+    "REGEX": _fn_regex,
+    "CONTAINS": _fn_contains,
+    "STRSTARTS": _fn_strstarts,
+    "STRENDS": _fn_strends,
+    "LCASE": _fn_lcase,
+    "UCASE": _fn_ucase,
+    "STRLEN": _fn_strlen,
+    "ISIRI": _fn_isiri,
+    "ISURI": _fn_isiri,
+    "ISLITERAL": _fn_isliteral,
+    "ISBLANK": _fn_isblank,
+    "SAMETERM": _fn_sameterm,
+    "IF": _fn_if,
+    "COALESCE": _fn_coalesce,
+}
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expression):
+    """``EXISTS { ... }`` / ``NOT EXISTS { ... }``.
+
+    Evaluated *correlated*: the inner group sees the current row's
+    bindings, exactly as required by the Figure-5 locality check query.
+    The ``group`` attribute is a :class:`~repro.sparql.ast.GroupPattern`;
+    it is typed loosely here to avoid a circular import.
+    """
+
+    group: object
+    negated: bool = False
+
+    def evaluate(self, binding: Binding, evaluator=None) -> GroundTerm:
+        if evaluator is None:
+            raise ExpressionError("EXISTS requires an evaluator context")
+        exists = evaluator.exists(self.group, binding)
+        return _bool_literal(exists != self.negated)
+
+    def variables(self) -> frozenset:
+        # EXISTS correlates on the outer variables; for placement purposes
+        # its variable footprint is the inner group's variables.
+        return self.group.all_variables()  # type: ignore[attr-defined]
+
+    def contains_exists(self) -> bool:
+        return True
+
+    def to_sparql(self) -> str:
+        from .serializer import serialize_group
+
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} {serialize_group(self.group)}"

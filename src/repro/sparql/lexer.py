@@ -1,0 +1,224 @@
+"""Tokenizer for the SPARQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "SELECT", "ASK", "WHERE", "PREFIX", "BASE", "DISTINCT", "REDUCED",
+    "FILTER", "OPTIONAL", "UNION", "VALUES", "LIMIT", "OFFSET", "ORDER",
+    "BY", "ASC", "DESC", "AS", "EXISTS", "NOT", "IN", "UNDEF", "COUNT",
+    "A", "TRUE", "FALSE", "GRAPH", "GROUP", "BIND", "MINUS",
+    "SUM", "AVG", "MIN", "MAX", "SAMPLE",
+}
+
+PUNCTUATION = [
+    "^^", "&&", "||", "!=", "<=", ">=",
+    "{", "}", "(", ")", ".", ";", ",", "*", "/", "+", "-", "=", "<", ">", "!",
+]
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised for malformed query text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IRIREF, PNAME, VAR, STRING, INTEGER, DECIMAL, PUNCT, LANGTAG, EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class Lexer:
+    """Produces a token list for :class:`~repro.sparql.parser.Parser`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return SparqlSyntaxError(f"line {line}: {message}")
+
+    def tokens(self) -> List[Token]:
+        result = list(self._scan())
+        result.append(Token("EOF", "", len(self.text)))
+        return result
+
+    def _scan(self) -> Iterator[Token]:
+        text = self.text
+        length = len(text)
+        while self.pos < length:
+            char = text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+                continue
+            if char == "#":
+                newline = text.find("\n", self.pos)
+                self.pos = length if newline < 0 else newline + 1
+                continue
+            start = self.pos
+            if char == "<":
+                token = self._try_iri()
+                if token is not None:
+                    yield token
+                    continue
+            if char in "?$":
+                yield self._variable()
+                continue
+            if char in "\"'":
+                yield self._string(char)
+                continue
+            if char == "@":
+                yield self._langtag()
+                continue
+            if char.isdigit() or (
+                char in "+-"
+                and self.pos + 1 < length
+                and text[self.pos + 1].isdigit()
+                and not self._previous_is_value_like()
+            ):
+                yield self._number()
+                continue
+            if char.isalpha() or char == "_":
+                yield self._word()
+                continue
+            punct = self._punctuation()
+            if punct is not None:
+                yield punct
+                continue
+            raise self.error(f"unexpected character {char!r}")
+
+    def _previous_is_value_like(self) -> bool:
+        """Heuristic so ``?x-1`` style arithmetic lexes ``-`` as an operator.
+
+        A ``+``/``-`` starts a signed number only when the previous
+        non-space character cannot end a value expression.
+        """
+        index = self.pos - 1
+        while index >= 0 and self.text[index] in " \t\r\n":
+            index -= 1
+        if index < 0:
+            return False
+        return self.text[index].isalnum() or self.text[index] in ")>\"?_"
+
+    def _try_iri(self) -> Optional[Token]:
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            return None
+        body = self.text[self.pos + 1:end]
+        # "<" is also the less-than operator; a real IRIREF contains none
+        # of these characters (per the SPARQL grammar's IRIREF production).
+        if any(c in body for c in " \t\r\n<\"{}|^`?()"):
+            return None
+        start = self.pos
+        self.pos = end + 1
+        return Token("IRIREF", body, start)
+
+    def _variable(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        begin = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        name = self.text[begin:self.pos]
+        if not name:
+            raise self.error("empty variable name")
+        return Token("VAR", name, start)
+
+    def _string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated string")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == quote:
+                break
+            if char == "\\":
+                if self.pos >= len(self.text):
+                    raise self.error("dangling escape")
+                escape = self.text[self.pos]
+                self.pos += 1
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'"}
+                if escape not in mapping:
+                    raise self.error(f"unknown escape \\{escape}")
+                parts.append(mapping[escape])
+            else:
+                parts.append(char)
+        return Token("STRING", "".join(parts), start)
+
+    def _langtag(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        begin = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+        ):
+            self.pos += 1
+        tag = self.text[begin:self.pos]
+        if not tag:
+            raise self.error("empty language tag")
+        return Token("LANGTAG", tag, start)
+
+    def _number(self) -> Token:
+        start = self.pos
+        if self.text[self.pos] in "+-":
+            self.pos += 1
+        seen_dot = False
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char.isdigit():
+                self.pos += 1
+            elif char == "." and not seen_dot and self.pos + 1 < len(self.text) and self.text[self.pos + 1].isdigit():
+                seen_dot = True
+                self.pos += 1
+            else:
+                break
+        value = self.text[start:self.pos]
+        return Token("DECIMAL" if seen_dot else "INTEGER", value, start)
+
+    def _word(self) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        word = self.text[start:self.pos]
+        # Prefixed name: "prefix:local" (prefix may be empty is not supported).
+        if self.pos < len(self.text) and self.text[self.pos] == ":":
+            self.pos += 1
+            begin = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] in "_-."
+            ):
+                self.pos += 1
+            local = self.text[begin:self.pos]
+            # Trailing '.' belongs to the statement, not the name.
+            while local.endswith("."):
+                local = local[:-1]
+                self.pos -= 1
+            return Token("PNAME", f"{word}:{local}", start)
+        if word.upper() in KEYWORDS:
+            return Token("KEYWORD", word.upper(), start)
+        return Token("NAME", word, start)
+
+    def _punctuation(self) -> Optional[Token]:
+        for symbol in PUNCTUATION:
+            if self.text.startswith(symbol, self.pos):
+                token = Token("PUNCT", symbol, self.pos)
+                self.pos += len(symbol)
+                return token
+        return None
+
+
+def tokenize(text: str) -> List[Token]:
+    return Lexer(text).tokens()

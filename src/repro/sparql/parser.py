@@ -1,0 +1,604 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (informal)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := (PREFIX PNAME: IRIREF)*
+    SelectQuery  := SELECT [DISTINCT] (Var+ | '*' | Projection+) WhereClause
+                    [GROUP BY Var+] Modifiers
+    Projection   := Var | '(' Aggregate '(' ('*' | [DISTINCT] Var) ')' AS Var ')'
+    Aggregate    := COUNT | SUM | AVG | MIN | MAX | SAMPLE
+    AskQuery     := ASK WhereClause
+    WhereClause  := [WHERE] GroupPattern
+    GroupPattern := '{' (TriplesBlock | Filter | Optional | UnionGroup
+                         | Values | SubSelect | Bind | Minus)* '}'
+    Filter       := FILTER ( '(' Expr ')' | [NOT] EXISTS GroupPattern | Builtin )
+    Bind         := BIND '(' Expr AS Var ')'
+    Minus        := MINUS GroupPattern
+    Modifiers    := [ORDER BY (Var | ASC/DESC '(' Var ')')+] [LIMIT n] [OFFSET n]
+
+Triple blocks support ``;`` (same subject) and ``,`` (same subject and
+predicate) abbreviations and the ``a`` keyword for ``rdf:type``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.namespace import RDF_TYPE, WELL_KNOWN_PREFIXES
+from ..rdf.term import (
+    BNode,
+    GroundTerm,
+    IRI,
+    Literal,
+    PatternTerm,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from ..rdf.triple import TriplePattern
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    BindElement,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+)
+from .expressions import (
+    ArithmeticExpr,
+    BooleanExpr,
+    CompareExpr,
+    ExistsExpr,
+    Expression,
+    FunctionExpr,
+    InExpr,
+    NotExpr,
+    TermExpr,
+)
+from .lexer import SparqlSyntaxError, Token, tokenize
+
+_BUILTIN_FUNCTIONS = {
+    "BOUND", "STR", "LANG", "DATATYPE", "REGEX", "CONTAINS", "STRSTARTS",
+    "STRENDS", "LCASE", "UCASE", "STRLEN", "ISIRI", "ISURI", "ISLITERAL",
+    "ISBLANK", "SAMETERM", "IF", "COALESCE",
+}
+
+
+class Parser:
+    def __init__(self, text: str, extra_prefixes: Optional[Dict[str, str]] = None):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.prefixes: Dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+        if extra_prefixes:
+            self.prefixes.update(extra_prefixes)
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        token = self.peek()
+        return SparqlSyntaxError(f"at token {token.value!r}: {message}")
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in keywords:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise self.error(f"expected {keyword}")
+
+    def accept_punct(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> None:
+        if not self.accept_punct(symbol):
+            raise self.error(f"expected {symbol!r}")
+
+    # -- entry point -----------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._parse_prologue()
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "SELECT":
+            query = self._parse_select()
+        elif token.kind == "KEYWORD" and token.value == "ASK":
+            query = self._parse_ask()
+        else:
+            raise self.error("expected SELECT or ASK")
+        if self.peek().kind != "EOF":
+            raise self.error("trailing content after query")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self.accept_keyword("PREFIX"):
+            name_token = self.advance()
+            if name_token.kind != "PNAME":
+                raise self.error("expected prefix name")
+            prefix = name_token.value.split(":", 1)[0]
+            iri_token = self.advance()
+            if iri_token.kind != "IRIREF":
+                raise self.error("expected IRI in PREFIX declaration")
+            self.prefixes[prefix] = iri_token.value
+
+    # -- query forms -----------------------------------------------------
+
+    def _parse_select(self, allow_modifiers: bool = True) -> Query:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT") or self.accept_keyword("REDUCED"))
+        select_variables: Optional[List[Variable]] = None
+        aggregates: List[Aggregate] = []
+        if self.accept_punct("*"):
+            select_variables = None
+        else:
+            select_variables = []
+            while True:
+                token = self.peek()
+                if token.kind == "VAR":
+                    self.advance()
+                    select_variables.append(Variable(token.value))
+                elif token.kind == "PUNCT" and token.value == "(":
+                    aggregates.append(self._parse_aggregate())
+                else:
+                    break
+            if not select_variables and not aggregates:
+                raise self.error("SELECT needs a projection")
+        where = self._parse_where_clause()
+        group_by: List[Variable] = []
+        order_by: List[Tuple[Variable, bool]] = []
+        limit: Optional[int] = None
+        offset = 0
+        if allow_modifiers:
+            group_by = self._parse_group_by()
+            order_by, limit, offset = self._parse_modifiers()
+        return Query(
+            form="SELECT",
+            where=where,
+            select_variables=select_variables,
+            aggregates=aggregates,
+            distinct=distinct,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_aggregate(self) -> Aggregate:
+        self.expect_punct("(")
+        function = self.accept_keyword(*AGGREGATE_FUNCTIONS)
+        if function is None:
+            raise self.error("expected an aggregate function")
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        argument: Optional[Variable] = None
+        if self.accept_punct("*"):
+            if function != "COUNT":
+                raise self.error(f"{function}(*) is not valid SPARQL")
+        else:
+            token = self.advance()
+            if token.kind != "VAR":
+                raise self.error("aggregate argument must be * or a variable")
+            argument = Variable(token.value)
+        self.expect_punct(")")
+        self.expect_keyword("AS")
+        alias_token = self.advance()
+        if alias_token.kind != "VAR":
+            raise self.error("expected alias variable after AS")
+        self.expect_punct(")")
+        return Aggregate(function, argument, Variable(alias_token.value), distinct)
+
+    def _parse_ask(self) -> Query:
+        self.expect_keyword("ASK")
+        where = self._parse_where_clause()
+        return Query(form="ASK", where=where)
+
+    def _parse_where_clause(self) -> GroupPattern:
+        self.accept_keyword("WHERE")
+        return self._parse_group()
+
+    def _parse_group_by(self) -> List[Variable]:
+        group_by: List[Variable] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while self.peek().kind == "VAR":
+                group_by.append(Variable(self.advance().value))
+            if not group_by:
+                raise self.error("empty GROUP BY")
+        return group_by
+
+    def _parse_modifiers(self) -> Tuple[List[Tuple[Variable, bool]], Optional[int], int]:
+        order_by: List[Tuple[Variable, bool]] = []
+        limit: Optional[int] = None
+        offset = 0
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                token = self.peek()
+                if token.kind == "VAR":
+                    self.advance()
+                    order_by.append((Variable(token.value), True))
+                elif token.kind == "KEYWORD" and token.value in ("ASC", "DESC"):
+                    ascending = token.value == "ASC"
+                    self.advance()
+                    self.expect_punct("(")
+                    var_token = self.advance()
+                    if var_token.kind != "VAR":
+                        raise self.error("ORDER BY needs a variable")
+                    self.expect_punct(")")
+                    order_by.append((Variable(var_token.value), ascending))
+                else:
+                    break
+            if not order_by:
+                raise self.error("empty ORDER BY")
+        while True:
+            if self.accept_keyword("LIMIT"):
+                token = self.advance()
+                if token.kind != "INTEGER":
+                    raise self.error("LIMIT needs an integer")
+                limit = int(token.value)
+            elif self.accept_keyword("OFFSET"):
+                token = self.advance()
+                if token.kind != "INTEGER":
+                    raise self.error("OFFSET needs an integer")
+                offset = int(token.value)
+            else:
+                break
+        return order_by, limit, offset
+
+    # -- group patterns ----------------------------------------------------
+
+    def _parse_group(self) -> GroupPattern:
+        self.expect_punct("{")
+        group = GroupPattern()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value == "}":
+                self.advance()
+                return group
+            if token.kind == "EOF":
+                raise self.error("unterminated group pattern")
+            if token.kind == "KEYWORD" and token.value == "FILTER":
+                self.advance()
+                group.filters.append(self._parse_filter_body())
+                self.accept_punct(".")
+                continue
+            if token.kind == "KEYWORD" and token.value == "OPTIONAL":
+                self.advance()
+                group.elements.append(OptionalPattern(self._parse_group()))
+                self.accept_punct(".")
+                continue
+            if token.kind == "KEYWORD" and token.value == "VALUES":
+                self.advance()
+                group.elements.append(self._parse_values())
+                self.accept_punct(".")
+                continue
+            if token.kind == "KEYWORD" and token.value == "BIND":
+                self.advance()
+                self.expect_punct("(")
+                expression = self._parse_expression()
+                self.expect_keyword("AS")
+                var_token = self.advance()
+                if var_token.kind != "VAR":
+                    raise self.error("BIND needs a target variable")
+                self.expect_punct(")")
+                group.elements.append(
+                    BindElement(expression, Variable(var_token.value))
+                )
+                self.accept_punct(".")
+                continue
+            if token.kind == "KEYWORD" and token.value == "MINUS":
+                self.advance()
+                group.elements.append(MinusPattern(self._parse_group()))
+                self.accept_punct(".")
+                continue
+            if token.kind == "PUNCT" and token.value == "{":
+                # Either a nested group (possibly a UNION chain) or grouping.
+                element = self._parse_group_or_union()
+                group.elements.append(element)
+                self.accept_punct(".")
+                continue
+            if token.kind == "KEYWORD" and token.value == "SELECT":
+                subquery = self._parse_select(allow_modifiers=False)
+                subquery.group_by = self._parse_group_by()
+                order_by, limit, offset = self._parse_modifiers()
+                subquery.order_by = order_by
+                subquery.limit = limit
+                subquery.offset = offset
+                group.elements.append(SubSelect(subquery))
+                self.accept_punct(".")
+                continue
+            # Otherwise: a triples block.
+            self._parse_triples_block(group)
+        # unreachable
+
+    def _parse_group_or_union(self):
+        first = self._parse_group()
+        if not (self.peek().kind == "KEYWORD" and self.peek().value == "UNION"):
+            return self._inline_or_wrap(first)
+        branches = [first]
+        while self.accept_keyword("UNION"):
+            branches.append(self._parse_group())
+        return UnionPattern(branches)
+
+    @staticmethod
+    def _inline_or_wrap(group: GroupPattern):
+        """Simplify a braced group that is not part of a UNION chain.
+
+        A group holding exactly one sub-SELECT unwraps to that SubSelect;
+        anything else is kept as a single-branch union, which evaluates
+        identically while preserving the nested filter scope."""
+        if len(group.elements) == 1 and not group.filters and isinstance(
+            group.elements[0], SubSelect
+        ):
+            return group.elements[0]
+        return UnionPattern([group])
+
+    def _parse_values(self) -> ValuesBlock:
+        token = self.peek()
+        variables: List[Variable] = []
+        if token.kind == "VAR":
+            self.advance()
+            variables.append(Variable(token.value))
+            single = True
+        else:
+            self.expect_punct("(")
+            while self.peek().kind == "VAR":
+                variables.append(Variable(self.advance().value))
+            self.expect_punct(")")
+            single = False
+        if not variables:
+            raise self.error("VALUES needs at least one variable")
+        self.expect_punct("{")
+        rows: List[Tuple[Optional[GroundTerm], ...]] = []
+        while not self.accept_punct("}"):
+            if single:
+                rows.append((self._parse_values_cell(),))
+            else:
+                self.expect_punct("(")
+                row: List[Optional[GroundTerm]] = []
+                while not self.accept_punct(")"):
+                    row.append(self._parse_values_cell())
+                if len(row) != len(variables):
+                    raise self.error("VALUES row arity mismatch")
+                rows.append(tuple(row))
+        return ValuesBlock(variables, rows)
+
+    def _parse_values_cell(self) -> Optional[GroundTerm]:
+        if self.accept_keyword("UNDEF"):
+            return None
+        term = self._parse_term(allow_variable=False)
+        return term  # type: ignore[return-value]
+
+    def _parse_triples_block(self, group: GroupPattern) -> None:
+        subject = self._parse_term(allow_variable=True)
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(allow_variable=True)
+                group.elements.append(TriplePattern(subject, predicate, obj))
+                if not self.accept_punct(","):
+                    break
+            if self.accept_punct(";"):
+                # allow trailing ';' before '.' or '}'
+                token = self.peek()
+                if token.kind == "PUNCT" and token.value in (".", "}"):
+                    break
+                continue
+            break
+        self.accept_punct(".")
+
+    def _parse_verb(self) -> PatternTerm:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "A":
+            self.advance()
+            return RDF_TYPE
+        return self._parse_term(allow_variable=True, verb=True)
+
+    def _parse_term(self, allow_variable: bool, verb: bool = False) -> PatternTerm:
+        token = self.peek()
+        if token.kind == "VAR":
+            if not allow_variable:
+                raise self.error("variable not allowed here")
+            self.advance()
+            return Variable(token.value)
+        if token.kind == "IRIREF":
+            self.advance()
+            return IRI(token.value)
+        if token.kind == "PNAME":
+            self.advance()
+            return self._expand_pname(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return self._parse_literal_suffix(token.value)
+        if token.kind == "INTEGER":
+            self.advance()
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "DECIMAL":
+            self.advance()
+            return Literal(token.value, datatype=XSD_DOUBLE)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        if token.kind == "NAME" and token.value.startswith("_"):
+            # blank node written as _:label is lexed as PNAME; a bare NAME
+            # starting with '_' is not valid — report clearly.
+            raise self.error("blank nodes must be written as _:label")
+        raise self.error("expected an RDF term")
+
+    def _expand_pname(self, pname: str):
+        prefix, _, local = pname.partition(":")
+        if prefix == "_":
+            return BNode(local)
+        base = self.prefixes.get(prefix)
+        if base is None:
+            raise self.error(f"undeclared prefix {prefix!r}")
+        return IRI(base + local)
+
+    def _parse_literal_suffix(self, body: str) -> Literal:
+        token = self.peek()
+        if token.kind == "LANGTAG":
+            self.advance()
+            return Literal(body, language=token.value)
+        if token.kind == "PUNCT" and token.value == "^^":
+            self.advance()
+            datatype = self._parse_term(allow_variable=False)
+            if not isinstance(datatype, IRI):
+                raise self.error("datatype must be an IRI")
+            return Literal(body, datatype=datatype.value)
+        return Literal(body)
+
+    # -- filters and expressions ------------------------------------------
+
+    def _parse_filter_body(self) -> Expression:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "NOT":
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ExistsExpr(self._parse_exists_group(), negated=True)
+        if token.kind == "KEYWORD" and token.value == "EXISTS":
+            self.advance()
+            return ExistsExpr(self._parse_exists_group(), negated=False)
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_punct(")")
+            return expr
+        if (token.kind == "NAME" and token.value.upper() in _BUILTIN_FUNCTIONS) or (
+            token.kind == "KEYWORD" and token.value in _BUILTIN_FUNCTIONS
+        ):
+            return self._parse_primary_expression()
+        raise self.error("expected filter expression")
+
+    def _parse_exists_group(self) -> GroupPattern:
+        """The body of (NOT) EXISTS; a nested SELECT is normalized into a
+        plain group (its WHERE clause), matching the Figure-5 check-query
+        shape where the sub-SELECT only narrows the projection."""
+        group = self._parse_group()
+        if len(group.elements) == 1 and isinstance(group.elements[0], SubSelect) and not group.filters:
+            return group.elements[0].query.where
+        return group
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept_punct("||"):
+            right = self._parse_and()
+            left = BooleanExpr("||", left, right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.accept_punct("&&"):
+            right = self._parse_relational()
+            left = BooleanExpr("&&", left, right)
+        return left
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in ("=", "!=", "<", ">", "<=", ">="):
+            self.advance()
+            right = self._parse_additive()
+            return CompareExpr(token.value, left, right)
+        if token.kind == "KEYWORD" and token.value == "IN":
+            self.advance()
+            return InExpr(left, self._parse_expression_list(), negated=False)
+        if token.kind == "KEYWORD" and token.value == "NOT":
+            self.advance()
+            self.expect_keyword("IN")
+            return InExpr(left, self._parse_expression_list(), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> List[Expression]:
+        self.expect_punct("(")
+        options: List[Expression] = []
+        if not self.accept_punct(")"):
+            options.append(self._parse_expression())
+            while self.accept_punct(","):
+                options.append(self._parse_expression())
+            self.expect_punct(")")
+        return options
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("+", "-"):
+                self.advance()
+                right = self._parse_multiplicative()
+                left = ArithmeticExpr(token.value, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("*", "/"):
+                self.advance()
+                right = self._parse_unary()
+                left = ArithmeticExpr(token.value, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self.accept_punct("!"):
+            return NotExpr(self._parse_unary())
+        if self.accept_punct("-"):
+            zero = TermExpr(Literal("0", datatype=XSD_INTEGER))
+            return ArithmeticExpr("-", zero, self._parse_unary())
+        if self.accept_punct("+"):
+            return self._parse_unary()
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "KEYWORD" and token.value == "NOT":
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ExistsExpr(self._parse_exists_group(), negated=True)
+        if token.kind == "KEYWORD" and token.value == "EXISTS":
+            self.advance()
+            return ExistsExpr(self._parse_exists_group(), negated=False)
+        if token.kind == "NAME" and token.value.upper() in _BUILTIN_FUNCTIONS:
+            name = token.value.upper()
+            self.advance()
+            return FunctionExpr(name, tuple(self._parse_expression_list()))
+        if token.kind == "KEYWORD" and token.value in _BUILTIN_FUNCTIONS:
+            self.advance()
+            return FunctionExpr(token.value, tuple(self._parse_expression_list()))
+        term = self._parse_term(allow_variable=True)
+        return TermExpr(term)
+
+
+def parse_query(text: str, prefixes: Optional[Dict[str, str]] = None) -> Query:
+    """Parse SPARQL text into a :class:`~repro.sparql.ast.Query`."""
+    return Parser(text, prefixes).parse_query()

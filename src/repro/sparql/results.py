@@ -1,0 +1,117 @@
+"""Solution sequences (result sets) for SELECT queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.term import GroundTerm, Variable
+
+Binding = Dict[Variable, GroundTerm]
+
+
+class ResultSet:
+    """An ordered bag of solutions over a fixed variable header.
+
+    Rows are tuples aligned with ``variables``; a ``None`` cell means the
+    variable is unbound in that solution (as produced by OPTIONAL).
+    """
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        rows: Optional[Iterable[Tuple[Optional[GroundTerm], ...]]] = None,
+    ):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.rows: List[Tuple[Optional[GroundTerm], ...]] = (
+            [] if rows is None else [tuple(row) for row in rows]
+        )
+        width = len(self.variables)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match header width {width}"
+                )
+
+    @classmethod
+    def from_bindings(
+        cls, variables: Sequence[Variable], bindings: Iterable[Binding]
+    ) -> "ResultSet":
+        header = tuple(variables)
+        rows = [tuple(binding.get(var) for var in header) for binding in bindings]
+        return cls(header, rows)
+
+    def bindings(self) -> Iterator[Binding]:
+        """Iterate solutions as dicts, skipping unbound cells."""
+        for row in self.rows:
+            yield {
+                var: value
+                for var, value in zip(self.variables, row)
+                if value is not None
+            }
+
+    def column(self, variable: Variable) -> List[Optional[GroundTerm]]:
+        index = self.variables.index(variable)
+        return [row[index] for row in self.rows]
+
+    def distinct_values(self, variable: Variable) -> set:
+        index = self.variables.index(variable)
+        return {row[index] for row in self.rows if row[index] is not None}
+
+    def project(self, variables: Sequence[Variable]) -> "ResultSet":
+        header = tuple(variables)
+        indexes = []
+        for var in header:
+            indexes.append(self.variables.index(var) if var in self.variables else None)
+        rows = [
+            tuple(row[i] if i is not None else None for i in indexes)
+            for row in self.rows
+        ]
+        return ResultSet(header, rows)
+
+    def distinct(self) -> "ResultSet":
+        seen = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return ResultSet(self.variables, rows)
+
+    def extended(self, rows: Iterable[Tuple[Optional[GroundTerm], ...]]) -> None:
+        width = len(self.variables)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ValueError("row width mismatch")
+            self.rows.append(row)
+
+    def estimated_bytes(self) -> int:
+        """Approximate serialized size, used for transfer accounting."""
+        total = 0
+        for row in self.rows:
+            for cell in row:
+                total += 6 if cell is None else len(cell.n3()) + 1
+        return total
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.variables == other.variables and sorted(
+            self.rows, key=_row_key
+        ) == sorted(other.rows, key=_row_key)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.n3() for v in self.variables)
+        return f"ResultSet([{names}], {len(self.rows)} rows)"
+
+
+def _row_key(row: Tuple[Optional[GroundTerm], ...]):
+    return tuple(("",) if cell is None else cell.sort_key() for cell in row)

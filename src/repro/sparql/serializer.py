@@ -1,0 +1,97 @@
+"""Serialize query ASTs back to SPARQL text.
+
+The federation layer composes subqueries as ASTs and ships them to the
+endpoints as *text*, exactly like a real federated engine talking to
+remote SPARQL endpoints.  Serialized text uses absolute IRIs so it needs
+no prologue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.triple import TriplePattern
+from .ast import (
+    BindElement,
+    GroupPattern,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+)
+
+
+def serialize_query(query: Query) -> str:
+    parts: List[str] = []
+    if query.form == "ASK":
+        parts.append("ASK")
+    else:
+        projection: List[str] = []
+        if query.select_variables is None:
+            projection.append("*")
+        else:
+            projection.extend(v.n3() for v in query.select_variables)
+        for aggregate in query.aggregates:
+            inner = "*" if aggregate.argument is None else aggregate.argument.n3()
+            if aggregate.distinct:
+                inner = f"DISTINCT {inner}"
+            projection.append(f"({aggregate.function}({inner}) AS {aggregate.alias.n3()})")
+        distinct = "DISTINCT " if query.distinct else ""
+        parts.append(f"SELECT {distinct}{' '.join(projection)}")
+    parts.append("WHERE " + serialize_group(query.where))
+    if query.group_by:
+        parts.append("GROUP BY " + " ".join(v.n3() for v in query.group_by))
+    if query.order_by:
+        keys = " ".join(
+            var.n3() if ascending else f"DESC({var.n3()})"
+            for var, ascending in query.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def serialize_group(group: GroupPattern) -> str:
+    parts: List[str] = ["{"]
+    for element in group.elements:
+        parts.append(_serialize_element(element))
+    for filter_expr in group.filters:
+        body = filter_expr.to_sparql()
+        if body.startswith(("EXISTS", "NOT EXISTS")):
+            parts.append(f"FILTER {body} .")
+        else:
+            parts.append(f"FILTER ({body}) .")
+    parts.append("}")
+    return " ".join(parts)
+
+
+def _serialize_element(element) -> str:
+    if isinstance(element, TriplePattern):
+        return element.n3()
+    if isinstance(element, OptionalPattern):
+        return "OPTIONAL " + serialize_group(element.group)
+    if isinstance(element, UnionPattern):
+        return " UNION ".join(serialize_group(branch) for branch in element.branches)
+    if isinstance(element, ValuesBlock):
+        return _serialize_values(element)
+    if isinstance(element, SubSelect):
+        return "{ " + serialize_query(element.query) + " }"
+    if isinstance(element, BindElement):
+        return f"BIND({element.expression.to_sparql()} AS {element.variable.n3()}) ."
+    if isinstance(element, MinusPattern):
+        return "MINUS " + serialize_group(element.group)
+    raise TypeError(f"cannot serialize {element!r}")
+
+
+def _serialize_values(values: ValuesBlock) -> str:
+    header = " ".join(v.n3() for v in values.variables)
+    rows: List[str] = []
+    for row in values.rows:
+        cells = " ".join("UNDEF" if cell is None else cell.n3() for cell in row)
+        rows.append(f"({cells})")
+    return f"VALUES ({header}) {{ {' '.join(rows)} }}"

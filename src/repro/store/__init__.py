@@ -1,0 +1,11 @@
+"""In-memory indexed triple store and statistics summaries."""
+
+from .stats import AuthoritySummary, PredicateStats, VoidDescription
+from .triplestore import TripleStore
+
+__all__ = [
+    "AuthoritySummary",
+    "PredicateStats",
+    "TripleStore",
+    "VoidDescription",
+]

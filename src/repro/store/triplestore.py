@@ -1,0 +1,243 @@
+"""An in-memory triple store with three-way nested-hash indexes.
+
+The store keeps SPO, POS, and OSP indexes so that every triple-pattern
+shape resolves with at most one dictionary walk plus iteration over the
+matching leaves.  Per-predicate counts are maintained incrementally —
+these are exactly the "lightweight per-triple statistics" the paper's
+cost model relies on (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from ..rdf.term import GroundTerm, Variable
+from ..rdf.triple import Triple, TriplePattern
+
+_Index = Dict[GroundTerm, Dict[GroundTerm, Set[GroundTerm]]]
+
+
+def _index_add(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) -> None:
+    level_b = index.get(a)
+    if level_b is None:
+        return
+    level_c = level_b.get(b)
+    if level_c is None:
+        return
+    level_c.discard(c)
+    if not level_c:
+        del level_b[b]
+        if not level_b:
+            del index[a]
+
+
+class TripleStore:
+    """Indexed set of ground triples with pattern matching and counting."""
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self._predicate_counts: Dict[GroundTerm, int] = {}
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; return ``True`` if it was not already present."""
+        s, p, o = triple.subject, triple.predicate, triple.object
+        existing = self._spo.get(s, {}).get(p)
+        if existing is not None and o in existing:
+            return False
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        self._predicate_counts[p] = self._predicate_counts.get(p, 0) + 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        inserted = 0
+        for triple in triples:
+            if self.add(triple):
+                inserted += 1
+        return inserted
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; return ``True`` if it was present."""
+        s, p, o = triple.subject, triple.predicate, triple.object
+        existing = self._spo.get(s, {}).get(p)
+        if existing is None or o not in existing:
+            return False
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        self._size -= 1
+        remaining = self._predicate_counts[p] - 1
+        if remaining:
+            self._predicate_counts[p] = remaining
+        else:
+            del self._predicate_counts[p]
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        objects = self._spo.get(triple.subject, {}).get(triple.predicate)
+        return objects is not None and triple.object in objects
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def triples(self) -> Iterator[Triple]:
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Yield all triples matching the pattern.
+
+        Terms that are :class:`Variable` act as wildcards; a variable used
+        in two positions additionally forces those positions to be equal.
+        """
+        s = None if isinstance(pattern.subject, Variable) else pattern.subject
+        p = None if isinstance(pattern.predicate, Variable) else pattern.predicate
+        o = None if isinstance(pattern.object, Variable) else pattern.object
+        for triple in self._match_raw(s, p, o):
+            if pattern.matches(triple) is not None:
+                yield triple
+
+    def _match_raw(
+        self,
+        s: Optional[GroundTerm],
+        p: Optional[GroundTerm],
+        o: Optional[GroundTerm],
+    ) -> Iterator[Triple]:
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            if o is not None:
+                predicates = self._osp.get(o, {}).get(s)
+                if predicates is None:
+                    return
+                for pred in predicates:
+                    yield Triple(s, pred, o)
+                return
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                subjects = by_object.get(o)
+                if subjects is None:
+                    return
+                for subj in subjects:
+                    yield Triple(subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield Triple(subj, pred, o)
+            return
+        yield from self.triples()
+
+    def count(self, pattern: TriplePattern) -> int:
+        """Count triples matching the pattern.
+
+        Fast paths avoid materializing matches for the common shapes used
+        by the cost model (fully unbound, predicate-bound, etc.).
+        """
+        s_var = isinstance(pattern.subject, Variable)
+        p_var = isinstance(pattern.predicate, Variable)
+        o_var = isinstance(pattern.object, Variable)
+        distinct_vars = len(pattern.variables())
+        bound_count = 3 - (s_var + p_var + o_var)
+        # Repeated variables force equality constraints; fall back to scan.
+        if distinct_vars != (3 - bound_count):
+            return sum(1 for _ in self.match(pattern))
+        if s_var and p_var and o_var:
+            return self._size
+        if not s_var and not p_var and not o_var:
+            return 1 if Triple(pattern.subject, pattern.predicate, pattern.object) in self else 0
+        if s_var and o_var:  # only predicate bound
+            return self._predicate_counts.get(pattern.predicate, 0)
+        if p_var and o_var:  # only subject bound
+            by_predicate = self._spo.get(pattern.subject, {})
+            return sum(len(objects) for objects in by_predicate.values())
+        if s_var and p_var:  # only object bound
+            by_subject = self._osp.get(pattern.object, {})
+            return sum(len(predicates) for predicates in by_subject.values())
+        if s_var:  # predicate and object bound
+            return len(self._pos.get(pattern.predicate, {}).get(pattern.object, ()))
+        if o_var:  # subject and predicate bound
+            return len(self._spo.get(pattern.subject, {}).get(pattern.predicate, ()))
+        # subject and object bound, predicate free
+        return len(self._osp.get(pattern.object, {}).get(pattern.subject, ()))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def predicates(self) -> Set[GroundTerm]:
+        return set(self._predicate_counts)
+
+    def predicate_count(self, predicate: GroundTerm) -> int:
+        return self._predicate_counts.get(predicate, 0)
+
+    def subjects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
+        if predicate is None:
+            return set(self._spo)
+        return {
+            subj
+            for subjects in self._pos.get(predicate, {}).values()
+            for subj in subjects
+        }
+
+    def objects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
+        if predicate is None:
+            return set(self._osp)
+        return set(self._pos.get(predicate, {}))
+
+    def distinct_subject_count(self, predicate: GroundTerm) -> int:
+        return len(self.subjects(predicate))
+
+    def distinct_object_count(self, predicate: GroundTerm) -> int:
+        return len(self._pos.get(predicate, {}))

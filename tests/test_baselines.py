@@ -1,0 +1,203 @@
+"""Tests for the baseline engines: FedX, SPLENDID, HiBISCuS.
+
+All engines must return the same answers on the paper's running example;
+their *cost profiles* must differ in the paper's direction (FedX sends
+far more requests than Lusail on same-schema endpoints)."""
+
+import pytest
+
+from repro.baselines import FedXEngine, HibiscusEngine, SplendidEngine
+from repro.core import LusailEngine
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
+from repro.federation import Federation
+from repro.rdf import IRI, Triple, parse as nt_parse
+
+from .conftest import QA_EXPECTED, QUERY_QA, build_paper_federation, result_values
+
+ENGINES = [FedXEngine, SplendidEngine, HibiscusEngine]
+
+
+@pytest.fixture
+def federation():
+    return build_paper_federation()
+
+
+class TestCorrectnessParity:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_qa_answers(self, federation, engine_cls):
+        engine = engine_cls(federation)
+        outcome = engine.execute(QUERY_QA)
+        assert outcome.status == "OK", outcome.error
+        assert result_values(outcome.result) == QA_EXPECTED
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_ask_query(self, federation, engine_cls):
+        ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+        outcome = engine_cls(federation).execute(
+            f"ASK {{ ?s <{ub}advisor> ?p }}"
+        )
+        assert outcome.status == "OK"
+        assert outcome.boolean is True
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_empty_answer(self, federation, engine_cls):
+        outcome = engine_cls(federation).execute(
+            "SELECT ?s WHERE { ?s <http://no/such/predicate> ?o }"
+        )
+        assert outcome.status == "OK"
+        assert len(outcome.result) == 0
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_filter_and_limit(self, federation, engine_cls):
+        ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+        query = (
+            f"SELECT ?u ?a WHERE {{ ?u <{ub}address> ?a . "
+            f'FILTER regex(?a, "X") }} LIMIT 1'
+        )
+        outcome = engine_cls(federation).execute(query)
+        assert outcome.status == "OK", outcome.error
+        assert len(outcome.result) == 1
+        assert result_values(outcome.result) == {("http://mit.edu/MIT", "XXX")}
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_optional(self, federation, engine_cls):
+        ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+        rdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        query = (
+            f"SELECT ?p ?u WHERE {{ ?p <{rdf}> <{ub}AssociateProfessor> . "
+            f"OPTIONAL {{ ?p <{ub}PhDDegreeFrom> ?u }} }}"
+        )
+        outcome = engine_cls(federation).execute(query)
+        assert outcome.status == "OK", outcome.error
+        values = result_values(outcome.result)
+        # Ann has no PhD triple -> unbound ?u
+        assert ("http://mit.edu/Ann", None) in values
+        assert ("http://cmu.edu/Tim", "http://mit.edu/MIT") in values
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_union(self, federation, engine_cls):
+        ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+        query = (
+            f"SELECT ?x WHERE {{ {{ ?x <{ub}teacherOf> ?c }} UNION "
+            f"{{ ?x <{ub}address> ?a }} }}"
+        )
+        outcome = engine_cls(federation).execute(query)
+        assert outcome.status == "OK", outcome.error
+        names = {row[0] for row in result_values(outcome.result)}
+        assert "http://mit.edu/Ben" in names
+        assert "http://cmu.edu/CMU" in names
+
+
+class TestCostProfiles:
+    def test_fedx_sends_more_requests_than_lusail(self):
+        """Same-schema endpoints: FedX finds no exclusive groups and
+        bound-joins pattern by pattern; Lusail ships whole subqueries.
+        (Figure 9's effect — needs realistic data volume, so LUBM.)"""
+        from repro.datasets.lubm import LubmGenerator, QUERY_Q2
+
+        federation = LubmGenerator(universities=2).build_federation()
+        fedx_engine = FedXEngine(federation)
+        lusail_engine = LusailEngine(federation)
+        # warm both engines' source-selection / check caches, as the paper
+        # does ("all systems are allowed to cache ... source selection")
+        fedx_engine.execute(QUERY_Q2)
+        lusail_engine.execute(QUERY_Q2)
+        fedx = fedx_engine.execute(QUERY_Q2)
+        lusail = lusail_engine.execute(QUERY_Q2)
+        assert fedx.status == lusail.status == "OK"
+        assert fedx.metrics.requests > 10 * lusail.metrics.requests
+
+    def test_fedx_timeout_reported(self, federation):
+        outcome = FedXEngine(federation).execute(QUERY_QA, timeout_seconds=1e-9)
+        assert outcome.status == "TO"
+
+    def test_fedx_memory_limit_reported(self, federation):
+        outcome = FedXEngine(federation).execute(
+            QUERY_QA, max_intermediate_rows=1
+        )
+        assert outcome.status == "OOM"
+
+
+class TestSplendidIndex:
+    def test_preprocessing_time_scales_with_data(self):
+        small = build_paper_federation()
+        engine = SplendidEngine(small)
+        seconds_small = engine.preprocess()
+        bigger = Federation(
+            [
+                LocalEndpoint.from_triples(
+                    "big",
+                    [
+                        Triple(
+                            IRI(f"http://x/s{i}"),
+                            IRI("http://x/p"),
+                            IRI(f"http://x/o{i}"),
+                        )
+                        for i in range(5000)
+                    ],
+                )
+            ],
+            network=LOCAL_CLUSTER,
+        )
+        seconds_big = SplendidEngine(bigger).preprocess()
+        assert seconds_big > seconds_small
+
+    def test_index_source_selection_avoids_asks(self, federation):
+        engine = SplendidEngine(federation)
+        engine.preprocess()
+        outcome = engine.execute(QUERY_QA)
+        assert outcome.status == "OK"
+        # all patterns have unbound subject/object -> no ASKs at all
+        assert outcome.metrics.ask_requests == 0
+
+    def test_estimates_reflect_predicate_counts(self, federation):
+        from repro.rdf import TriplePattern, UB, Variable
+
+        engine = SplendidEngine(federation)
+        engine.preprocess()
+        advisor = TriplePattern(Variable("s"), UB.advisor, Variable("p"))
+        # ep1 has 2 advisor edges (Lee, Sam), ep2 has 2 (Kim twice)
+        assert engine.estimate(advisor, ["ep1", "ep2"]) == 4
+
+
+class TestHibiscusPruning:
+    def test_prunes_disjoint_authorities(self):
+        """drug->target at ep_a only links ep_a authorities; ep_b's version
+        links ep_b authorities; a join through a bound ep_a URI prunes
+        ep_b."""
+        ep_a = """
+        <http://a.org/d1> <http://v/target> <http://a.org/t1> .
+        <http://a.org/t1> <http://v/name> "T1" .
+        """
+        ep_b = """
+        <http://b.org/d9> <http://v/target> <http://b.org/t9> .
+        <http://b.org/t9> <http://v/name> "T9" .
+        """
+        federation = Federation(
+            [
+                LocalEndpoint.from_triples("ep_a", nt_parse(ep_a)),
+                LocalEndpoint.from_triples("ep_b", nt_parse(ep_b)),
+            ],
+            network=LOCAL_CLUSTER,
+        )
+        hibiscus = HibiscusEngine(federation)
+        hibiscus.preprocess()
+        fedx = FedXEngine(federation)
+        query = (
+            "SELECT ?t ?n WHERE { <http://a.org/d1> <http://v/target> ?t . "
+            "?t <http://v/name> ?n }"
+        )
+        outcome_h = hibiscus.execute(query)
+        outcome_f = fedx.execute(query)
+        assert outcome_h.status == outcome_f.status == "OK"
+        assert result_values(outcome_h.result) == result_values(outcome_f.result)
+        assert outcome_h.metrics.select_requests <= outcome_f.metrics.select_requests
+
+    def test_no_pruning_when_authorities_overlap(self, federation):
+        """LUBM-style interlinks share authorities: HiBISCuS keeps all
+        sources and behaves like FedX."""
+        hibiscus = HibiscusEngine(federation)
+        hibiscus.preprocess()
+        outcome = hibiscus.execute(QUERY_QA)
+        assert outcome.status == "OK"
+        assert result_values(outcome.result) == QA_EXPECTED

@@ -1,0 +1,170 @@
+"""Tests for the experiment harness and table rendering."""
+
+import pytest
+
+from repro.bench import (
+    QueryRun,
+    build_engines,
+    format_runs,
+    format_table,
+    run_query,
+    run_suite,
+    runs_to_matrix,
+    summarize_by_category,
+)
+from repro.core import LusailEngine
+
+from .conftest import QUERY_QA, build_paper_federation
+
+
+def make_run(**overrides):
+    defaults = dict(
+        benchmark="B", query="Q1", system="Lusail", status="OK", rows=3,
+        runtime_seconds=1.234, requests=10, bytes_sent=100, bytes_received=200,
+    )
+    defaults.update(overrides)
+    return QueryRun(**defaults)
+
+
+class TestQueryRun:
+    def test_runtime_display_ok(self):
+        assert make_run(runtime_seconds=1.234).runtime_display == "1.23"
+        assert make_run(runtime_seconds=0.001234).runtime_display == "0.0012"
+        assert make_run(runtime_seconds=250.0).runtime_display == "250"
+
+    def test_runtime_display_failure(self):
+        assert make_run(status="TO").runtime_display == "TO"
+        assert make_run(status="OOM").runtime_display == "OOM"
+
+
+class TestBuildEngines:
+    def test_all_systems(self):
+        federation = build_paper_federation()
+        engines = build_engines(federation)
+        assert set(engines) == {"Lusail", "FedX", "HiBISCuS", "SPLENDID"}
+        # index-based systems come preprocessed
+        assert engines["SPLENDID"].index is not None
+        assert engines["HiBISCuS"].summaries is not None
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_engines(build_paper_federation(), systems=("Virtuoso",))
+
+    def test_lusail_options_forwarded(self):
+        engines = build_engines(
+            build_paper_federation(),
+            systems=("Lusail",),
+            lusail_options={"enable_sape": False},
+        )
+        assert engines["Lusail"].enable_sape is False
+
+
+class TestRunQuery:
+    def test_records_metrics(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        run = run_query(engine, "paper", "Qa", QUERY_QA)
+        assert run.status == "OK"
+        assert run.rows == 3
+        assert run.requests > 0
+        assert run.system == "Lusail"
+        assert "execution" in run.phase_seconds
+
+    def test_warm_run_reports_cached_execution(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        cold = run_query(engine, "paper", "Qa", QUERY_QA, warm=False)
+        warm = run_query(engine, "paper", "Qa", QUERY_QA, warm=True)
+        assert warm.requests <= cold.requests
+
+    def test_failure_status_propagates(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        run = run_query(
+            engine, "paper", "Qa", QUERY_QA, timeout_seconds=1e-12, warm=False
+        )
+        assert run.status == "TO"
+
+
+class TestRunSuite:
+    def test_every_system_runs_every_query(self):
+        federation = build_paper_federation()
+        runs = run_suite(
+            federation, {"Qa": QUERY_QA}, "paper", systems=("Lusail", "FedX")
+        )
+        assert {(r.system, r.query) for r in runs} == {
+            ("Lusail", "Qa"), ("FedX", "Qa"),
+        }
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}],
+            ["a", "b"],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6
+
+    def test_matrix_pivot(self):
+        runs = [
+            make_run(system="Lusail", runtime_seconds=1.0),
+            make_run(system="FedX", status="TO"),
+        ]
+        matrix = runs_to_matrix(runs, value="runtime")
+        assert matrix == [{"query": "Q1", "Lusail": "1.00", "FedX": "TO"}]
+
+    def test_matrix_requests(self):
+        runs = [make_run(requests=42)]
+        matrix = runs_to_matrix(runs, value="requests")
+        assert matrix[0]["Lusail"] == 42
+
+    def test_matrix_includes_benchmark_when_mixed(self):
+        runs = [make_run(benchmark="A"), make_run(benchmark="B")]
+        matrix = runs_to_matrix(runs)
+        assert all("benchmark" in row for row in matrix)
+
+    def test_matrix_rejects_unknown_value(self):
+        with pytest.raises(ValueError):
+            runs_to_matrix([make_run()], value="latency")
+
+    def test_format_runs_smoke(self):
+        text = format_runs([make_run()], "Title")
+        assert "Title" in text and "Lusail" in text
+
+    def test_summarize_by_category(self):
+        runs = [
+            make_run(query="S1", runtime_seconds=1.0),
+            make_run(query="S2", runtime_seconds=2.0),
+            make_run(query="C1", runtime_seconds=5.0),
+        ]
+        rows = summarize_by_category(
+            runs, {"S1": "simple", "S2": "simple", "C1": "complex"}
+        )
+        totals = {(r["system"], r["category"]): r["total_runtime_s"] for r in rows}
+        assert totals[("Lusail", "simple")] == pytest.approx(3.0)
+        assert totals[("Lusail", "complex")] == pytest.approx(5.0)
+
+
+class TestCli:
+    def test_list_experiments(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig9" in output and "table2" in output
+
+    def test_unknown_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["-e", "fig99"]) == 2
+
+    def test_run_table1(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["-e", "table1", "--scale", "0.3"]) == 0
+        output = capsys.readouterr().out
+        assert "QFed" in output and "LargeRDFBench" in output

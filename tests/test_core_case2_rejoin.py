@@ -1,0 +1,98 @@
+"""Tests for §3.3 Case 2: cross-endpoint re-join of a single subquery.
+
+The paper's example: EP1 holds <a1,p,b>, <b,q,c1>; EP2 holds <a2,p,b>,
+<b,q,c2>.  ?y is a *local* join variable (the set-difference checks are
+empty at both endpoints), so <?x p ?y> and <?y q ?z> share a subquery —
+but the correct federated answer also contains the cross-endpoint rows
+(a1,b,c2) and (a2,b,c1), which Lusail recovers by re-joining per-pattern
+projections at the server."""
+
+import pytest
+
+from repro.core import LusailEngine
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
+from repro.federation import Federation
+from repro.rdf import parse as nt_parse
+
+from .conftest import result_values
+
+EP1 = """
+<http://x/a1> <http://p> <http://shared/b> .
+<http://shared/b> <http://q> <http://x/c1> .
+"""
+EP2 = """
+<http://x/a2> <http://p> <http://shared/b> .
+<http://shared/b> <http://q> <http://x/c2> .
+"""
+
+QUERY = "SELECT ?x ?y ?z WHERE { ?x <http://p> ?y . ?y <http://q> ?z . }"
+
+EXPECTED = {
+    ("http://x/a1", "http://shared/b", "http://x/c1"),
+    ("http://x/a1", "http://shared/b", "http://x/c2"),
+    ("http://x/a2", "http://shared/b", "http://x/c1"),
+    ("http://x/a2", "http://shared/b", "http://x/c2"),
+}
+
+
+@pytest.fixture
+def federation():
+    return Federation(
+        [
+            LocalEndpoint.from_triples("ep1", nt_parse(EP1)),
+            LocalEndpoint.from_triples("ep2", nt_parse(EP2)),
+        ],
+        network=LOCAL_CLUSTER,
+    )
+
+
+class TestCase2:
+    def test_variable_is_local_single_subquery(self, federation):
+        engine = LusailEngine(federation)
+        subqueries = engine.explain(QUERY)
+        assert len(subqueries) == 1
+        assert len(subqueries[0].patterns) == 2
+
+    def test_cross_endpoint_rows_recovered(self, federation):
+        engine = LusailEngine(federation)
+        outcome = engine.execute(QUERY)
+        assert outcome.status == "OK", outcome.error
+        assert result_values(outcome.result) == EXPECTED
+
+    def test_no_overlap_means_plain_union(self):
+        """When binding values never overlap across endpoints, the result
+        is the plain union of local answers (no spurious rows)."""
+        ep1 = """
+        <http://x/a1> <http://p> <http://x/b1> .
+        <http://x/b1> <http://q> <http://x/c1> .
+        """
+        ep2 = """
+        <http://x/a2> <http://p> <http://x/b2> .
+        <http://x/b2> <http://q> <http://x/c2> .
+        """
+        federation = Federation(
+            [
+                LocalEndpoint.from_triples("ep1", nt_parse(ep1)),
+                LocalEndpoint.from_triples("ep2", nt_parse(ep2)),
+            ],
+            network=LOCAL_CLUSTER,
+        )
+        outcome = LusailEngine(federation).execute(QUERY)
+        assert outcome.status == "OK"
+        assert result_values(outcome.result) == {
+            ("http://x/a1", "http://x/b1", "http://x/c1"),
+            ("http://x/a2", "http://x/b2", "http://x/c2"),
+        }
+
+    def test_rejoin_respects_filters(self, federation):
+        query = (
+            "SELECT ?x ?y ?z WHERE { ?x <http://p> ?y . ?y <http://q> ?z . "
+            'FILTER(STR(?z) != "http://x/c2") }'
+        )
+        outcome = LusailEngine(federation).execute(query)
+        assert outcome.status == "OK", outcome.error
+        values = result_values(outcome.result)
+        assert values == {
+            ("http://x/a1", "http://shared/b", "http://x/c1"),
+            ("http://x/a2", "http://shared/b", "http://x/c1"),
+        }

@@ -1,0 +1,160 @@
+"""Unit tests for Algorithm 2 (query decomposition)."""
+
+import pytest
+
+from repro.core.decomposer import Decomposer, QueryGraph, _connected_components, compute_projections
+from repro.core.gjv import GJVReport
+from repro.core.subquery import Subquery
+from repro.rdf import IRI, TriplePattern, Variable
+
+P = lambda n: IRI(f"http://x/{n}")
+V = lambda n: Variable(n)
+
+# a chain: ?a p ?b . ?b q ?c . ?c r ?d
+CHAIN = [
+    TriplePattern(V("a"), P("p"), V("b")),
+    TriplePattern(V("b"), P("q"), V("c")),
+    TriplePattern(V("c"), P("r"), V("d")),
+]
+
+
+def uniform_selection(patterns, sources=("ep1", "ep2")):
+    return {p: tuple(sources) for p in patterns}
+
+
+class TestQueryGraph:
+    def test_edges_connect_subject_and_object(self):
+        graph = QueryGraph(CHAIN)
+        assert len(graph.edges(V("b"))) == 2
+        assert len(graph.edges(V("a"))) == 1
+        assert len(graph.edges(V("d"))) == 1
+
+    def test_self_loop_pattern(self):
+        loop = TriplePattern(V("x"), P("p"), V("x"))
+        graph = QueryGraph([loop])
+        assert len(graph.edges(V("x"))) == 1
+
+
+class TestDecomposeWithoutGJVs:
+    def test_connected_query_single_subquery(self):
+        decomposer = Decomposer(uniform_selection(CHAIN), GJVReport())
+        subqueries = decomposer.decompose(CHAIN)
+        assert len(subqueries) == 1
+        assert len(subqueries[0].patterns) == 3
+
+    def test_disconnected_components_split(self):
+        patterns = [
+            TriplePattern(V("a"), P("p"), V("b")),
+            TriplePattern(V("x"), P("q"), V("y")),
+        ]
+        selection = {
+            patterns[0]: ("ep1",),
+            patterns[1]: ("ep2",),
+        }
+        decomposer = Decomposer(selection, GJVReport())
+        subqueries = decomposer.decompose(patterns)
+        assert len(subqueries) == 2
+        assert {sq.sources for sq in subqueries} == {("ep1",), ("ep2",)}
+
+    def test_empty_patterns(self):
+        decomposer = Decomposer({}, GJVReport())
+        assert decomposer.decompose([]) == []
+
+
+class TestDecomposeWithGJVs:
+    def make_report(self, variable, pair):
+        report = GJVReport()
+        report.add(variable, *pair)
+        return report
+
+    def test_forbidden_pair_split(self):
+        report = self.make_report(V("b"), (CHAIN[0], CHAIN[1]))
+        decomposer = Decomposer(uniform_selection(CHAIN), report)
+        subqueries = decomposer.decompose(CHAIN)
+        for subquery in subqueries:
+            assert not (CHAIN[0] in subquery.patterns and CHAIN[1] in subquery.patterns)
+        all_patterns = [p for sq in subqueries for p in sq.patterns]
+        assert sorted(all_patterns, key=str) == sorted(CHAIN, key=str)
+
+    def test_unforbidden_pair_can_merge(self):
+        report = self.make_report(V("b"), (CHAIN[0], CHAIN[1]))
+        decomposer = Decomposer(uniform_selection(CHAIN), report)
+        subqueries = decomposer.decompose(CHAIN)
+        # q and r share ?c with no forbidden pair -> same subquery
+        owner = [sq for sq in subqueries if CHAIN[1] in sq.patterns]
+        assert CHAIN[2] in owner[0].patterns
+
+    def test_different_sources_never_share(self):
+        report = self.make_report(V("b"), (CHAIN[0], CHAIN[1]))
+        selection = {
+            CHAIN[0]: ("ep1",),
+            CHAIN[1]: ("ep2",),
+            CHAIN[2]: ("ep1", "ep2"),
+        }
+        decomposer = Decomposer(selection, report)
+        subqueries = decomposer.decompose(CHAIN)
+        for subquery in subqueries:
+            source_sets = {selection[p] for p in subquery.patterns}
+            assert len(source_sets) == 1
+
+    def test_cost_estimator_picks_cheapest(self):
+        report = GJVReport()
+        report.add(V("b"), CHAIN[0], CHAIN[1])
+        report.add(V("c"), CHAIN[1], CHAIN[2])
+        calls = []
+
+        def estimator(subqueries):
+            calls.append(len(subqueries))
+            return float(len(subqueries))
+
+        decomposer = Decomposer(uniform_selection(CHAIN), report, estimator)
+        subqueries = decomposer.decompose(CHAIN)
+        assert len(calls) == 2  # one decomposition per GJV root
+        assert len(subqueries) == min(calls)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        assert len(_connected_components(CHAIN)) == 1
+
+    def test_two_components(self):
+        patterns = CHAIN[:1] + [TriplePattern(V("x"), P("s"), V("y"))]
+        assert len(_connected_components(patterns)) == 2
+
+    def test_ground_patterns_are_isolated(self):
+        ground = TriplePattern(P("a"), P("p"), P("b"))
+        components = _connected_components([ground, CHAIN[0]])
+        assert len(components) == 2
+
+
+class TestComputeProjections:
+    def test_join_variables_kept(self):
+        sq1 = Subquery(patterns=[CHAIN[0]], sources=("ep1",), label="a")
+        sq2 = Subquery(patterns=[CHAIN[1]], sources=("ep1",), label="b")
+        compute_projections([sq1, sq2], frozenset())
+        assert V("b") in sq1.projection
+        assert V("b") in sq2.projection
+
+    def test_required_variables_kept(self):
+        sq = Subquery(patterns=[CHAIN[0]], sources=("ep1",), label="a")
+        compute_projections([sq], frozenset({V("a")}))
+        assert V("a") in sq.projection
+
+    def test_private_variables_dropped(self):
+        sq1 = Subquery(patterns=[CHAIN[0]], sources=("ep1",), label="a")
+        sq2 = Subquery(patterns=[CHAIN[1]], sources=("ep1",), label="b")
+        compute_projections([sq1, sq2], frozenset({V("a")}))
+        # ?c is private to sq2 and not required
+        assert V("c") not in sq1.projection
+
+    def test_internal_join_vars_kept_for_multi_source(self):
+        sq = Subquery(
+            patterns=[CHAIN[0], CHAIN[1]], sources=("ep1", "ep2"), label="a"
+        )
+        compute_projections([sq], frozenset())
+        assert V("b") in sq.projection
+
+    def test_projection_never_empty(self):
+        sq = Subquery(patterns=[CHAIN[0]], sources=("ep1",), label="a")
+        compute_projections([sq], frozenset())
+        assert sq.projection

@@ -1,0 +1,168 @@
+"""Unit tests for the SAPE subquery evaluator (Algorithm 3)."""
+
+import pytest
+
+from repro.core.sape import SubqueryEvaluator
+from repro.core.subquery import Subquery
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
+from repro.federation import ElasticRequestHandler, Federation
+from repro.rdf import IRI, Triple, TriplePattern, Variable
+from repro.sparql import ResultSet
+
+
+def iri(name):
+    return IRI(f"http://x/{name}")
+
+
+@pytest.fixture
+def federation():
+    ep1 = [
+        Triple(iri("s1"), iri("p"), iri("o1")),
+        Triple(iri("s2"), iri("p"), iri("o2")),
+        Triple(iri("o1"), iri("q"), iri("z1")),
+    ]
+    ep2 = [
+        Triple(iri("s3"), iri("p"), iri("o3")),
+        Triple(iri("o3"), iri("q"), iri("z3")),
+        Triple(iri("s4"), iri("r"), iri("w1")),
+    ]
+    return Federation(
+        [
+            LocalEndpoint.from_triples("ep1", ep1),
+            LocalEndpoint.from_triples("ep2", ep2),
+        ],
+        network=LOCAL_CLUSTER,
+    )
+
+
+def make_evaluator(federation, **kwargs):
+    context = federation.make_context()
+    handler = ElasticRequestHandler(federation, context)
+    return SubqueryEvaluator(handler, context, **kwargs), context
+
+
+P_PATTERN = TriplePattern(Variable("s"), iri("p"), Variable("o"))
+Q_PATTERN = TriplePattern(Variable("o"), iri("q"), Variable("z"))
+
+
+class TestPhaseOne:
+    def test_concurrent_evaluation(self, federation):
+        evaluator, context = make_evaluator(federation)
+        subquery = Subquery(
+            patterns=[P_PATTERN], sources=("ep1", "ep2"), label="sq0",
+            projection=[Variable("s"), Variable("o")],
+        )
+        relations = evaluator.evaluate([subquery])
+        assert len(relations["sq0"]) == 3  # union over both endpoints
+        assert subquery.actual_cardinality == 3
+        assert context.metrics.select_requests == 2
+
+    def test_empty_sources_give_empty_relation(self, federation):
+        evaluator, _ = make_evaluator(federation)
+        subquery = Subquery(
+            patterns=[P_PATTERN], sources=(), label="sq0",
+            projection=[Variable("s")],
+        )
+        relations = evaluator.evaluate([subquery])
+        assert len(relations["sq0"]) == 0
+
+
+class TestDelayedPhase:
+    def test_delayed_bound_by_values(self, federation):
+        evaluator, context = make_evaluator(federation)
+        anchor = Subquery(
+            patterns=[P_PATTERN], sources=("ep1",), label="anchor",
+            projection=[Variable("s"), Variable("o")],
+        )
+        delayed = Subquery(
+            patterns=[Q_PATTERN], sources=("ep1", "ep2"), label="delayed",
+            projection=[Variable("o"), Variable("z")],
+            estimated_cardinality=100.0, delayed=True,
+        )
+        relations = evaluator.evaluate([anchor, delayed])
+        # only o1 flows into the bound subquery; z1 comes back, z3 not
+        values = relations["delayed"].distinct_values(Variable("z"))
+        assert values == {iri("z1")}
+
+    def test_delayed_without_bindings_runs_unbound(self, federation):
+        evaluator, _ = make_evaluator(federation)
+        lonely = Subquery(
+            patterns=[TriplePattern(Variable("a"), iri("r"), Variable("b"))],
+            sources=("ep2",), label="lonely",
+            projection=[Variable("a"), Variable("b")],
+            estimated_cardinality=5.0, delayed=True,
+        )
+        relations = evaluator.evaluate([lonely])
+        assert len(relations["lonely"]) == 1
+
+    def test_values_block_size_splits_requests(self, federation):
+        evaluator, context = make_evaluator(federation, values_block_size=1)
+        anchor = Subquery(
+            patterns=[P_PATTERN], sources=("ep1", "ep2"), label="anchor",
+            projection=[Variable("o")],
+        )
+        delayed = Subquery(
+            patterns=[Q_PATTERN], sources=("ep1", "ep2"), label="delayed",
+            projection=[Variable("o"), Variable("z")],
+            estimated_cardinality=100.0, delayed=True,
+        )
+        evaluator.evaluate([anchor, delayed])
+        # 3 bound values -> 3 blocks x 2 endpoints, plus phase-1's 2
+        assert context.metrics.select_requests == 2 + 6
+
+    def test_most_selective_first(self, federation):
+        evaluator, _ = make_evaluator(federation)
+        small = Subquery(
+            patterns=[P_PATTERN], sources=("ep1",), label="small",
+            estimated_cardinality=2.0, delayed=True,
+        )
+        big = Subquery(
+            patterns=[Q_PATTERN], sources=("ep1",), label="big",
+            estimated_cardinality=50.0, delayed=True,
+        )
+        chosen = evaluator._most_selective([big, small], {})
+        assert chosen is small
+
+
+class TestBindingsDerivation:
+    def test_intersection_across_relations(self):
+        x = Variable("x")
+        r1 = ResultSet([x], [(iri("a"),), (iri("b"),)])
+        r2 = ResultSet([x], [(iri("b"),), (iri("c"),)])
+        bindings = SubqueryEvaluator._derive_bindings([r1, r2])
+        assert bindings[x] == {iri("b")}
+
+    def test_unbound_cells_ignored(self):
+        x = Variable("x")
+        r1 = ResultSet([x], [(iri("a"),), (None,)])
+        bindings = SubqueryEvaluator._derive_bindings([r1])
+        assert bindings[x] == {iri("a")}
+
+
+class TestSourceRefinement:
+    def test_unbound_pattern_sources_refined(self):
+        """A ?s ?p ?o subquery is relevant everywhere; bound ASKs with a
+        sample of found bindings drop endpoints that cannot contribute."""
+        ep1 = [Triple(iri("a"), iri("p"), iri("b"))]
+        ep2 = [Triple(iri("c"), iri("q"), iri("d"))]
+        federation = Federation(
+            [
+                LocalEndpoint.from_triples("ep1", ep1),
+                LocalEndpoint.from_triples("ep2", ep2),
+            ],
+            network=LOCAL_CLUSTER,
+        )
+        evaluator, context = make_evaluator(federation)
+        spo = Subquery(
+            patterns=[TriplePattern(Variable("a"), Variable("p"), Variable("b"))],
+            sources=("ep1", "ep2"),
+            label="spo",
+            projection=[Variable("a"), Variable("p"), Variable("b")],
+            estimated_cardinality=10.0,
+            delayed=True,
+        )
+        refined = evaluator._refine_sources(
+            spo, Variable("a"), [iri("a")], ["ep1", "ep2"]
+        )
+        assert refined == ["ep1"]
+        assert context.metrics.ask_requests == 2

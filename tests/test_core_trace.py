@@ -1,0 +1,98 @@
+"""Tests for the execution tracing facility (the demo view)."""
+
+import pytest
+
+from repro.core import LusailEngine, QueryTrace, render_trace
+
+from .conftest import QUERY_QA, build_paper_federation
+
+
+@pytest.fixture
+def traced_outcome():
+    engine = LusailEngine(build_paper_federation())
+    return engine.execute(QUERY_QA, trace=True)
+
+
+class TestQueryTrace:
+    def test_record_and_iterate(self):
+        trace = QueryTrace()
+        trace.record("source_selection", 0.1, selection={})
+        trace.record("done", 0.5, rows=3, requests=7)
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == ["source_selection", "done"]
+        assert trace.of_kind("done")[0].detail["rows"] == 3
+
+    def test_disabled_by_default(self):
+        engine = LusailEngine(build_paper_federation())
+        outcome = engine.execute(QUERY_QA)
+        assert outcome.trace is None
+
+    def test_enabled_collects_pipeline_events(self, traced_outcome):
+        assert traced_outcome.status == "OK"
+        kinds = [e.kind for e in traced_outcome.trace]
+        for expected in ("source_selection", "gjv", "decomposition",
+                         "subquery_result", "join_order", "done"):
+            assert expected in kinds, expected
+        # narrative is ordered: selection before analysis before execution
+        assert kinds.index("source_selection") < kinds.index("gjv")
+        assert kinds.index("gjv") < kinds.index("decomposition")
+        assert kinds.index("decomposition") < kinds.index("done")
+
+    def test_gjv_event_names_paper_variables(self, traced_outcome):
+        gjv = traced_outcome.trace.of_kind("gjv")[0]
+        assert "U" in gjv.detail["variables"]
+        assert "P" in gjv.detail["variables"]
+        assert gjv.detail["check_queries"] > 0
+
+    def test_decomposition_event_structure(self, traced_outcome):
+        event = traced_outcome.trace.of_kind("decomposition")[0]
+        subqueries = event.detail["subqueries"]
+        assert len(subqueries) >= 2
+        for info in subqueries:
+            assert set(info) == {
+                "label", "patterns", "sources", "estimated", "delayed",
+            }
+
+    def test_subquery_results_match_decomposition(self, traced_outcome):
+        decomposed = {
+            info["label"]
+            for info in traced_outcome.trace.of_kind("decomposition")[0]
+            .detail["subqueries"]
+        }
+        observed = {
+            e.detail["label"]
+            for e in traced_outcome.trace.of_kind("subquery_result")
+        }
+        assert decomposed == observed
+
+    def test_trace_survives_failure(self):
+        engine = LusailEngine(build_paper_federation())
+        outcome = engine.execute(QUERY_QA, trace=True, timeout_seconds=1e-12)
+        assert outcome.status == "TO"
+        assert outcome.trace is not None  # partial narrative retained
+
+
+class TestRenderTrace:
+    def test_renders_all_events(self, traced_outcome):
+        text = render_trace(traced_outcome.trace)
+        assert "source selection" in text
+        assert "global join variables" in text
+        assert "decomposition" in text
+        assert "done: 3 answers" in text
+        # numbered narrative
+        assert text.startswith("[1] ")
+
+    def test_unknown_event_kind_is_rendered_generically(self):
+        trace = QueryTrace()
+        trace.record("custom_thing", 0.0, foo=1)
+        assert "custom_thing" in render_trace(trace)
+
+    def test_no_gjv_narrative(self):
+        engine = LusailEngine(build_paper_federation())
+        outcome = engine.execute(
+            "SELECT ?u ?a WHERE { ?u "
+            "<http://swat.cse.lehigh.edu/onto/univ-bench.owl#address> ?a }",
+            trace=True,
+        )
+        text = render_trace(outcome.trace)
+        assert "no global join variables" in text

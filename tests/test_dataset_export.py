@@ -1,0 +1,48 @@
+"""Tests for federation dump/load round-tripping."""
+
+import pytest
+
+from repro.core import LusailEngine
+from repro.datasets import LubmGenerator, dump_federation, load_federation
+from repro.datasets.lubm import LUBM_QUERIES
+from repro.endpoint import Region
+
+from .conftest import result_values
+
+
+class TestDumpLoad:
+    def test_round_trip_preserves_data(self, tmp_path):
+        federation = LubmGenerator(universities=2).build_federation()
+        written = dump_federation(federation, tmp_path)
+        assert set(written) == {"university0", "university1"}
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+        reloaded = load_federation(tmp_path)
+        assert sorted(reloaded.endpoint_ids) == sorted(federation.endpoint_ids)
+        for endpoint_id in federation.endpoint_ids:
+            original = set(federation.endpoint(endpoint_id).store.triples())
+            restored = set(reloaded.endpoint(endpoint_id).store.triples())
+            assert original == restored
+
+    def test_round_trip_preserves_query_answers(self, tmp_path):
+        federation = LubmGenerator(universities=2).build_federation()
+        dump_federation(federation, tmp_path)
+        reloaded = load_federation(tmp_path)
+        original = LusailEngine(federation).execute(LUBM_QUERIES["Q4"])
+        restored = LusailEngine(reloaded).execute(LUBM_QUERIES["Q4"])
+        assert original.status == restored.status == "OK"
+        assert result_values(original.result) == result_values(restored.result)
+
+    def test_load_assigns_regions(self, tmp_path):
+        federation = LubmGenerator(universities=2).build_federation()
+        dump_federation(federation, tmp_path)
+        reloaded = load_federation(
+            tmp_path, regions={"university0": Region("east-us")}
+        )
+        assert reloaded.endpoint("university0").region == Region("east-us")
+        assert reloaded.endpoint("university1").region == Region("local")
+
+    def test_load_empty_directory_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_federation(tmp_path)

@@ -1,0 +1,201 @@
+"""Tests for the benchmark dataset generators and query suites."""
+
+import pytest
+
+from repro.baselines import FedXEngine
+from repro.core import LusailEngine
+from repro.datasets import (
+    BIG_QUERIES,
+    BIO2RDF_QUERIES,
+    Bio2RdfGenerator,
+    COMPLEX_QUERIES,
+    ENDPOINT_IDS,
+    LRB_QUERIES,
+    LUBM_QUERIES,
+    LargeRdfBenchGenerator,
+    LubmGenerator,
+    QFED_QUERIES,
+    QFedGenerator,
+    QUERY_CATEGORY,
+    SIMPLE_QUERIES,
+)
+
+
+class TestLubmGenerator:
+    def test_deterministic(self):
+        a = LubmGenerator(universities=2).generate_university(0)
+        b = LubmGenerator(universities=2).generate_university(0)
+        assert a == b
+
+    def test_different_universities_differ(self):
+        gen = LubmGenerator(universities=2)
+        assert gen.generate_university(0) != gen.generate_university(1)
+
+    def test_interlinks_exist(self):
+        gen = LubmGenerator(universities=4, interlink_ratio=0.5)
+        federation = gen.build_federation()
+        # some PhDDegreeFrom/undergraduateDegreeFrom objects live remotely
+        from repro.rdf import UB, TriplePattern, Variable
+
+        endpoint = federation.endpoint("university0")
+        pattern = TriplePattern(Variable("p"), UB.PhDDegreeFrom, Variable("u"))
+        targets = {t.object for t in endpoint.store.match(pattern)}
+        remote = {u for u in targets if "university0" not in u.value}
+        assert remote, "expected cross-university degree interlinks"
+
+    def test_zero_interlinks_possible(self):
+        gen = LubmGenerator(universities=2, interlink_ratio=0.0)
+        federation = gen.build_federation()
+        from repro.rdf import UB, TriplePattern, Variable
+
+        for endpoint in federation.endpoints():
+            own = endpoint.endpoint_id
+            pattern = TriplePattern(Variable("p"), UB.PhDDegreeFrom, Variable("u"))
+            for triple in endpoint.store.match(pattern):
+                assert own.replace("university", "university") in own
+                assert f"www.{own}." in triple.object.value
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            LubmGenerator(universities=0)
+        with pytest.raises(ValueError):
+            LubmGenerator(
+                professors_per_department=8, courses_per_department=4
+            )
+
+    def test_paper_decomposition_claims(self):
+        """Section 5.2: Q1 and Q2 have one subquery; Q3 and Q4 have two
+        (a delayed second subquery)."""
+        federation = LubmGenerator(universities=2).build_federation()
+        engine = LusailEngine(federation)
+        assert len(engine.explain(LUBM_QUERIES["Q1"])) == 1
+        assert len(engine.explain(LUBM_QUERIES["Q2"])) == 1
+        assert len(engine.explain(LUBM_QUERIES["Q3"])) == 2
+        assert len(engine.explain(LUBM_QUERIES["Q4"])) == 2
+
+    @pytest.mark.parametrize("name", list(LUBM_QUERIES))
+    def test_queries_nonempty_and_engines_agree(self, name):
+        federation = LubmGenerator(universities=2).build_federation()
+        lusail = LusailEngine(federation).execute(LUBM_QUERIES[name])
+        fedx = FedXEngine(federation).execute(LUBM_QUERIES[name])
+        assert lusail.status == "OK", lusail.error
+        assert fedx.status == "OK", fedx.error
+        assert len(lusail) > 0
+        assert sorted(map(tuple, lusail.result.rows)) == sorted(
+            map(tuple, fedx.result.rows)
+        )
+
+
+class TestQFedGenerator:
+    @pytest.fixture(scope="class")
+    def federation(self):
+        return QFedGenerator(drugs=60, diseases=20).build_federation()
+
+    def test_four_endpoints(self, federation):
+        assert sorted(federation.endpoint_ids) == [
+            "dailymed", "diseasome", "drugbank", "sider",
+        ]
+
+    def test_big_literals_present(self, federation):
+        from repro.datasets.qfed import DAILYMED
+        from repro.rdf import TriplePattern, Variable
+
+        endpoint = federation.endpoint("dailymed")
+        pattern = TriplePattern(
+            Variable("l"), DAILYMED.fullDescription, Variable("d")
+        )
+        sizes = [len(t.object.lexical) for t in endpoint.store.match(pattern)]
+        assert sizes and min(sizes) > 500
+
+    @pytest.mark.parametrize("name", list(QFED_QUERIES))
+    def test_queries_nonempty_and_engines_agree(self, federation, name):
+        lusail = LusailEngine(federation).execute(QFED_QUERIES[name])
+        fedx = FedXEngine(federation).execute(QFED_QUERIES[name])
+        assert lusail.status == "OK", lusail.error
+        assert fedx.status == "OK", fedx.error
+        assert len(lusail) > 0
+        assert sorted(map(tuple, lusail.result.rows)) == sorted(
+            map(tuple, fedx.result.rows)
+        )
+
+
+class TestLargeRdfBench:
+    @pytest.fixture(scope="class")
+    def federation(self):
+        return LargeRdfBenchGenerator(scale=0.4).build_federation()
+
+    def test_thirteen_endpoints(self, federation):
+        assert sorted(federation.endpoint_ids) == sorted(ENDPOINT_IDS)
+        assert len(federation) == 13
+
+    def test_tcga_endpoints_are_largest(self, federation):
+        """Table 1's proportions: the TCGA result stores dominate."""
+        sizes = {
+            e.endpoint_id: e.triple_count() for e in federation.endpoints()
+        }
+        assert sizes["tcga-m"] == max(sizes.values())
+        assert sizes["tcga-e"] > sizes["drugbank"]
+
+    def test_category_partition(self):
+        assert len(SIMPLE_QUERIES) == 14
+        assert len(COMPLEX_QUERIES) == 10
+        assert len(BIG_QUERIES) == 8
+        assert len(LRB_QUERIES) == 32
+        assert set(QUERY_CATEGORY) == set(LRB_QUERIES)
+
+    def test_scale_parameter(self):
+        small = LargeRdfBenchGenerator(scale=0.2).build_federation()
+        large = LargeRdfBenchGenerator(scale=1.0).build_federation()
+        assert large.total_triples() > small.total_triples()
+        with pytest.raises(ValueError):
+            LargeRdfBenchGenerator(scale=0)
+
+    #: disjoint subgraphs joined by a filter: Lusail-only (paper §5.2)
+    LUSAIL_ONLY = {"C5", "B5", "B6"}
+
+    @pytest.mark.parametrize("name", sorted(LRB_QUERIES))
+    def test_queries_nonempty_and_engines_agree(self, federation, name):
+        lusail = LusailEngine(federation).execute(LRB_QUERIES[name])
+        fedx = FedXEngine(federation).execute(LRB_QUERIES[name])
+        assert lusail.status == "OK", lusail.error
+        assert len(lusail) > 0, f"{name} returned no rows"
+        if name in self.LUSAIL_ONLY:
+            assert fedx.status == "RE"
+            return
+        assert fedx.status == "OK", fedx.error
+        assert sorted(map(tuple, lusail.result.rows)) == sorted(
+            map(tuple, fedx.result.rows)
+        ), f"{name}: engines disagree"
+
+
+class TestBio2Rdf:
+    @pytest.fixture(scope="class")
+    def federation(self):
+        return Bio2RdfGenerator(drugs=60, genes=30).build_federation()
+
+    def test_five_endpoints_with_limits(self, federation):
+        assert len(federation) == 5
+        for endpoint in federation.endpoints():
+            assert endpoint.max_requests_per_query is not None
+
+    def test_geo_regions_assigned(self, federation):
+        regions = {e.region.name for e in federation.endpoints()}
+        assert len(regions) == 5  # all different regions
+
+    @pytest.mark.parametrize("name", list(BIO2RDF_QUERIES))
+    def test_lusail_answers_all(self, federation, name):
+        outcome = LusailEngine(federation).execute(BIO2RDF_QUERIES[name])
+        assert outcome.status == "OK", outcome.error
+        assert len(outcome) > 0
+
+    def test_fedx_hits_public_endpoint_limit(self):
+        """Table 2: FedX fails with runtime errors against real endpoints
+        on the heavy query-log queries (its bound-join flood trips the
+        public endpoints' politeness limits)."""
+        federation = Bio2RdfGenerator(drugs=1500, genes=300).build_federation(
+            request_limit=40
+        )
+        outcome = FedXEngine(federation).execute(BIO2RDF_QUERIES["R3"])
+        assert outcome.status == "RE"
+        lusail = LusailEngine(federation).execute(BIO2RDF_QUERIES["R3"])
+        assert lusail.status == "OK", lusail.error

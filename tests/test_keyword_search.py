@@ -1,0 +1,68 @@
+"""Tests for federated keyword search (paper future work, implemented)."""
+
+import pytest
+
+from repro.core.keyword import KeywordHit, keyword_search
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
+from repro.federation import Federation
+from repro.rdf import parse as nt_parse
+
+EP1 = """
+<http://x/aspirin> <http://v/name> "Aspirin" .
+<http://x/aspirin> <http://v/desc> "common pain relief tablet" .
+<http://x/ibuprofen> <http://v/name> "Ibuprofen" .
+"""
+EP2 = """
+<http://x/aspirin> <http://v/label> "acetylsalicylic acid tablet" .
+<http://x/paracetamol> <http://v/desc> "pain and fever relief" .
+"""
+
+
+@pytest.fixture
+def federation():
+    return Federation(
+        [
+            LocalEndpoint.from_triples("ep1", nt_parse(EP1)),
+            LocalEndpoint.from_triples("ep2", nt_parse(EP2)),
+        ],
+        network=LOCAL_CLUSTER,
+    )
+
+
+class TestKeywordSearch:
+    def test_single_keyword_across_endpoints(self, federation):
+        hits = keyword_search(federation, ["tablet"])
+        entities = {hit.entity.value for hit in hits}
+        assert entities == {"http://x/aspirin"}
+        # witnesses come from both endpoints
+        endpoints = {w[0] for w in hits[0].witnesses}
+        assert endpoints == {"ep1", "ep2"}
+
+    def test_multi_keyword_ranking(self, federation):
+        hits = keyword_search(federation, ["pain", "tablet"])
+        assert hits[0].entity.value == "http://x/aspirin"  # matches both
+        assert hits[0].score == 2
+        trailing = {hit.entity.value for hit in hits[1:]}
+        assert "http://x/paracetamol" in trailing  # matches "pain" only
+
+    def test_case_insensitive(self, federation):
+        hits = keyword_search(federation, ["ASPIRIN"])
+        assert hits and hits[0].entity.value == "http://x/aspirin"
+
+    def test_no_match(self, federation):
+        assert keyword_search(federation, ["nonexistentword"]) == []
+
+    def test_limit(self, federation):
+        hits = keyword_search(federation, ["i"], limit=1)  # matches many
+        assert len(hits) == 1
+
+    def test_empty_keywords_rejected(self, federation):
+        with pytest.raises(ValueError):
+            keyword_search(federation, ["  "])
+
+    def test_requests_are_accounted(self, federation):
+        context = federation.make_context()
+        keyword_search(federation, ["pain"], context=context)
+        # one probe per endpoint per keyword
+        assert context.metrics.select_requests == 2
+        assert context.metrics.virtual_seconds > 0

@@ -1,0 +1,118 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+)
+
+
+class TestIRI:
+    def test_equality_and_hash(self):
+        assert IRI("http://a") == IRI("http://a")
+        assert IRI("http://a") != IRI("http://b")
+        assert hash(IRI("http://a")) == hash(IRI("http://a"))
+
+    def test_n3(self):
+        assert IRI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_immutable(self):
+        iri = IRI("http://a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://b"
+
+    def test_authority_http(self):
+        assert IRI("http://drugbank.org/drugs/DB1").authority == "http://drugbank.org"
+
+    def test_authority_urn(self):
+        assert IRI("urn:isbn:12345").authority == "urn"
+
+    def test_authority_no_path(self):
+        assert IRI("http://example.org").authority == "http://example.org"
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert lit.n3() == '"hello"'
+        assert lit.datatype is None and lit.language is None
+
+    def test_language_tagged(self):
+        lit = Literal("bonjour", language="fr")
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_typed(self):
+        lit = Literal("5", datatype=XSD_INTEGER)
+        assert lit.n3().endswith("integer>")
+        assert lit.numeric_value() == 5
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_escaping(self):
+        lit = Literal('say "hi"\nplease\t\\end')
+        n3 = lit.n3()
+        assert '\\"hi\\"' in n3
+        assert "\\n" in n3
+        assert "\\t" in n3
+        assert "\\\\end" in n3
+
+    def test_numeric_detection(self):
+        assert Literal("3.5").is_numeric
+        assert Literal("42").is_numeric
+        assert not Literal("abc").is_numeric
+        assert not Literal("42", language="en").is_numeric
+
+    def test_integer_constructor(self):
+        assert Literal.integer(7).numeric_value() == 7
+
+    def test_boolean(self):
+        assert Literal.boolean(True).boolean_value() is True
+        assert Literal.boolean(False).boolean_value() is False
+        with pytest.raises(ValueError):
+            Literal("maybe", datatype=XSD_BOOLEAN).boolean_value()
+
+    def test_equality_distinguishes_datatype(self):
+        assert Literal("5") != Literal("5", datatype=XSD_INTEGER)
+        assert Literal("a", language="en") != Literal("a", language="de")
+
+
+class TestVariableAndBNode:
+    def test_variable_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+        assert Variable("$x") == Variable("x")
+        assert Variable("x").n3() == "?x"
+
+    def test_bnode(self):
+        assert BNode("b1").n3() == "_:b1"
+        assert BNode("b1") == BNode("b1")
+
+    def test_cross_kind_inequality(self):
+        assert IRI("http://a") != Literal("http://a")
+        assert Variable("a") != BNode("a")
+
+
+class TestOrdering:
+    def test_total_order_is_deterministic(self):
+        terms = [
+            Literal("z"),
+            IRI("http://a"),
+            BNode("x"),
+            Variable("v"),
+            Literal("a", datatype=XSD_INTEGER),
+        ]
+        ordered = sorted(terms)
+        assert ordered == sorted(reversed(terms))
+        # BNodes sort before IRIs before literals before variables.
+        kinds = [type(t).__name__ for t in ordered]
+        assert kinds == ["BNode", "IRI", "Literal", "Literal", "Variable"]

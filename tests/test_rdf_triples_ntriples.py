@@ -1,0 +1,142 @@
+"""Unit and property tests for triples, patterns, and N-Triples I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    NTriplesError,
+    Triple,
+    TriplePattern,
+    Variable,
+    parse,
+    parse_line,
+    serialize,
+)
+
+S = IRI("http://ex/s")
+P = IRI("http://ex/p")
+O = IRI("http://ex/o")
+
+
+class TestTriple:
+    def test_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Triple(Variable("s"), P, O)
+
+    def test_equality(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert Triple(S, P, O) != Triple(S, P, S)
+
+    def test_n3(self):
+        assert Triple(S, P, O).n3() == "<http://ex/s> <http://ex/p> <http://ex/o> ."
+
+    def test_iteration(self):
+        assert list(Triple(S, P, O)) == [S, P, O]
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        assert pattern.variables() == {Variable("s"), Variable("o")}
+
+    def test_match_binds_variables(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        binding = pattern.matches(Triple(S, P, O))
+        assert binding == {Variable("s"): S, Variable("o"): O}
+
+    def test_match_constant_mismatch(self):
+        pattern = TriplePattern(S, P, Variable("o"))
+        assert pattern.matches(Triple(O, P, O)) is None
+
+    def test_repeated_variable_must_agree(self):
+        pattern = TriplePattern(Variable("x"), P, Variable("x"))
+        assert pattern.matches(Triple(S, P, S)) is not None
+        assert pattern.matches(Triple(S, P, O)) is None
+
+    def test_substitute(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        bound = pattern.substitute({Variable("s"): S})
+        assert bound.subject == S
+        assert bound.object == Variable("o")
+
+    def test_is_ground(self):
+        assert TriplePattern(S, P, O).is_ground()
+        assert not TriplePattern(S, P, Variable("o")).is_ground()
+
+
+class TestNTriplesParsing:
+    def test_basic_triple(self):
+        triple = parse_line("<http://ex/s> <http://ex/p> <http://ex/o> .")
+        assert triple == Triple(S, P, O)
+
+    def test_literal_with_language(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "chat"@fr .')
+        assert triple.object == Literal("chat", language="fr")
+
+    def test_literal_with_datatype(self):
+        line = '<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        triple = parse_line(line)
+        assert triple.object.numeric_value() == 5
+
+    def test_bnode_subject(self):
+        triple = parse_line("_:b1 <http://ex/p> <http://ex/o> .")
+        assert triple.subject == BNode("b1")
+
+    def test_escapes(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "a\\"b\\nc\\u0041" .')
+        assert triple.object.lexical == 'a"b\ncA'
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n<http://ex/s> <http://ex/p> <http://ex/o> .\n"
+        assert list(parse(text)) == [Triple(S, P, O)]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://ex/s> <http://ex/p> <http://ex/o>",  # no dot
+            '"lit" <http://ex/p> <http://ex/o> .',  # literal subject
+            "<http://ex/s> _:b <http://ex/o> .",  # bnode predicate
+            "<http://ex/s> <http://ex/p> .",  # missing object
+            '<http://ex/s> <http://ex/p> "open .',  # unterminated literal
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_line(bad)
+
+
+# ----------------------------------------------------------------------
+# Property-based round-trip
+# ----------------------------------------------------------------------
+
+_iris = st.builds(
+    lambda host, path: IRI(f"http://{host}.example.org/{path}"),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=12),
+)
+_plain_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+)
+_literals = st.one_of(
+    st.builds(Literal, _plain_text),
+    st.builds(lambda t, lang: Literal(t, language=lang), _plain_text,
+              st.sampled_from(["en", "fr", "de-DE"])),
+    st.builds(Literal.integer, st.integers(-10**6, 10**6)),
+)
+_bnodes = st.builds(BNode, st.text(alphabet="abcxyz0123456789", min_size=1, max_size=8))
+_subjects = st.one_of(_iris, _bnodes)
+_objects = st.one_of(_iris, _bnodes, _literals)
+_triples = st.builds(Triple, _subjects, _iris, _objects)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_triples, max_size=20))
+def test_ntriples_round_trip(triples):
+    text = serialize(triples)
+    parsed = list(parse(text))
+    assert parsed == triples

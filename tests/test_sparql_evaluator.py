@@ -1,0 +1,230 @@
+"""Tests for SPARQL evaluation over the triple store."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple, parse as nt_parse
+from repro.sparql import Evaluator, parse_query
+from repro.store import TripleStore
+
+DATA = """
+<http://u/kim> <http://ub/advisor> <http://u/tim> .
+<http://u/kim> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ub/GradStudent> .
+<http://u/lee> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ub/GradStudent> .
+<http://u/lee> <http://ub/advisor> <http://u/ben> .
+<http://u/tim> <http://ub/teacherOf> <http://u/c1> .
+<http://u/ben> <http://ub/teacherOf> <http://u/c2> .
+<http://u/kim> <http://ub/takesCourse> <http://u/c1> .
+<http://u/lee> <http://ub/takesCourse> <http://u/c3> .
+<http://u/tim> <http://ub/age> "45"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://u/ben> <http://ub/age> "38"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://u/tim> <http://ub/name> "Tim Smith" .
+<http://u/ben> <http://ub/name> "Ben Jones" .
+<http://u/kim> <http://ub/email> "kim@u.edu" .
+"""
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(TripleStore(nt_parse(DATA)))
+
+
+def rows(evaluator, text):
+    return evaluator.select(parse_query(text)).rows
+
+
+class TestBGP:
+    def test_single_pattern(self, evaluator):
+        result = rows(evaluator, "SELECT ?s WHERE { ?s <http://ub/advisor> ?p }")
+        assert {r[0].value for r in result} == {"http://u/kim", "http://u/lee"}
+
+    def test_join_two_patterns(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s ?c WHERE { ?s <http://ub/advisor> ?p . "
+            "?p <http://ub/teacherOf> ?c }",
+        )
+        assert len(result) == 2
+
+    def test_triangle_join(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s <http://ub/advisor> ?p . "
+            "?p <http://ub/teacherOf> ?c . ?s <http://ub/takesCourse> ?c }",
+        )
+        assert [r[0].value for r in result] == ["http://u/kim"]
+
+    def test_empty_result(self, evaluator):
+        assert rows(evaluator, "SELECT ?s WHERE { ?s <http://ub/missing> ?o }") == []
+
+    def test_ground_pattern(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { <http://u/kim> <http://ub/advisor> <http://u/tim> . "
+            "?s <http://ub/teacherOf> ?c }",
+        )
+        assert len(result) == 2  # cross product with satisfied ground pattern
+
+
+class TestFilters:
+    def test_numeric_comparison(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?p WHERE { ?p <http://ub/age> ?a . FILTER(?a > 40) }",
+        )
+        assert [r[0].value for r in result] == ["http://u/tim"]
+
+    def test_regex(self, evaluator):
+        result = rows(
+            evaluator,
+            'SELECT ?p WHERE { ?p <http://ub/name> ?n . FILTER regex(?n, "^Tim") }',
+        )
+        assert [r[0].value for r in result] == ["http://u/tim"]
+
+    def test_boolean_combination(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?p WHERE { ?p <http://ub/age> ?a . FILTER(?a > 30 && ?a < 40) }",
+        )
+        assert [r[0].value for r in result] == ["http://u/ben"]
+
+    def test_error_is_false(self, evaluator):
+        # comparing an IRI with a number errors -> row dropped, not raised
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s <http://ub/advisor> ?p . FILTER(?p > 4) }",
+        )
+        assert result == []
+
+    def test_not_exists(self, evaluator):
+        # advisors who teach nothing: none in this data
+        result = rows(
+            evaluator,
+            "SELECT ?p WHERE { ?s <http://ub/advisor> ?p . "
+            "FILTER NOT EXISTS { ?p <http://ub/teacherOf> ?c } }",
+        )
+        assert result == []
+
+    def test_not_exists_finds_gap(self, evaluator):
+        # students with no email: lee
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s a <http://ub/GradStudent> . "
+            "FILTER NOT EXISTS { ?s <http://ub/email> ?e } }",
+        )
+        assert [r[0].value for r in result] == ["http://u/lee"]
+
+    def test_exists_correlation(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s a <http://ub/GradStudent> . "
+            "FILTER EXISTS { ?s <http://ub/email> ?e } }",
+        )
+        assert [r[0].value for r in result] == ["http://u/kim"]
+
+    def test_in_operator(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?p WHERE { ?p <http://ub/age> ?a . FILTER(?a IN (38, 99)) }",
+        )
+        assert [r[0].value for r in result] == ["http://u/ben"]
+
+    def test_bound_with_optional(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s a <http://ub/GradStudent> . "
+            "OPTIONAL { ?s <http://ub/email> ?e } FILTER(!BOUND(?e)) }",
+        )
+        assert [r[0].value for r in result] == ["http://u/lee"]
+
+
+class TestOptionalUnionValues:
+    def test_optional_keeps_unmatched(self, evaluator):
+        result = evaluator.select(parse_query(
+            "SELECT ?s ?e WHERE { ?s a <http://ub/GradStudent> . "
+            "OPTIONAL { ?s <http://ub/email> ?e } }"
+        ))
+        by_student = {row[0].value: row[1] for row in result.rows}
+        assert by_student["http://u/kim"] == Literal("kim@u.edu")
+        assert by_student["http://u/lee"] is None
+
+    def test_union(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?x WHERE { { ?x <http://ub/teacherOf> ?c } UNION "
+            "{ ?x <http://ub/takesCourse> ?c } }",
+        )
+        assert len(result) == 4
+
+    def test_values_restricts(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s ?p WHERE { VALUES ?s { <http://u/kim> } "
+            "?s <http://ub/advisor> ?p }",
+        )
+        assert len(result) == 1
+        assert result[0][1].value == "http://u/tim"
+
+    def test_values_multi_column(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s ?p WHERE { VALUES (?s ?p) { "
+            "(<http://u/kim> <http://u/tim>) (<http://u/kim> <http://u/ben>) } "
+            "?s <http://ub/advisor> ?p }",
+        )
+        assert len(result) == 1
+
+    def test_subselect(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT ?s WHERE { ?s <http://ub/takesCourse> ?c "
+            "{ SELECT ?c WHERE { ?p <http://ub/teacherOf> ?c } } }",
+        )
+        assert [r[0].value for r in result] == ["http://u/kim"]
+
+
+class TestModifiers:
+    def test_distinct(self, evaluator):
+        q = "SELECT ?p WHERE { ?s <http://ub/advisor> ?p . ?p <http://ub/age> ?a }"
+        assert len(rows(evaluator, q)) == 2
+        assert len(rows(evaluator, "SELECT DISTINCT ?a WHERE { ?x <http://ub/age> ?a }")) == 2
+
+    def test_order_by(self, evaluator):
+        result = rows(evaluator, "SELECT ?a WHERE { ?p <http://ub/age> ?a } ORDER BY ?a")
+        values = [int(r[0].lexical) for r in result]
+        assert values == sorted(values)
+
+    def test_order_by_desc(self, evaluator):
+        result = rows(
+            evaluator, "SELECT ?a WHERE { ?p <http://ub/age> ?a } ORDER BY DESC(?a)"
+        )
+        values = [int(r[0].lexical) for r in result]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_offset(self, evaluator):
+        all_rows = rows(evaluator, "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s")
+        page = rows(evaluator, "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 3 OFFSET 2")
+        assert page == all_rows[2:5]
+
+    def test_count(self, evaluator):
+        result = rows(evaluator, "SELECT (COUNT(*) AS ?c) WHERE { ?s <http://ub/advisor> ?o }")
+        assert result == [(Literal.integer(2),)]
+
+    def test_count_distinct(self, evaluator):
+        result = rows(
+            evaluator,
+            "SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?x <http://ub/takesCourse> ?c }",
+        )
+        assert int(result[0][0].lexical) == 2
+
+
+class TestAsk:
+    def test_ask_true(self, evaluator):
+        assert evaluator.ask(parse_query("ASK { ?s <http://ub/advisor> ?o }"))
+
+    def test_ask_false(self, evaluator):
+        assert not evaluator.ask(parse_query("ASK { ?s <http://ub/nothing> ?o }"))
+
+    def test_ask_with_constant(self, evaluator):
+        assert evaluator.ask(
+            parse_query("ASK { <http://u/kim> <http://ub/advisor> ?o }")
+        )

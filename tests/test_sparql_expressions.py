@@ -1,0 +1,178 @@
+"""Unit tests for FILTER expression evaluation."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Variable, XSD_BOOLEAN, XSD_INTEGER
+from repro.sparql import parse_query
+from repro.sparql.expressions import (
+    ExpressionError,
+    TermExpr,
+)
+
+
+def evaluate(expression_text, binding=None):
+    """Parse a filter through the real parser and evaluate it."""
+    query = parse_query(
+        f"SELECT ?x WHERE {{ ?x <http://p> ?y . FILTER({expression_text}) }}"
+    )
+    expr = query.where.filters[0]
+    return expr.effective_boolean(binding or {})
+
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestComparisons:
+    def test_numeric_equality_across_datatypes(self):
+        assert evaluate("?y = 5", {Y: Literal("5", datatype=XSD_INTEGER)})
+        assert evaluate("?y = 5.0", {Y: Literal("5", datatype=XSD_INTEGER)})
+
+    def test_numeric_ordering(self):
+        assert evaluate("?y < 10", {Y: Literal.integer(5)})
+        assert not evaluate("?y > 10", {Y: Literal.integer(5)})
+        assert evaluate("?y >= 5", {Y: Literal.integer(5)})
+        assert evaluate("?y <= 5", {Y: Literal.integer(5)})
+
+    def test_string_ordering(self):
+        assert evaluate('?y < "b"', {Y: Literal("a")})
+
+    def test_iri_equality(self):
+        assert evaluate("?y = <http://a>", {Y: IRI("http://a")})
+        assert evaluate("?y != <http://b>", {Y: IRI("http://a")})
+
+    def test_unbound_variable_is_error_hence_false(self):
+        assert not evaluate("?z = 5", {Y: Literal.integer(5)})
+
+    def test_type_mismatch_is_false(self):
+        assert not evaluate("?y > 5", {Y: IRI("http://a")})
+
+
+class TestLogical:
+    def test_and_or_not(self):
+        binding = {Y: Literal.integer(7)}
+        assert evaluate("?y > 5 && ?y < 10", binding)
+        assert evaluate("?y < 5 || ?y > 6", binding)
+        assert evaluate("!(?y < 5)", binding)
+
+    def test_error_tolerant_or(self):
+        # left side errors (unbound), right side true -> true (SPARQL)
+        assert evaluate("?z > 1 || ?y = 7", {Y: Literal.integer(7)})
+
+    def test_error_tolerant_and(self):
+        # left errors, right false -> false
+        assert not evaluate("?z > 1 && ?y = 0", {Y: Literal.integer(7)})
+
+    def test_in_and_not_in(self):
+        binding = {Y: Literal.integer(2)}
+        assert evaluate("?y IN (1, 2, 3)", binding)
+        assert not evaluate("?y IN (4, 5)", binding)
+        assert evaluate("?y NOT IN (4, 5)", binding)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        binding = {Y: Literal.integer(6)}
+        assert evaluate("?y + 1 = 7", binding)
+        assert evaluate("?y - 1 = 5", binding)
+        assert evaluate("?y * 2 = 12", binding)
+        assert evaluate("?y / 2 = 3", binding)
+
+    def test_division_by_zero_is_false(self):
+        assert not evaluate("?y / 0 = 1", {Y: Literal.integer(6)})
+
+    def test_unary_minus(self):
+        assert evaluate("-?y = -6", {Y: Literal.integer(6)})
+
+
+class TestStringFunctions:
+    def test_str_of_iri(self):
+        assert evaluate('STR(?y) = "http://a"', {Y: IRI("http://a")})
+
+    def test_contains_starts_ends(self):
+        binding = {Y: Literal("hello world")}
+        assert evaluate('CONTAINS(?y, "lo wo")', binding)
+        assert evaluate('STRSTARTS(?y, "hello")', binding)
+        assert evaluate('STRENDS(?y, "world")', binding)
+        assert not evaluate('STRSTARTS(?y, "world")', binding)
+
+    def test_case_functions(self):
+        binding = {Y: Literal("MiXeD")}
+        assert evaluate('LCASE(?y) = "mixed"', binding)
+        assert evaluate('UCASE(?y) = "MIXED"', binding)
+
+    def test_strlen(self):
+        assert evaluate("STRLEN(?y) = 3", {Y: Literal("abc")})
+
+    def test_regex_flags(self):
+        binding = {Y: Literal("Hello")}
+        assert evaluate('REGEX(?y, "^h", "i")', binding)
+        assert not evaluate('REGEX(?y, "^h")', binding)
+
+    def test_bad_regex_is_false(self):
+        assert not evaluate('REGEX(?y, "[")', {Y: Literal("x")})
+
+    def test_lang_and_datatype(self):
+        assert evaluate('LANG(?y) = "en"', {Y: Literal("hi", language="en")})
+        assert evaluate('LANG(?y) = ""', {Y: Literal("hi")})
+        assert evaluate(
+            "DATATYPE(?y) = <http://www.w3.org/2001/XMLSchema#integer>",
+            {Y: Literal.integer(3)},
+        )
+
+
+class TestTermPredicates:
+    def test_isiri_isliteral(self):
+        assert evaluate("ISIRI(?y)", {Y: IRI("http://a")})
+        assert not evaluate("ISIRI(?y)", {Y: Literal("a")})
+        assert evaluate("ISLITERAL(?y)", {Y: Literal("a")})
+
+    def test_bound(self):
+        assert evaluate("BOUND(?y)", {Y: Literal("a")})
+        assert not evaluate("BOUND(?z)", {Y: Literal("a")})
+
+    def test_sameterm(self):
+        assert evaluate("SAMETERM(?y, ?y)", {Y: Literal("a")})
+        assert not evaluate('SAMETERM(?y, "b")', {Y: Literal("a")})
+
+
+class TestConditionals:
+    def test_if(self):
+        assert evaluate('IF(?y > 5, "big", "small") = "big"',
+                        {Y: Literal.integer(9)})
+        assert evaluate('IF(?y > 5, "big", "small") = "small"',
+                        {Y: Literal.integer(1)})
+
+    def test_coalesce_skips_errors(self):
+        # ?z unbound errors; falls through to ?y
+        assert evaluate("COALESCE(?z, ?y) = 7", {Y: Literal.integer(7)})
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literal(self):
+        assert evaluate("?y", {Y: Literal("true", datatype=XSD_BOOLEAN)})
+        assert not evaluate("?y", {Y: Literal("false", datatype=XSD_BOOLEAN)})
+
+    def test_numeric_ebv(self):
+        assert evaluate("?y", {Y: Literal.integer(1)})
+        assert not evaluate("?y", {Y: Literal.integer(0)})
+
+    def test_string_ebv(self):
+        assert evaluate("?y", {Y: Literal("x")})
+        assert not evaluate("?y", {Y: Literal("")})
+
+    def test_iri_has_no_ebv(self):
+        assert not evaluate("?y", {Y: IRI("http://a")})
+
+
+class TestTermExprDirect:
+    def test_unbound_raises(self):
+        with pytest.raises(ExpressionError):
+            TermExpr(Variable("z")).evaluate({})
+
+    def test_constant_evaluates_to_itself(self):
+        lit = Literal("k")
+        assert TermExpr(lit).evaluate({}) == lit
+
+    def test_variables_footprint(self):
+        assert TermExpr(Variable("z")).variables() == {Variable("z")}
+        assert TermExpr(Literal("k")).variables() == frozenset()

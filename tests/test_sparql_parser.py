@@ -1,0 +1,225 @@
+"""Tests for the SPARQL lexer/parser and serializer round-trips."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, TriplePattern, Variable, XSD_INTEGER
+from repro.sparql import (
+    ExistsExpr,
+    OptionalPattern,
+    SparqlSyntaxError,
+    SubSelect,
+    UnionPattern,
+    ValuesBlock,
+    parse_query,
+    serialize_query,
+)
+
+
+class TestBasicParsing:
+    def test_select_with_variables(self):
+        q = parse_query("SELECT ?s ?o WHERE { ?s <http://p> ?o . }")
+        assert q.form == "SELECT"
+        assert q.select_variables == [Variable("s"), Variable("o")]
+        assert q.triple_patterns() == [
+            TriplePattern(Variable("s"), IRI("http://p"), Variable("o"))
+        ]
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.select_variables is None
+        assert q.projected_variables() == [Variable("o"), Variable("p"), Variable("s")]
+
+    def test_ask(self):
+        q = parse_query("ASK { ?s <http://p> ?o }")
+        assert q.form == "ASK"
+
+    def test_prefixes(self):
+        q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:knows ex:tim }"
+        )
+        pattern = q.triple_patterns()[0]
+        assert pattern.predicate == IRI("http://ex/knows")
+        assert pattern.object == IRI("http://ex/tim")
+
+    def test_well_known_prefixes_preloaded(self):
+        q = parse_query("SELECT ?s WHERE { ?s rdf:type ub:Course }")
+        pattern = q.triple_patterns()[0]
+        assert "rdf-syntax-ns#type" in pattern.predicate.value
+        assert "univ-bench" in pattern.object.value
+
+    def test_a_keyword(self):
+        q = parse_query("SELECT ?s WHERE { ?s a <http://C> }")
+        assert "type" in q.triple_patterns()[0].predicate.value
+
+    def test_semicolon_and_comma_abbreviations(self):
+        q = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?a , ?b ; <http://q> ?c . }"
+        )
+        patterns = q.triple_patterns()
+        assert len(patterns) == 3
+        assert all(p.subject == Variable("s") for p in patterns)
+        assert patterns[0].predicate == patterns[1].predicate == IRI("http://p")
+        assert patterns[2].predicate == IRI("http://q")
+
+    def test_literals(self):
+        q = parse_query(
+            'SELECT * WHERE { ?s <http://p> "text" . ?s <http://q> 42 . '
+            '?s <http://r> 3.5 . ?s <http://t> "x"@en . }'
+        )
+        objects = [p.object for p in q.triple_patterns()]
+        assert objects[0] == Literal("text")
+        assert objects[1] == Literal("42", datatype=XSD_INTEGER)
+        assert objects[3] == Literal("x", language="en")
+
+    def test_distinct_limit_offset_order(self):
+        q = parse_query(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 10 OFFSET 5"
+        )
+        assert q.distinct
+        assert q.limit == 10
+        assert q.offset == 5
+        assert q.order_by == [(Variable("s"), False)]
+
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }")
+        assert q.aggregates[0].alias == Variable("c")
+        assert q.aggregates[0].argument is None
+
+    def test_count_distinct_variable(self):
+        q = parse_query("SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s ?p ?o }")
+        assert q.aggregates[0].distinct
+        assert q.aggregates[0].argument == Variable("s")
+
+
+class TestGroupElements:
+    def test_optional(self):
+        q = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?o <http://q> ?x } }"
+        )
+        optionals = [e for e in q.where.elements if isinstance(e, OptionalPattern)]
+        assert len(optionals) == 1
+        assert len(optionals[0].group.triple_patterns()) == 1
+
+    def test_union(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } }"
+        )
+        unions = [e for e in q.where.elements if isinstance(e, UnionPattern)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 2
+
+    def test_three_way_union(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } "
+            "UNION { ?s <http://r> ?o } }"
+        )
+        union = next(e for e in q.where.elements if isinstance(e, UnionPattern))
+        assert len(union.branches) == 3
+
+    def test_values_single_variable(self):
+        q = parse_query(
+            "SELECT * WHERE { VALUES ?x { <http://a> <http://b> } ?x <http://p> ?o }"
+        )
+        values = next(e for e in q.where.elements if isinstance(e, ValuesBlock))
+        assert values.variables == [Variable("x")]
+        assert len(values.rows) == 2
+
+    def test_values_multi_variable_with_undef(self):
+        q = parse_query(
+            "SELECT * WHERE { VALUES (?x ?y) { (<http://a> UNDEF) (<http://b> <http://c>) } }"
+        )
+        values = next(e for e in q.where.elements if isinstance(e, ValuesBlock))
+        assert values.rows[0][1] is None
+        assert values.rows[1] == (IRI("http://b"), IRI("http://c"))
+
+    def test_subselect(self):
+        q = parse_query(
+            "SELECT ?s WHERE { ?s <http://p> ?o { SELECT ?o WHERE { ?o <http://q> ?z } } }"
+        )
+        subs = [e for e in q.where.elements if isinstance(e, SubSelect)]
+        assert len(subs) == 1
+
+    def test_filter_not_exists(self):
+        q = parse_query(
+            "SELECT ?p WHERE { ?s <http://adv> ?p . "
+            "FILTER NOT EXISTS { ?p <http://teach> ?c } } LIMIT 1"
+        )
+        assert len(q.where.filters) == 1
+        expr = q.where.filters[0]
+        assert isinstance(expr, ExistsExpr) and expr.negated
+        assert q.limit == 1
+
+    def test_filter_not_exists_with_inner_select_normalized(self):
+        q = parse_query(
+            "SELECT ?p WHERE { ?s <http://adv> ?p . "
+            "FILTER NOT EXISTS { SELECT ?p WHERE { ?p <http://teach> ?c } } }"
+        )
+        expr = q.where.filters[0]
+        assert isinstance(expr, ExistsExpr)
+        # normalized to a plain group containing one triple pattern
+        assert len(expr.group.triple_patterns()) == 1
+
+    def test_filter_comparison(self):
+        q = parse_query("SELECT * WHERE { ?s <http://p> ?v . FILTER(?v > 5) }")
+        assert len(q.where.filters) == 1
+
+    def test_filter_regex_without_parens(self):
+        q = parse_query('SELECT * WHERE { ?s <http://p> ?v . FILTER regex(?v, "a") }')
+        assert len(q.where.filters) == 1
+
+    def test_filter_boolean_combination(self):
+        q = parse_query(
+            'SELECT * WHERE { ?s <http://p> ?v . FILTER(?v > 1 && ?v < 9 || ?v = 42) }'
+        )
+        assert len(q.where.filters) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT WHERE { ?s ?p ?o }",
+            "SELECT ?s { ?s ?p ?o ",
+            "FOO ?s WHERE { ?s ?p ?o }",
+            "SELECT ?s WHERE { ?s unknown:p ?o }",
+            "SELECT ?s WHERE { ?s <http://p> ?o } LIMIT x",
+            "SELECT ?s WHERE { ?s <http://p> ?o } junk",
+            "ASK ?s { ?s ?p ?o }",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(bad)
+
+
+class TestSerializerRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT ?s ?o WHERE { ?s <http://p> ?o . }",
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 3 OFFSET 1",
+            "ASK { ?s <http://p> <http://o> }",
+            "SELECT * WHERE { { ?s <http://p> ?o } UNION { ?s <http://q> ?o } }",
+            "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?o <http://q> ?x } }",
+            'SELECT * WHERE { ?s <http://p> ?v . FILTER(?v > 5 && ?v != 7) }',
+            "SELECT ?p WHERE { ?s <http://a> ?p . FILTER NOT EXISTS { ?p <http://t> ?c } } LIMIT 1",
+            "SELECT * WHERE { VALUES (?x) { (<http://a>) (UNDEF) } ?x <http://p> ?o }",
+            "SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }",
+            'SELECT * WHERE { ?s <http://p> "lit"@en . ?s <http://q> 42 }',
+            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p",
+        ],
+    )
+    def test_round_trip_is_stable(self, text):
+        once = serialize_query(parse_query(text))
+        twice = serialize_query(parse_query(once))
+        assert once == twice
+
+    def test_serialized_query_is_parseable(self):
+        q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE "
+            "{ ?s ex:p ?o . FILTER EXISTS { ?o ex:q ?z } }"
+        )
+        text = serialize_query(q)
+        assert "EXISTS" in text
+        reparsed = parse_query(text)
+        assert len(reparsed.where.filters) == 1
