@@ -103,8 +103,10 @@ class FedXEngine(BaseFederatedEngine):
     # ------------------------------------------------------------------
 
     def _run(self, query: Query, context: ExecutionContext):
-        handler = ElasticRequestHandler(self.federation, context, self.pool_size)
-        result = self._evaluate_group(query.where, handler, context, query.limit)
+        with ElasticRequestHandler(
+            self.federation, context, self.pool_size
+        ) as handler:
+            result = self._evaluate_group(query.where, handler, context, query.limit)
         if query.form == "ASK":
             return None, bool(len(result))
         return self.finalize(query, result), None

@@ -152,8 +152,10 @@ class SplendidEngine(BaseFederatedEngine):
 
     def _run(self, query: Query, context: ExecutionContext):
         self._require_index()
-        handler = ElasticRequestHandler(self.federation, context, self.pool_size)
-        result = self._evaluate_group(query.where, handler, context)
+        with ElasticRequestHandler(
+            self.federation, context, self.pool_size
+        ) as handler:
+            result = self._evaluate_group(query.where, handler, context)
         if query.form == "ASK":
             return None, bool(len(result))
         return self.finalize(query, result), None

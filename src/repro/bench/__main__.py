@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.bench --experiment fig9
     python -m repro.bench --experiment fig10 --scale 0.5
+    python -m repro.bench --experiment evaluator --check
     python -m repro.bench --list
 """
 
@@ -13,6 +14,8 @@ import argparse
 import sys
 
 from . import experiments
+from .evaluator_bench import check as evaluator_check
+from .evaluator_bench import format_report, run_hotpath, write_results
 from .reporting import format_runs, format_table
 
 
@@ -32,8 +35,16 @@ def main(argv=None) -> int:
                         help="LargeRDFBench-mini scale factor")
     parser.add_argument("--timeout", type=float, default=3600.0,
                         help="virtual-time budget per query (seconds)")
+    parser.add_argument("--check", action="store_true",
+                        help="evaluator experiment only: <10 s smoke mode "
+                             "asserting the plan-once path is active")
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
+
+    def _run_evaluator():
+        payload = evaluator_check() if args.check else run_hotpath()
+        print(format_report(payload))
+        print(f"wrote {write_results(payload)}")
 
     registry = {
         "table1": lambda: print(format_table(
@@ -94,6 +105,7 @@ def main(argv=None) -> int:
             ["benchmark", "query", "FedX", "LADE", "LADE+SAPE"],
             title="Figure 14: LADE / SAPE ablation",
         )),
+        "evaluator": _run_evaluator,
         "qerror": lambda: print(format_table(
             [experiments.qerror_study(scale=args.scale)],
             ["subqueries_measured", "median_qerror", "max_qerror"],

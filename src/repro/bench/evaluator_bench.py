@@ -1,0 +1,177 @@
+"""Microbenchmark for the endpoint evaluator's BGP hot path.
+
+Every reported runtime in the reproduction is virtual network time plus
+*measured local compute*, and local compute is dominated by
+:class:`repro.sparql.Evaluator` — it runs inside every simulated
+endpoint for every ASK, check, COUNT probe, subquery, and bound-VALUES
+round.  This benchmark measures the compile-once/batched executor
+(``use_planner=True``, the default) against the seed's per-binding
+recursive join (kept as ``use_planner=False``) on multi-pattern
+LUBM-style BGPs, and records the result in ``BENCH_evaluator.json`` to
+seed the perf trajectory.
+
+Two invariants are asserted alongside the timings:
+
+- both paths return multiset-identical results;
+- the planned path issues **zero** per-binding ``store.count`` probes
+  (the seed path issues one per remaining pattern per intermediate
+  binding — the O(rows × patterns²) overhead this PR removes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..datasets.lubm import LubmGenerator, LUBM_QUERIES
+from ..sparql.evaluator import Evaluator
+from ..sparql.parser import parse_query
+from ..store.triplestore import TripleStore
+
+DEFAULT_OUTPUT = "BENCH_evaluator.json"
+
+#: multi-pattern BGPs (6 patterns each): the paper's LUBM Q2 and Q9
+HOTPATH_QUERIES = ("Q1", "Q2")
+
+
+def build_hotpath_store(
+    universities: int = 6,
+    graduate_students_per_department: int = 48,
+) -> TripleStore:
+    """One merged LUBM store — the data a busy endpoint would hold."""
+    generator = LubmGenerator(
+        universities=universities,
+        graduate_students_per_department=graduate_students_per_department,
+    )
+    store = TripleStore()
+    for index in range(universities):
+        store.add_all(generator.generate_university(index))
+    return store
+
+
+def _measure(evaluator: Evaluator, query, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall time plus counter deltas for one query."""
+    best = float("inf")
+    rows = 0
+    store = evaluator.store
+    before_counts = store.count_calls
+    before_stats = evaluator.stats.snapshot()
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = evaluator.select(query)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        rows = len(result)
+    stats_delta = evaluator.stats.delta(before_stats)
+    return {
+        "seconds": best,
+        "rows": rows,
+        "count_probes": store.count_calls - before_counts,
+        "plans_built": stats_delta.get("plans_built", 0),
+        "plan_cache_hits": stats_delta.get("plan_cache_hits", 0),
+        "batches": stats_delta.get("batches", 0),
+        "intermediate_rows": stats_delta.get("intermediate_rows", 0),
+    }
+
+
+def run_hotpath(
+    universities: int = 6,
+    graduate_students_per_department: int = 48,
+    repeats: int = 3,
+    queries=HOTPATH_QUERIES,
+) -> Dict[str, object]:
+    """Compare seed vs planned execution; returns the report payload."""
+    store = build_hotpath_store(universities, graduate_students_per_department)
+    report_rows: List[Dict[str, object]] = []
+    for name in queries:
+        query = parse_query(LUBM_QUERIES[name])
+        patterns = len(query.where.triple_patterns())
+        seed = _measure(Evaluator(store, use_planner=False), query, repeats)
+        planned = _measure(Evaluator(store, use_planner=True), query, repeats)
+        if planned["rows"] != seed["rows"]:
+            raise AssertionError(
+                f"{name}: planned executor returned {planned['rows']} rows, "
+                f"seed returned {seed['rows']}"
+            )
+        if planned["count_probes"]:
+            raise AssertionError(
+                f"{name}: planned execution issued {planned['count_probes']} "
+                "store.count probes; the plan-once path must issue none"
+            )
+        speedup = seed["seconds"] / max(planned["seconds"], 1e-9)
+        report_rows.append({
+            "query": name,
+            "patterns": patterns,
+            "rows": planned["rows"],
+            "seed_seconds": round(seed["seconds"], 6),
+            "planned_seconds": round(planned["seconds"], 6),
+            "speedup": round(speedup, 2),
+            "seed_count_probes": seed["count_probes"],
+            "planned_count_probes": planned["count_probes"],
+            "plans_built": planned["plans_built"],
+            "plan_cache_hits": planned["plan_cache_hits"],
+            "batches": planned["batches"],
+            "intermediate_rows": planned["intermediate_rows"],
+        })
+    speedups = [row["speedup"] for row in report_rows]
+    return {
+        "benchmark": "evaluator-hotpath",
+        "store_triples": len(store),
+        "universities": universities,
+        "repeats": repeats,
+        "queries": report_rows,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+
+
+def check(universities: int = 2) -> Dict[str, object]:
+    """Fast smoke mode (<10 s): proves the plan-once path is active."""
+    payload = run_hotpath(
+        universities=universities,
+        graduate_students_per_department=12,
+        repeats=1,
+    )
+    for row in payload["queries"]:
+        if row["plans_built"] < 1:
+            raise AssertionError(
+                f"{row['query']}: planner never built a plan — the "
+                "plan-once path is not active"
+            )
+        if row["planned_count_probes"] != 0:
+            raise AssertionError(
+                f"{row['query']}: planned path issued count probes"
+            )
+        if row["seed_count_probes"] <= row["patterns"]:
+            raise AssertionError(
+                f"{row['query']}: seed path probe counter looks broken "
+                f"({row['seed_count_probes']} probes)"
+            )
+    payload["check"] = "ok"
+    return payload
+
+
+def write_results(payload: Dict[str, object], path: Optional[str] = None) -> Path:
+    target = Path(path) if path else Path.cwd() / DEFAULT_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "Evaluator hot path: seed (per-binding recursive) vs planned/batched",
+        f"store: {payload['store_triples']} triples, "
+        f"{payload['universities']} universities, best of {payload['repeats']}",
+    ]
+    for row in payload["queries"]:
+        lines.append(
+            f"  {row['query']}: {row['patterns']} patterns, {row['rows']} rows"
+            f" | seed {row['seed_seconds']:.4f}s"
+            f" ({row['seed_count_probes']} count probes)"
+            f" | planned {row['planned_seconds']:.4f}s"
+            f" ({row['plans_built']} plan(s), {row['batches']} batches,"
+            f" 0 probes) | {row['speedup']:.1f}x"
+        )
+    return "\n".join(lines)

@@ -18,14 +18,14 @@ are *delayed* and later evaluated with bound VALUES blocks.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..rdf.term import Variable
 from ..rdf.triple import TriplePattern
 from ..sparql.ast import GroupPattern, count_query
 from ..sparql.expressions import Expression
 from ..sparql.serializer import serialize_query
-from ..federation.cache import canonical_pattern_key
+from ..federation.cache import CountCache, canonical_pattern_key
 from ..federation.request_handler import ElasticRequestHandler, Request
 from .subquery import Subquery
 
@@ -64,16 +64,21 @@ def robust_mean_std(values: Sequence[float]) -> Tuple[float, float]:
 
 
 class CardinalityEstimator:
-    """COUNT-probe based cardinality estimation with a persistent cache."""
+    """COUNT-probe based cardinality estimation with a persistent cache.
+
+    ``count_cache`` is either a :class:`~repro.federation.cache.CountCache`
+    (hit/miss accounting, shared across the queries of one engine
+    session) or any mapping keyed by ``(endpoint_id, probe key)``.
+    """
 
     def __init__(
         self,
         handler: ElasticRequestHandler,
-        count_cache: Optional[Dict[Tuple[str, str], int]] = None,
+        count_cache: Optional[Union[CountCache, Dict[Tuple[str, str], int]]] = None,
     ):
         self.handler = handler
         #: (endpoint_id, canonical probe key) -> count
-        self.count_cache = count_cache if count_cache is not None else {}
+        self.count_cache = count_cache if count_cache is not None else CountCache()
 
     # -- probes ----------------------------------------------------------
 

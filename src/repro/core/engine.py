@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..endpoint.errors import FederationError
 from ..endpoint.metrics import ExecutionContext, Metrics
-from ..federation.cache import AskCache, CheckCache
+from ..federation.cache import AskCache, CheckCache, CountCache
 from ..federation.federation import Federation
 from ..federation.request_handler import ElasticRequestHandler
 from ..federation.source_selection import SourceSelector
@@ -116,7 +116,9 @@ class LusailEngine:
         self.max_retries = max_retries
         self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
         self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
-        self.count_cache: Optional[Dict] = {} if use_cache else None
+        #: COUNT-probe cache shared across this engine's queries — the
+        #: cost model's analogue of the ASK/check caches (Fig. 12(b,c))
+        self.count_cache: Optional[CountCache] = CountCache() if use_cache else None
 
     # ------------------------------------------------------------------
     # Public API
@@ -183,11 +185,11 @@ class LusailEngine:
         """Decompose without executing; returns the subqueries."""
         context = self.federation.make_context()
         query = parse_query(query_text)
-        handler = ElasticRequestHandler(
+        with ElasticRequestHandler(
             self.federation, context, self.pool_size,
             use_threads=self.use_threads, max_retries=self.max_retries,
-        )
-        subqueries, _report = self._analyze(query.where, handler, context)
+        ) as handler:
+            subqueries, _report = self._analyze(query.where, handler, context)
         return subqueries
 
     # ------------------------------------------------------------------
@@ -197,10 +199,6 @@ class LusailEngine:
     def _run(
         self, query: Query, context: ExecutionContext
     ) -> Tuple[Optional[ResultSet], Optional[bool], List[Subquery]]:
-        handler = ElasticRequestHandler(
-            self.federation, context, self.pool_size,
-            use_threads=self.use_threads, max_retries=self.max_retries,
-        )
         if query.form == "ASK":
             required = query.where.all_variables()
         else:
@@ -210,11 +208,15 @@ class LusailEngine:
                 if aggregate.argument is not None:
                     needed.add(aggregate.argument)
             required = frozenset(needed)
-        with context.phase("execution"):
-            # phases inside _evaluate_group re-attribute analysis time
-            result, decomposition = self._evaluate_group(
-                query.where, handler, context, required=required
-            )
+        with ElasticRequestHandler(
+            self.federation, context, self.pool_size,
+            use_threads=self.use_threads, max_retries=self.max_retries,
+        ) as handler:
+            with context.phase("execution"):
+                # phases inside _evaluate_group re-attribute analysis time
+                result, decomposition = self._evaluate_group(
+                    query.where, handler, context, required=required
+                )
         if query.form == "ASK":
             return None, bool(len(result)), decomposition
         result = self._apply_modifiers(query, result)

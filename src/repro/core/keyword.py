@@ -79,14 +79,13 @@ def keyword_search(
         raise ValueError("keyword_search needs at least one keyword")
     if context is None:
         context = federation.make_context()
-    handler = ElasticRequestHandler(federation, context)
-
     requests = []
     for keyword in keywords:
         text = _keyword_query(keyword)
         for endpoint_id in federation.endpoint_ids:
             requests.append((keyword, Request(endpoint_id, text, kind="SELECT")))
-    responses = handler.execute_batch([request for _, request in requests])
+    with ElasticRequestHandler(federation, context) as handler:
+        responses = handler.execute_batch([request for _, request in requests])
 
     hits: Dict[GroundTerm, KeywordHit] = {}
     for (keyword, request), response in zip(requests, responses):

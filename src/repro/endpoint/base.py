@@ -9,7 +9,7 @@ everything flows through :meth:`SPARQLEndpoint.execute`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Union
+from typing import Dict, Optional, Protocol, Union
 
 from ..sparql.results import ResultSet
 from .network import Region
@@ -25,6 +25,11 @@ class EndpointResponse:
     rows_touched: int
     #: serialized response size in bytes
     bytes_received: int
+    #: evaluator-side compute counters for this request (plans built,
+    #: batches, intermediate rows, wall time — see
+    #: :class:`repro.sparql.plan.EvaluatorStats`); ``None`` when the
+    #: endpoint does not instrument its evaluator
+    compute: Optional[Dict[str, float]] = None
 
 
 class SPARQLEndpoint(Protocol):

@@ -79,14 +79,22 @@ class LocalEndpoint:
             query = parse_query(query_text)
             if len(self._parse_cache) < 4096:
                 self._parse_cache[query_text] = query
+        stats = self._evaluator.stats
+        before = stats.snapshot()
         if query.form == "ASK":
             answer = self._evaluator.ask(query)
-            return EndpointResponse(value=answer, rows_touched=1, bytes_received=16)
+            return EndpointResponse(
+                value=answer,
+                rows_touched=1,
+                bytes_received=16,
+                compute=stats.delta(before),
+            )
         result: ResultSet = self._evaluator.select(query)
         return EndpointResponse(
             value=result,
             rows_touched=max(1, len(result)),
             bytes_received=64 + result.estimated_bytes(),
+            compute=stats.delta(before),
         )
 
     def triple_count(self) -> int:

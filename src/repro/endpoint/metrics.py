@@ -31,6 +31,18 @@ class Metrics:
     peak_intermediate_rows: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
+    #: endpoint-evaluator compute counters aggregated over every request
+    #: this query issued (plans built/cached, batches, intermediate rows,
+    #: probe counts, measured evaluator wall time) — lets the Figure-12
+    #: profiling attribute local compute, not just virtual network time
+    evaluator: Dict[str, float] = field(default_factory=dict)
+
+    def record_compute(self, compute: Optional[Dict[str, float]]) -> None:
+        """Fold one endpoint response's evaluator counters in."""
+        if not compute:
+            return
+        for key, value in compute.items():
+            self.evaluator[key] = self.evaluator.get(key, 0) + value
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -43,6 +55,7 @@ class Metrics:
             "peak_intermediate_rows": self.peak_intermediate_rows,
             "cache_hits": self.cache_hits,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
+            **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
         }
 
 
@@ -132,6 +145,7 @@ class ExecutionContext:
         kind: str,
         bytes_sent: int,
         bytes_received: int,
+        compute: Optional[Dict[str, float]] = None,
     ) -> None:
         self.metrics.requests += 1
         if kind == "ASK":
@@ -140,3 +154,4 @@ class ExecutionContext:
             self.metrics.select_requests += 1
         self.metrics.bytes_sent += bytes_sent
         self.metrics.bytes_received += bytes_received
+        self.metrics.record_compute(compute)

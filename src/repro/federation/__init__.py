@@ -1,6 +1,6 @@
 """Federation plumbing: endpoint registry, ERH, source selection, caches."""
 
-from .cache import AskCache, CheckCache, canonical_pattern_key
+from .cache import AskCache, CheckCache, CountCache, canonical_pattern_key
 from .federation import DEFAULT_CLIENT_REGION, Federation
 from .request_handler import ElasticRequestHandler, Request, Response
 from .source_selection import SourceSelector, ask_query_text
@@ -8,6 +8,7 @@ from .source_selection import SourceSelector, ask_query_text
 __all__ = [
     "AskCache",
     "CheckCache",
+    "CountCache",
     "DEFAULT_CLIENT_REGION",
     "ElasticRequestHandler",
     "Federation",

@@ -49,6 +49,41 @@ class AskCache:
         return len(self._entries)
 
 
+class CountCache:
+    """Caches the cost model's per-triple-pattern COUNT probe results.
+
+    Key: ``(endpoint id, canonical probe key)`` — the probe key is the
+    variable-renaming-invariant pattern signature plus any pushed-down
+    filters, as produced by the cardinality estimator.  Because keys are
+    canonical, structurally identical probes from *different queries in
+    one session* hit, exactly like the ASK/check caches (the Fig. 12(b,c)
+    cache knob).  The interface is a drop-in superset of the plain dict
+    the estimator historically accepted.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[str, str], default: Optional[int] = None) -> Optional[int]:
+        value = self._entries.get(key, default)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def __setitem__(self, key: Tuple[str, str], count: int) -> None:
+        self._entries[key] = count
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class CheckCache:
     """Caches GJV check outcomes.
 

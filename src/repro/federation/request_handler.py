@@ -44,6 +44,9 @@ class Response:
     request: Request
     value: Union[bool, ResultSet]
     cost_seconds: float
+    #: endpoint-evaluator compute counters for this request, when the
+    #: endpoint reports them (see ``EndpointResponse.compute``)
+    compute: Optional[Dict[str, float]] = None
 
 
 class ElasticRequestHandler:
@@ -74,6 +77,14 @@ class ElasticRequestHandler:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def __enter__(self) -> "ElasticRequestHandler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # The lazily created thread pool must not outlive the query that
+        # needed it (``use_threads=True`` would otherwise leak workers).
+        self.close()
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -119,18 +130,25 @@ class ElasticRequestHandler:
             rows_touched=response.rows_touched,
         )
         return (
-            Response(request=request, value=response.value, cost_seconds=cost),
+            Response(
+                request=request,
+                value=response.value,
+                cost_seconds=cost,
+                compute=getattr(response, "compute", None),
+            ),
             bytes_sent,
             response.bytes_received,
         )
 
-    def _record(self, request: Request, bytes_sent: int, bytes_received: int):
-        self.context.record_request(request.kind, bytes_sent, bytes_received)
+    def _record(self, response: Response, bytes_sent: int, bytes_received: int):
+        self.context.record_request(
+            response.request.kind, bytes_sent, bytes_received, response.compute
+        )
 
     def execute(self, request: Request) -> Response:
         """Serial request: the caller waits out the full round trip."""
         response, sent, received = self._perform(request)
-        self._record(request, sent, received)
+        self._record(response, sent, received)
         self.context.charge(response.cost_seconds)
         return response
 
@@ -146,7 +164,7 @@ class ElasticRequestHandler:
         per_endpoint: Dict[str, float] = {}
         total = 0.0
         for (response, sent, received) in performed:
-            self._record(response.request, sent, received)
+            self._record(response, sent, received)
             endpoint_id = response.request.endpoint_id
             per_endpoint[endpoint_id] = (
                 per_endpoint.get(endpoint_id, 0.0) + response.cost_seconds

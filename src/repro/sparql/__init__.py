@@ -28,6 +28,7 @@ from .expressions import (
 )
 from .lexer import SparqlSyntaxError, tokenize
 from .parser import parse_query
+from .plan import BGPPlan, EvaluatorStats, build_plan
 from .results import Binding, ResultSet
 from .serializer import serialize_group, serialize_query
 
@@ -38,8 +39,11 @@ __all__ = [
     "aggregate_solutions",
     "compute_aggregate",
     "ArithmeticExpr",
+    "BGPPlan",
     "Binding",
     "BooleanExpr",
+    "EvaluatorStats",
+    "build_plan",
     "CompareExpr",
     "Evaluator",
     "ExistsExpr",

@@ -1,15 +1,23 @@
 """Query evaluation over a :class:`~repro.store.TripleStore`.
 
 This is the engine that runs *inside* every simulated SPARQL endpoint.
-It implements standard bottom-up evaluation with greedy selectivity-based
-pattern ordering for BGPs, plus OPTIONAL (left join), UNION, VALUES,
-FILTER with correlated (NOT) EXISTS, sub-SELECT, DISTINCT, ORDER BY,
-LIMIT/OFFSET, and COUNT aggregation.
+It implements standard bottom-up evaluation, plus OPTIONAL (left join),
+UNION, VALUES, FILTER with correlated (NOT) EXISTS, sub-SELECT,
+DISTINCT, ORDER BY, LIMIT/OFFSET, and COUNT aggregation.
+
+BGPs run through a **compile-once, batch-at-a-time pipeline**
+(:mod:`repro.sparql.plan`): pattern order is planned once per BGP from
+static store statistics and cached across requests, then whole vectors
+of bindings are pushed through each pattern via the store's
+``match_bindings`` fast path.  The seed's per-binding recursive join —
+which re-probed ``store.count`` for every intermediate binding — is kept
+behind ``use_planner=False`` as the reference/baseline path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+import time
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..rdf.term import GroundTerm, Literal, Variable, XSD_INTEGER
 from ..rdf.triple import TriplePattern
@@ -26,30 +34,62 @@ from .ast import (
 )
 from .expressions import ExpressionError
 from .expressions import Binding, Expression
+from .plan import DEFAULT_BATCH_SIZE, BGPPlan, EvaluatorStats, build_plan
 
 _EMPTY_BINDING: Binding = {}
+
+#: cached plans per evaluator (keyed by patterns + initially-bound vars)
+_PLAN_CACHE_LIMIT = 4096
 
 
 class Evaluator:
     """Evaluates parsed queries against one store."""
 
-    def __init__(self, store: TripleStore):
+    def __init__(
+        self,
+        store: TripleStore,
+        use_planner: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
         self.store = store
+        self.use_planner = use_planner
+        self.batch_size = max(1, batch_size)
+        self.stats = EvaluatorStats()
+        self._timer_depth = 0
+        self._plan_cache: Dict[
+            Tuple[Tuple[TriplePattern, ...], FrozenSet[Variable]], BGPPlan
+        ] = {}
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
 
     def ask(self, query: Query) -> bool:
-        for _ in self._evaluate_group(query.where, _EMPTY_BINDING):
-            return True
-        return False
+        outermost = self._timer_depth == 0
+        self._timer_depth += 1
+        started = time.perf_counter()
+        try:
+            for _ in self._evaluate_group(query.where, _EMPTY_BINDING):
+                return True
+            return False
+        finally:
+            self._timer_depth -= 1
+            if outermost:
+                self.stats.exec_seconds += time.perf_counter() - started
 
     def select(self, query: Query):
         """Evaluate a SELECT query; returns a :class:`ResultSet`."""
         from .results import ResultSet
 
-        solutions = list(self._evaluate_group(query.where, _EMPTY_BINDING))
+        outermost = self._timer_depth == 0
+        self._timer_depth += 1
+        started = time.perf_counter()
+        try:
+            solutions = list(self._evaluate_group(query.where, _EMPTY_BINDING))
+        finally:
+            self._timer_depth -= 1
+            if outermost:
+                self.stats.exec_seconds += time.perf_counter() - started
         if query.aggregates or query.group_by:
             return self._aggregate(query, solutions)
         header = query.projected_variables()
@@ -81,12 +121,14 @@ class Evaluator:
 
     def _evaluate_group(self, group: GroupPattern, initial: Binding) -> Iterator[Binding]:
         solutions: Iterable[Binding] = [dict(initial)]
-        # Evaluate the BGP portion with a greedy join order, then fold in
+        # Evaluate the BGP portion with a planned join order, then fold in
         # the non-BGP elements in their syntactic order.
         patterns = [e for e in group.elements if isinstance(e, TriplePattern)]
         others = [e for e in group.elements if not isinstance(e, TriplePattern)]
         if patterns:
-            solutions = self._evaluate_bgp(patterns, solutions)
+            solutions = self._evaluate_bgp(
+                patterns, solutions, frozenset(initial)
+            )
         for element in others:
             solutions = self._apply_element(element, solutions)
         if group.filters:
@@ -126,13 +168,37 @@ class Evaluator:
         self, group: GroupPattern, solutions: Iterable[Binding]
     ) -> Iterator[Binding]:
         """SPARQL MINUS: drop solutions compatible with (and sharing at
-        least one variable with) a solution of the right-hand group."""
+        least one variable with) a solution of the right-hand group.
+
+        Hash-based: right-hand solutions are grouped by their bound
+        variable set (*domain*), and for each (domain, shared-variables)
+        combination the right side is indexed once by its projection on
+        the shared variables — membership per left solution is then a few
+        dictionary probes instead of an O(left × right) scan.
+        """
         right = list(self._evaluate_group(group, _EMPTY_BINDING))
+        if not right:
+            yield from solutions
+            return
+        by_domain: Dict[FrozenSet[Variable], List[Binding]] = {}
+        for other in right:
+            by_domain.setdefault(frozenset(other), []).append(other)
+        key_sets: Dict[Tuple[FrozenSet[Variable], Tuple[Variable, ...]], set] = {}
         for binding in solutions:
+            left_vars = frozenset(binding)
             removed = False
-            for other in right:
-                shared = set(binding) & set(other)
-                if shared and all(binding[v] == other[v] for v in shared):
+            for domain, rights in by_domain.items():
+                shared = domain & left_vars
+                if not shared:
+                    continue
+                shared_key = tuple(sorted(shared, key=lambda v: v.name))
+                keys = key_sets.get((domain, shared_key))
+                if keys is None:
+                    keys = {
+                        tuple(other[v] for v in shared_key) for other in rights
+                    }
+                    key_sets[(domain, shared_key)] = keys
+                if tuple(binding[v] for v in shared_key) in keys:
                     removed = True
                     break
             if not removed:
@@ -150,10 +216,43 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def _evaluate_bgp(
-        self, patterns: List[TriplePattern], solutions: Iterable[Binding]
+        self,
+        patterns: List[TriplePattern],
+        solutions: Iterable[Binding],
+        bound: FrozenSet[Variable] = frozenset(),
     ) -> Iterator[Binding]:
-        for binding in solutions:
-            yield from self._join_patterns(patterns, binding)
+        if not self.use_planner:
+            for binding in solutions:
+                yield from self._join_patterns(patterns, binding)
+            return
+        plan = self.plan_for(patterns, bound)
+        yield from plan.execute(
+            self.store, solutions, self.stats, self.batch_size
+        )
+
+    def plan_for(
+        self,
+        patterns: List[TriplePattern],
+        bound: FrozenSet[Variable] = frozenset(),
+    ) -> BGPPlan:
+        """Fetch (or build and cache) the plan for one BGP.
+
+        Plans depend only on the pattern list, the variables bound on
+        entry, and the store's statistics; the store's mutation counter
+        invalidates stale cache entries.
+        """
+        key = (tuple(patterns), bound)
+        plan = self._plan_cache.get(key)
+        if plan is not None and plan.store_version == self.store.version:
+            self.stats.plan_cache_hits += 1
+            return plan
+        plan = build_plan(self.store, patterns, bound, self.stats)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = plan
+        return plan
+
+    # -- legacy per-binding path (``use_planner=False``) ----------------
 
     def _join_patterns(
         self, patterns: List[TriplePattern], binding: Binding
@@ -180,7 +279,11 @@ class Evaluator:
         best_cost = None
         for i, pattern in enumerate(patterns):
             substituted = pattern.substitute(binding)
-            cost = self.store.count(substituted) if len(patterns) > 1 else 0
+            if len(patterns) > 1:
+                self.stats.count_probes += 1
+                cost = self.store.count(substituted)
+            else:
+                cost = 0
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_index = i

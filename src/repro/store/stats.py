@@ -50,8 +50,8 @@ class VoidDescription:
         from ..rdf.term import Variable
 
         type_pattern = TriplePattern(Variable("s"), RDF_TYPE, Variable("c"))
-        for triple in store.match(type_pattern):
-            description.classes[triple.object] = description.classes.get(triple.object, 0) + 1
+        for _s, _p, cls_term in store.match_terms(type_pattern):
+            description.classes[cls_term] = description.classes.get(cls_term, 0) + 1
         return description
 
 
@@ -77,11 +77,11 @@ class AuthoritySummary:
             subject_auths = set()
             object_auths = set()
             pattern = TriplePattern(Variable("s"), predicate, Variable("o"))
-            for triple in store.match(pattern):
-                if isinstance(triple.subject, IRI):
-                    subject_auths.add(triple.subject.authority)
-                if isinstance(triple.object, IRI):
-                    object_auths.add(triple.object.authority)
+            for subject, _p, obj in store.match_terms(pattern):
+                if isinstance(subject, IRI):
+                    subject_auths.add(subject.authority)
+                if isinstance(obj, IRI):
+                    object_auths.add(obj.authority)
             summary.subject_authorities[predicate] = frozenset(subject_auths)
             summary.object_authorities[predicate] = frozenset(object_auths)
         return summary

@@ -2,19 +2,30 @@
 
 The store keeps SPO, POS, and OSP indexes so that every triple-pattern
 shape resolves with at most one dictionary walk plus iteration over the
-matching leaves.  Per-predicate counts are maintained incrementally —
-these are exactly the "lightweight per-triple statistics" the paper's
-cost model relies on (Section 4.1).
+matching leaves.  Per-predicate counts (and per-predicate distinct
+subject counts) are maintained incrementally — these are exactly the
+"lightweight per-triple statistics" the paper's cost model relies on
+(Section 4.1), and what the compile-once BGP planner orders patterns by.
+
+Two lookup surfaces exist:
+
+- :meth:`match` / :meth:`match_terms` — classic single-pattern matching;
+- :meth:`match_bindings` — the batch fast path used by the planned BGP
+  executor: a whole vector of bindings is pushed through one pattern,
+  bindings agreeing on the pattern's bound variables share one index
+  walk (build/probe), and extended bindings are produced directly from
+  the index leaves with no intermediate :class:`Triple` allocation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..rdf.term import GroundTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
 
 _Index = Dict[GroundTerm, Dict[GroundTerm, Set[GroundTerm]]]
+_Terms = Tuple[GroundTerm, GroundTerm, GroundTerm]
 
 
 def _index_add(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) -> None:
@@ -44,6 +55,15 @@ class TripleStore:
         self._osp: _Index = {}
         self._size = 0
         self._predicate_counts: Dict[GroundTerm, int] = {}
+        #: per (predicate, subject) triple counts — len() per predicate
+        #: gives distinct subjects in O(1)
+        self._pred_subjects: Dict[GroundTerm, Dict[GroundTerm, int]] = {}
+        #: bumped on every successful add/remove; cached BGP plans carry
+        #: the version their statistics reflect
+        self._version = 0
+        #: how many times :meth:`count` ran (the evaluator microbenchmark
+        #: asserts planned execution stopped per-binding probing)
+        self.count_calls = 0
         if triples is not None:
             self.add_all(triples)
 
@@ -61,7 +81,10 @@ class TripleStore:
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
+        self._version += 1
         self._predicate_counts[p] = self._predicate_counts.get(p, 0) + 1
+        by_subject = self._pred_subjects.setdefault(p, {})
+        by_subject[s] = by_subject.get(s, 0) + 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -82,16 +105,30 @@ class TripleStore:
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         self._size -= 1
+        self._version += 1
         remaining = self._predicate_counts[p] - 1
         if remaining:
             self._predicate_counts[p] = remaining
         else:
             del self._predicate_counts[p]
+        by_subject = self._pred_subjects[p]
+        left = by_subject[s] - 1
+        if left:
+            by_subject[s] = left
+        else:
+            del by_subject[s]
+            if not by_subject:
+                del self._pred_subjects[p]
         return True
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (plan-cache invalidation token)."""
+        return self._version
 
     def __len__(self) -> int:
         return self._size
@@ -115,19 +152,31 @@ class TripleStore:
         Terms that are :class:`Variable` act as wildcards; a variable used
         in two positions additionally forces those positions to be equal.
         """
+        for terms in self.match_terms(pattern):
+            yield Triple(*terms)
+
+    def match_terms(self, pattern: TriplePattern) -> Iterator[_Terms]:
+        """Like :meth:`match` but yields raw ``(s, p, o)`` term tuples,
+        skipping the :class:`Triple` allocation."""
         s = None if isinstance(pattern.subject, Variable) else pattern.subject
         p = None if isinstance(pattern.predicate, Variable) else pattern.predicate
         o = None if isinstance(pattern.object, Variable) else pattern.object
-        for triple in self._match_raw(s, p, o):
-            if pattern.matches(triple) is not None:
-                yield triple
+        stream = self._match_terms_raw(s, p, o)
+        constraints = _equality_constraints(pattern)
+        if not constraints:
+            return stream
+        return (
+            terms
+            for terms in stream
+            if all(terms[i] == terms[j] for i, j in constraints)
+        )
 
-    def _match_raw(
+    def _match_terms_raw(
         self,
         s: Optional[GroundTerm],
         p: Optional[GroundTerm],
         o: Optional[GroundTerm],
-    ) -> Iterator[Triple]:
+    ) -> Iterator[_Terms]:
         if s is not None:
             by_predicate = self._spo.get(s)
             if by_predicate is None:
@@ -138,21 +187,21 @@ class TripleStore:
                     return
                 if o is not None:
                     if o in objects:
-                        yield Triple(s, p, o)
+                        yield (s, p, o)
                     return
                 for obj in objects:
-                    yield Triple(s, p, obj)
+                    yield (s, p, obj)
                 return
             if o is not None:
                 predicates = self._osp.get(o, {}).get(s)
                 if predicates is None:
                     return
                 for pred in predicates:
-                    yield Triple(s, pred, o)
+                    yield (s, pred, o)
                 return
             for pred, objects in by_predicate.items():
                 for obj in objects:
-                    yield Triple(s, pred, obj)
+                    yield (s, pred, obj)
             return
         if p is not None:
             by_object = self._pos.get(p)
@@ -163,11 +212,11 @@ class TripleStore:
                 if subjects is None:
                     return
                 for subj in subjects:
-                    yield Triple(subj, p, o)
+                    yield (subj, p, o)
                 return
             for obj, subjects in by_object.items():
                 for subj in subjects:
-                    yield Triple(subj, p, obj)
+                    yield (subj, p, obj)
             return
         if o is not None:
             by_subject = self._osp.get(o)
@@ -175,9 +224,110 @@ class TripleStore:
                 return
             for subj, predicates in by_subject.items():
                 for pred in predicates:
-                    yield Triple(subj, pred, o)
+                    yield (subj, pred, o)
             return
-        yield from self.triples()
+        for s_, by_predicate in self._spo.items():
+            for p_, objects in by_predicate.items():
+                for o_ in objects:
+                    yield (s_, p_, o_)
+
+    # ------------------------------------------------------------------
+    # Batch matching (the planned executor's fast path)
+    # ------------------------------------------------------------------
+
+    def match_bindings(
+        self, pattern: TriplePattern, bindings: Iterable[dict]
+    ) -> Iterator[dict]:
+        """Extend each binding in ``bindings`` with matches of ``pattern``.
+
+        Bindings are grouped by the values they give the pattern's
+        variables, so bindings sharing bound join values pay for a single
+        index walk (build/probe hash join); extensions come straight off
+        the index leaves, with no ``Triple`` allocation or re-match.  A
+        binding that adds no new variables is yielded as-is (callers
+        never mutate solution dicts in place).
+        """
+        base = pattern.as_tuple()
+        pattern_vars: List[Variable] = []
+        var_index: Dict[Variable, int] = {}
+        for term in base:
+            if isinstance(term, Variable) and term not in var_index:
+                var_index[term] = len(pattern_vars)
+                pattern_vars.append(term)
+        if not pattern_vars:
+            # Ground pattern: pure filter on presence.
+            objects = self._spo.get(base[0], {}).get(base[1])
+            if objects is not None and base[2] in objects:
+                yield from bindings
+            return
+        #: per position: index into ``pattern_vars`` or None for ground
+        slots = tuple(
+            var_index[t] if isinstance(t, Variable) else None for t in base
+        )
+        groups: Dict[tuple, List[dict]] = {}
+        for binding in bindings:
+            key = tuple([binding.get(v) for v in pattern_vars])
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [binding]
+            else:
+                group.append(binding)
+        for key, members in groups.items():
+            # Concrete query terms for this group; None means free.
+            query = [
+                base[pos] if slot is None else key[slot]
+                for pos, slot in enumerate(slots)
+            ]
+            free = [
+                (pos, pattern_vars[slot])
+                for pos, slot in enumerate(slots)
+                if slot is not None and key[slot] is None
+            ]
+            if not free:
+                # Fully bound for this group: membership test only.
+                objects = self._spo.get(query[0], {}).get(query[1])
+                if objects is not None and query[2] in objects:
+                    yield from members
+                continue
+            stream = self._match_terms_raw(query[0], query[1], query[2])
+            if len(free) > 1:
+                # Repeated free variables force equality constraints.
+                first_pos: Dict[Variable, int] = {}
+                checks = []
+                unique = []
+                for pos, var in free:
+                    if var in first_pos:
+                        checks.append((first_pos[var], pos))
+                    else:
+                        first_pos[var] = pos
+                        unique.append((pos, var))
+                if checks:
+                    stream = (
+                        t for t in stream
+                        if all(t[a] == t[b] for a, b in checks)
+                    )
+                    free = unique
+            if len(members) == 1:
+                binding = members[0]
+                for terms in stream:
+                    merged = dict(binding)
+                    for pos, var in free:
+                        merged[var] = terms[pos]
+                    yield merged
+            else:
+                # Build once, probe per member: output is |members| ×
+                # |extensions| rows, so materializing the extension
+                # tuples is bounded by the output size.
+                extensions = [
+                    tuple([terms[pos] for pos, _ in free]) for terms in stream
+                ]
+                variables = [var for _, var in free]
+                for binding in members:
+                    for extension in extensions:
+                        merged = dict(binding)
+                        for var, term in zip(variables, extension):
+                            merged[var] = term
+                        yield merged
 
     def count(self, pattern: TriplePattern) -> int:
         """Count triples matching the pattern.
@@ -185,6 +335,7 @@ class TripleStore:
         Fast paths avoid materializing matches for the common shapes used
         by the cost model (fully unbound, predicate-bound, etc.).
         """
+        self.count_calls += 1
         s_var = isinstance(pattern.subject, Variable)
         p_var = isinstance(pattern.predicate, Variable)
         o_var = isinstance(pattern.object, Variable)
@@ -192,7 +343,7 @@ class TripleStore:
         bound_count = 3 - (s_var + p_var + o_var)
         # Repeated variables force equality constraints; fall back to scan.
         if distinct_vars != (3 - bound_count):
-            return sum(1 for _ in self.match(pattern))
+            return sum(1 for _ in self.match_terms(pattern))
         if s_var and p_var and o_var:
             return self._size
         if not s_var and not p_var and not o_var:
@@ -225,19 +376,46 @@ class TripleStore:
     def subjects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
         if predicate is None:
             return set(self._spo)
-        return {
-            subj
-            for subjects in self._pos.get(predicate, {}).values()
-            for subj in subjects
-        }
+        return set(self._pred_subjects.get(predicate, ()))
 
     def objects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
         if predicate is None:
             return set(self._osp)
         return set(self._pos.get(predicate, {}))
 
+    def subject_predicate_count(self, subject: GroundTerm, predicate: GroundTerm) -> int:
+        """Exact triple count for a ground (subject, predicate) pair, O(1)."""
+        return len(self._spo.get(subject, {}).get(predicate, ()))
+
+    def predicate_object_count(self, predicate: GroundTerm, object: GroundTerm) -> int:
+        """Exact triple count for a ground (predicate, object) pair, O(1)."""
+        return len(self._pos.get(predicate, {}).get(object, ()))
+
     def distinct_subject_count(self, predicate: GroundTerm) -> int:
-        return len(self.subjects(predicate))
+        return len(self._pred_subjects.get(predicate, ()))
 
     def distinct_object_count(self, predicate: GroundTerm) -> int:
         return len(self._pos.get(predicate, {}))
+
+    def distinct_subjects_total(self) -> int:
+        return len(self._spo)
+
+    def distinct_objects_total(self) -> int:
+        return len(self._osp)
+
+    def distinct_predicates_total(self) -> int:
+        return len(self._predicate_counts)
+
+
+def _equality_constraints(pattern: TriplePattern) -> List[Tuple[int, int]]:
+    """Position pairs a repeated variable forces to be equal."""
+    seen: Dict[Variable, int] = {}
+    constraints: List[Tuple[int, int]] = []
+    for index, term in enumerate(pattern.as_tuple()):
+        if isinstance(term, Variable):
+            first = seen.get(term)
+            if first is None:
+                seen[term] = index
+            else:
+                constraints.append((first, index))
+    return constraints
