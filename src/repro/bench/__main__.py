@@ -14,6 +14,7 @@ import argparse
 import sys
 
 from . import experiments
+from . import federation_bench
 from .evaluator_bench import check as evaluator_check
 from .evaluator_bench import format_report, run_hotpath, write_results
 from .reporting import format_runs, format_table
@@ -36,8 +37,9 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=3600.0,
                         help="virtual-time budget per query (seconds)")
     parser.add_argument("--check", action="store_true",
-                        help="evaluator experiment only: <10 s smoke mode "
-                             "asserting the plan-once path is active")
+                        help="evaluator/federation experiments only: fast "
+                             "smoke mode asserting the optimized path is "
+                             "active and winner/shape stability holds")
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
 
@@ -45,6 +47,15 @@ def main(argv=None) -> int:
         payload = evaluator_check() if args.check else run_hotpath()
         print(format_report(payload))
         print(f"wrote {write_results(payload)}")
+
+    def _run_federation():
+        payload = (
+            federation_bench.check()
+            if args.check
+            else federation_bench.run_federation()
+        )
+        print(federation_bench.format_report(payload))
+        print(f"wrote {federation_bench.write_results(payload)}")
 
     registry = {
         "table1": lambda: print(format_table(
@@ -106,6 +117,7 @@ def main(argv=None) -> int:
             title="Figure 14: LADE / SAPE ablation",
         )),
         "evaluator": _run_evaluator,
+        "federation": _run_federation,
         "qerror": lambda: print(format_table(
             [experiments.qerror_study(scale=args.scale)],
             ["subqueries_measured", "median_qerror", "max_qerror"],

@@ -1,0 +1,364 @@
+"""Benchmark for the pipelined Elastic Request Handler (futures-based
+scheduling across the analysis and SAPE phases).
+
+Two workloads, each run with ``pipeline=False`` (the seed's per-batch
+barriers) and ``pipeline=True`` (futures submitted into one scheduler
+window, delayed subqueries with disjoint variables dispatched
+concurrently):
+
+- **lubm** — the paper's LUBM figure queries Q1–Q4 on geo-distributed
+  same-schema universities.  Every wave of those queries loads every
+  endpoint lane uniformly, so pipelining must match the barrier runtimes
+  exactly while never issuing extra requests: this workload guards
+  against regressions.
+- **directory** — a linked-data demo federation in the spirit of the
+  paper's demonstration scenario: universities hold students, two
+  sharded *address* registries hold places (mostly irrelevant noise,
+  the classic bound-join motivation), two sharded *email* registries
+  hold mailboxes.  The directory query joins all four; both registry
+  subqueries are delayed (bound VALUES evaluation) and bind on
+  *different* variables over *different* endpoints, so the pipelined
+  scheduler runs them in one overlapped wave and the COUNT probes
+  overlap the GJV checks.  This is where the makespan drops.
+
+Both engines must return identical rows on every query; the payload in
+``BENCH_federation.json`` records virtual runtimes, request counts, and
+the new scheduler counters (in-flight high water, waves, lane
+utilization) for before/after comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import LusailEngine
+from ..datasets.lubm import LUBM_QUERIES, LubmGenerator
+from ..endpoint.local import LocalEndpoint
+from ..endpoint.network import AZURE_GEO, AZURE_REGIONS, Region
+from ..federation.federation import Federation
+from ..rdf.namespace import RDF_TYPE, UB
+from ..rdf.term import IRI, Literal
+from ..rdf.triple import Triple
+
+DEFAULT_OUTPUT = "BENCH_federation.json"
+
+#: the directory workload's speedup floor asserted by ``check()``
+MIN_DIRECTORY_SPEEDUP = 1.25
+#: pipelining may never slow a query down by more than this factor
+MAX_REGRESSION = 1.02
+
+_UNIVERSITY_REGIONS = [
+    Region("east-us"), Region("west-us"), Region("south-central-us"),
+]
+_ADDRESS_REGIONS = [Region("north-europe"), Region("west-europe")]
+_EMAIL_REGIONS = [Region("uk-south"), Region("north-europe")]
+
+
+def _university_iri(index: int) -> IRI:
+    return IRI(f"http://www.university{index}.edu/University{index}")
+
+
+def _student_iri(university: int, index: int) -> IRI:
+    return IRI(
+        f"http://www.university{university}.edu/GraduateStudent{index}"
+    )
+
+
+def build_directory_federation(
+    universities: int = 12,
+    students_per_university: int = 1,
+    noise_addresses: int = 4000,
+    noise_emails: int = 7000,
+) -> Federation:
+    """Universities (near regions) + sharded address/email registries
+    (far regions), GeoNames-style: registries are big, but only the rows
+    matching the universities' bindings matter."""
+    endpoints: List[LocalEndpoint] = []
+    students: List[IRI] = []
+    for index in range(universities):
+        triples: List[Triple] = []
+        for s in range(students_per_university):
+            student = _student_iri(index, s)
+            students.append(student)
+            triples.append(Triple(student, RDF_TYPE, UB.GraduateStudent))
+            triples.append(Triple(
+                student,
+                UB.undergraduateDegreeFrom,
+                _university_iri((index + 1 + s) % universities),
+            ))
+        endpoints.append(LocalEndpoint.from_triples(
+            f"university{index}",
+            triples,
+            region=_UNIVERSITY_REGIONS[index % len(_UNIVERSITY_REGIONS)],
+        ))
+    for shard, region in enumerate(_ADDRESS_REGIONS):
+        triples = [
+            Triple(
+                _university_iri(index), UB.address,
+                Literal(f"{100 + index} College Road, City{index}"),
+            )
+            for index in range(universities)
+            if index % len(_ADDRESS_REGIONS) == shard
+        ]
+        triples.extend(
+            Triple(
+                IRI(f"http://places.example.org/s{shard}/Place{n}"),
+                UB.address,
+                Literal(f"{n} Nowhere Lane"),
+            )
+            for n in range(noise_addresses // len(_ADDRESS_REGIONS))
+        )
+        endpoints.append(LocalEndpoint.from_triples(
+            f"addresses{shard}", triples, region=region,
+        ))
+    for shard, region in enumerate(_EMAIL_REGIONS):
+        triples = [
+            Triple(student, UB.emailAddress,
+                   Literal(f"student{i}@example.edu"))
+            for i, student in enumerate(students)
+            if i % len(_EMAIL_REGIONS) == shard
+        ]
+        triples.extend(
+            Triple(
+                IRI(f"http://people.example.org/s{shard}/Person{n}"),
+                UB.emailAddress,
+                Literal(f"noise{n}@example.org"),
+            )
+            for n in range(noise_emails // len(_EMAIL_REGIONS))
+        )
+        endpoints.append(LocalEndpoint.from_triples(
+            f"emails{shard}", triples, region=region,
+        ))
+    return Federation(endpoints, network=AZURE_GEO)
+
+
+#: the directory query: student + alma mater address + mailbox.  The
+#: address subquery binds on ?u, the email subquery on ?x — disjoint
+#: variables over disjoint endpoints, so the pipelined scheduler
+#: evaluates both delayed subqueries in one wave.
+DIRECTORY_QUERY = f"""
+SELECT ?x ?u ?a ?e WHERE {{
+  ?x <{RDF_TYPE.value}> <{UB.base}GraduateStudent> .
+  ?x <{UB.base}undergraduateDegreeFrom> ?u .
+  ?u <{UB.base}address> ?a .
+  ?x <{UB.base}emailAddress> ?e .
+}}
+"""
+
+
+def _lubm_regions(universities: int) -> Dict[int, Region]:
+    remote = [r for r in AZURE_REGIONS if r.name != "central-us"]
+    return {i: remote[i % len(remote)] for i in range(universities)}
+
+
+def _run_one(
+    build_federation,
+    query_text: str,
+    pipeline: bool,
+    *,
+    values_block_size: int,
+    delay_threshold: str,
+    pool_size: int,
+) -> Dict[str, object]:
+    engine = LusailEngine(
+        build_federation(),
+        pool_size=pool_size,
+        delay_threshold=delay_threshold,
+        values_block_size=values_block_size,
+        pipeline=pipeline,
+    )
+    outcome = engine.execute(query_text)
+    if not outcome.ok:
+        raise AssertionError(
+            f"query failed (pipeline={pipeline}): {outcome.error}"
+        )
+    metrics = outcome.metrics
+    return {
+        "rows": sorted(
+            tuple("" if cell is None else cell.n3() for cell in row)
+            for row in outcome.result.rows
+        ),
+        "virtual_seconds": metrics.virtual_seconds,
+        "requests": metrics.requests,
+        "delayed_subqueries": sum(
+            1 for sq in outcome.decomposition if sq.delayed
+        ),
+        "inflight_high_water": metrics.inflight_high_water,
+        "scheduler_waves": metrics.scheduler_waves,
+        "lane_utilization": round(metrics.lane_utilization(), 4),
+        "phase_seconds": {
+            k: round(v, 4) for k, v in metrics.phase_seconds.items()
+        },
+    }
+
+
+def _compare(
+    name: str,
+    build_federation,
+    query_text: str,
+    **engine_kwargs,
+) -> Dict[str, object]:
+    barrier = _run_one(build_federation, query_text, False, **engine_kwargs)
+    pipelined = _run_one(build_federation, query_text, True, **engine_kwargs)
+    if barrier["rows"] != pipelined["rows"]:
+        raise AssertionError(
+            f"{name}: pipelined rows differ from barrier rows "
+            f"({len(pipelined['rows'])} vs {len(barrier['rows'])})"
+        )
+    speedup = barrier["virtual_seconds"] / max(
+        pipelined["virtual_seconds"], 1e-9
+    )
+    row: Dict[str, object] = {
+        "query": name,
+        "rows": len(barrier["rows"]),
+        "delayed_subqueries": pipelined["delayed_subqueries"],
+        "speedup": round(speedup, 3),
+    }
+    for mode, payload in (("barrier", barrier), ("pipelined", pipelined)):
+        row[mode] = {
+            "virtual_seconds": round(payload["virtual_seconds"], 4),
+            "requests": payload["requests"],
+            "inflight_high_water": payload["inflight_high_water"],
+            "scheduler_waves": payload["scheduler_waves"],
+            "lane_utilization": payload["lane_utilization"],
+            "phase_seconds": payload["phase_seconds"],
+        }
+    return row
+
+
+def run_federation(
+    lubm_universities: int = 6,
+    directory_universities: int = 12,
+    lubm_queries: Sequence[str] = ("Q1", "Q2", "Q3", "Q4"),
+) -> Dict[str, object]:
+    """Compare barrier vs pipelined scheduling; returns the payload."""
+    rows: List[Dict[str, object]] = []
+    regions = _lubm_regions(lubm_universities)
+    generator = LubmGenerator(universities=lubm_universities)
+    for name in lubm_queries:
+        rows.append(_compare(
+            f"LUBM-{name}",
+            lambda: generator.build_federation(
+                network=AZURE_GEO, regions=regions
+            ),
+            LUBM_QUERIES[name],
+            values_block_size=16,
+            delay_threshold="mu+sigma",
+            pool_size=8,
+        ))
+    rows.append(_compare(
+        "directory",
+        lambda: build_directory_federation(
+            universities=directory_universities
+        ),
+        DIRECTORY_QUERY,
+        values_block_size=2,
+        delay_threshold="mu",
+        pool_size=32,
+    ))
+    return {
+        "benchmark": "federation-pipeline",
+        "lubm_universities": lubm_universities,
+        "directory_universities": directory_universities,
+        "queries": rows,
+        "max_speedup": max(row["speedup"] for row in rows),
+    }
+
+
+def check(
+    lubm_universities: int = 2,
+    directory_universities: int = 8,
+) -> Dict[str, object]:
+    """Fast smoke mode (<30 s) asserting shape/winner stability:
+
+    - both modes return identical rows on every query (checked inside
+      :func:`_compare` already);
+    - pipelining never regresses any query beyond ``MAX_REGRESSION``;
+    - the directory workload keeps ≥ 2 delayed subqueries and a
+      ≥ ``MIN_DIRECTORY_SPEEDUP`` speedup;
+    - the overlap is visible in the scheduler counters: higher in-flight
+      high water, fewer (wider) submission waves, better lane
+      utilization than the barrier run.
+    """
+    payload = run_federation(
+        lubm_universities=lubm_universities,
+        directory_universities=directory_universities,
+        lubm_queries=("Q3", "Q4"),
+    )
+    for row in payload["queries"]:
+        if row["speedup"] < 1.0 / MAX_REGRESSION:
+            raise AssertionError(
+                f"{row['query']}: pipelining regressed virtual time "
+                f"({row['speedup']}x)"
+            )
+        if row["pipelined"]["requests"] > row["barrier"]["requests"]:
+            raise AssertionError(
+                f"{row['query']}: pipelining issued extra requests "
+                f"({row['pipelined']['requests']} vs "
+                f"{row['barrier']['requests']})"
+            )
+    directory = next(
+        row for row in payload["queries"] if row["query"] == "directory"
+    )
+    if directory["delayed_subqueries"] < 2:
+        raise AssertionError(
+            "directory workload lost its delayed subqueries "
+            f"({directory['delayed_subqueries']})"
+        )
+    if directory["speedup"] < MIN_DIRECTORY_SPEEDUP:
+        raise AssertionError(
+            f"directory speedup {directory['speedup']}x below the "
+            f"{MIN_DIRECTORY_SPEEDUP}x floor"
+        )
+    barrier, pipelined = directory["barrier"], directory["pipelined"]
+    if pipelined["inflight_high_water"] <= barrier["inflight_high_water"]:
+        raise AssertionError(
+            "pipelined run shows no extra request overlap "
+            f"(high water {pipelined['inflight_high_water']} vs "
+            f"{barrier['inflight_high_water']})"
+        )
+    if pipelined["scheduler_waves"] >= barrier["scheduler_waves"]:
+        raise AssertionError(
+            "pipelined run did not merge submission waves "
+            f"({pipelined['scheduler_waves']} vs "
+            f"{barrier['scheduler_waves']})"
+        )
+    if pipelined["lane_utilization"] <= barrier["lane_utilization"]:
+        raise AssertionError(
+            "pipelined run did not improve lane utilization "
+            f"({pipelined['lane_utilization']} vs "
+            f"{barrier['lane_utilization']})"
+        )
+    payload["check"] = "ok"
+    return payload
+
+
+def write_results(payload: Dict[str, object], path: Optional[str] = None) -> Path:
+    target = Path(path) if path else Path.cwd() / DEFAULT_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "Federation scheduling: per-batch barriers vs pipelined futures",
+        f"LUBM x{payload['lubm_universities']} universities, "
+        f"directory x{payload['directory_universities']} universities",
+    ]
+    for row in payload["queries"]:
+        barrier, pipelined = row["barrier"], row["pipelined"]
+        lines.append(
+            f"  {row['query']}: {row['rows']} rows, "
+            f"{row['delayed_subqueries']} delayed"
+            f" | barrier {barrier['virtual_seconds']:.3f}s"
+            f" ({barrier['requests']} req, hw {barrier['inflight_high_water']},"
+            f" {barrier['scheduler_waves']} waves)"
+            f" | pipelined {pipelined['virtual_seconds']:.3f}s"
+            f" ({pipelined['requests']} req, hw "
+            f"{pipelined['inflight_high_water']},"
+            f" {pipelined['scheduler_waves']} waves)"
+            f" | {row['speedup']:.2f}x"
+        )
+    return "\n".join(lines)

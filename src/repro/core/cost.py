@@ -26,7 +26,11 @@ from ..sparql.ast import GroupPattern, count_query
 from ..sparql.expressions import Expression
 from ..sparql.serializer import serialize_query
 from ..federation.cache import CountCache, canonical_pattern_key
-from ..federation.request_handler import ElasticRequestHandler, Request
+from ..federation.request_handler import (
+    ElasticRequestHandler,
+    Request,
+    ResponseFuture,
+)
 from .subquery import Subquery
 
 #: supported settings for the delay threshold (Figure 13)
@@ -79,6 +83,8 @@ class CardinalityEstimator:
         self.handler = handler
         #: (endpoint_id, canonical probe key) -> count
         self.count_cache = count_cache if count_cache is not None else CountCache()
+        #: probes dispatched by :meth:`prefetch` but not yet awaited
+        self._inflight: Dict[Tuple[str, str], ResponseFuture] = {}
 
     # -- probes ----------------------------------------------------------
 
@@ -90,6 +96,58 @@ class CardinalityEstimator:
         if filters:
             key += " || " + " && ".join(sorted(f.to_sparql() for f in filters))
         return key
+
+    @staticmethod
+    def _parse_count(response) -> int:
+        result = response.value
+        return int(result.rows[0][0].lexical)  # type: ignore[union-attr]
+
+    def prefetch(
+        self,
+        patterns: Sequence[TriplePattern],
+        selection: Dict[TriplePattern, Tuple[str, ...]],
+        filters: Sequence[Expression] = (),
+    ) -> int:
+        """Dispatch COUNT probes for every (pattern, relevant endpoint)
+        without awaiting them.
+
+        Called while the GJV check queries are still in flight, so the
+        analysis phase pays one overlapped window instead of a check
+        barrier followed by one probe barrier *per pattern* (the two
+        back-to-back barriers Figure 3's ERH never exhibits).  Probes a
+        later :meth:`pattern_cardinalities` call never consumes are
+        settled by :meth:`drain`.  Returns the number dispatched.
+        """
+        dispatched = 0
+        for pattern in dict.fromkeys(patterns):
+            pushable = [
+                f for f in filters
+                if f.variables() <= pattern.variables()
+                and not f.contains_exists()
+            ]
+            key = self._probe_key(pattern, pushable)
+            text: Optional[str] = None
+            for endpoint_id in selection.get(pattern, ()):
+                cache_key = (endpoint_id, key)
+                if cache_key in self.count_cache or cache_key in self._inflight:
+                    continue
+                if text is None:
+                    group = GroupPattern(
+                        elements=[pattern], filters=list(pushable)
+                    )
+                    text = serialize_query(count_query(group))
+                self._inflight[cache_key] = self.handler.submit(
+                    Request(endpoint_id, text, kind="SELECT")
+                )
+                dispatched += 1
+        return dispatched
+
+    def drain(self) -> None:
+        """Await and cache every still-outstanding prefetched probe, so
+        issued requests are always accounted before analysis ends."""
+        while self._inflight:
+            cache_key, future = self._inflight.popitem()
+            self.count_cache[cache_key] = self._parse_count(future.result())
 
     def pattern_cardinalities(
         self,
@@ -105,18 +163,23 @@ class CardinalityEstimator:
         missing: List[str] = []
         for endpoint_id in sources:
             cached = self.count_cache.get((endpoint_id, key))
-            if cached is None:
-                missing.append(endpoint_id)
-            else:
+            if cached is not None:
                 counts[endpoint_id] = cached
                 self.handler.context.metrics.cache_hits += 1
+                continue
+            future = self._inflight.pop((endpoint_id, key), None)
+            if future is not None:
+                count = self._parse_count(future.result())
+                counts[endpoint_id] = count
+                self.count_cache[(endpoint_id, key)] = count
+            else:
+                missing.append(endpoint_id)
         if missing:
             group = GroupPattern(elements=[pattern], filters=list(pushable))
             text = serialize_query(count_query(group))
             requests = [Request(eid, text, kind="SELECT") for eid in missing]
             for response in self.handler.execute_batch(requests):
-                result = response.value
-                count = int(result.rows[0][0].lexical)  # type: ignore[union-attr]
+                count = self._parse_count(response)
                 counts[response.request.endpoint_id] = count
                 self.count_cache[(response.request.endpoint_id, key)] = count
         return counts

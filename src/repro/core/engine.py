@@ -100,6 +100,7 @@ class LusailEngine:
         join_threads: int = 4,
         use_threads: bool = False,
         max_retries: int = 2,
+        pipeline: bool = True,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -109,6 +110,9 @@ class LusailEngine:
         self.strict_checks = strict_checks
         self.values_block_size = values_block_size
         self.join_threads = join_threads
+        #: futures-based scheduling across the analysis and SAPE phases;
+        #: False restores the seed's per-batch barriers (ablation knob)
+        self.pipeline = pipeline
         #: run request batches on a real thread pool (the paper's ERH);
         #: virtual-time accounting is identical either way
         self.use_threads = use_threads
@@ -277,11 +281,23 @@ class LusailEngine:
                 check_cache=self.check_cache,
                 strict_checks=self.strict_checks,
             )
-            report = detector.detect(patterns)
             estimator = CardinalityEstimator(
                 handler,
                 self.count_cache if self.count_cache is not None else {},
             )
+            if self.pipeline:
+                # Overlap the GJV check queries with the cost model's
+                # COUNT probes in one scheduler window (Figure 3's ERH
+                # never runs analysis as two back-to-back barriers).
+                # Prefetch only when the request-free rules already
+                # produced a global variable: then the decomposer is
+                # guaranteed to need estimates, so no probe is wasted.
+                wave = detector.begin(patterns)
+                if len(patterns) > 1 and wave.report.global_variables:
+                    estimator.prefetch(patterns, selection)
+                report = detector.collect(wave)
+            else:
+                report = detector.detect(patterns)
             needs_estimates = bool(report.global_variables)
 
             def cost_of(subqueries: List[Subquery]) -> float:
@@ -292,6 +308,7 @@ class LusailEngine:
 
             decomposer = Decomposer(selection, report, cost_estimator=cost_of)
             subqueries = decomposer.decompose(patterns)
+            estimator.drain()
         context.trace_event(
             "gjv",
             variables=sorted(v.name for v in report.global_variables),
@@ -397,7 +414,10 @@ class LusailEngine:
             ],
         )
         evaluator = SubqueryEvaluator(
-            handler, context, values_block_size=self.values_block_size
+            handler,
+            context,
+            values_block_size=self.values_block_size,
+            pipeline=self.pipeline,
         )
         relations = evaluator.evaluate(subqueries, initial_relations=initial)
 
@@ -467,9 +487,32 @@ class LusailEngine:
         shared = [v for v in minus_result.variables if v in result.variables]
         if not shared:
             return result
-        right_keys = set()
+        # Fully bound right keys go into a hash set — a fully bound left
+        # key is compatible with one iff the tuples are equal, so the
+        # common case (no unbound cells anywhere) is a hash anti-join
+        # instead of the former O(|left| × |right keys|) scan.  Right
+        # keys with some unbound cells still need the per-cell
+        # compatibility test; all-None right keys never overlap with
+        # anything and are dropped outright.
+        exact = set()
+        partial = []
         for binding in minus_result.bindings():
-            right_keys.add(tuple(binding.get(v) for v in shared))
+            key = tuple(binding.get(v) for v in shared)
+            if None not in key:
+                exact.add(key)
+            elif any(cell is not None for cell in key):
+                partial.append(key)
+
+        def compatible(left_key, right_key):
+            overlap = False
+            for left_cell, right_cell in zip(left_key, right_key):
+                if left_cell is None or right_cell is None:
+                    continue
+                overlap = True
+                if left_cell != right_cell:
+                    return False
+            return overlap
+
         kept = []
         indexes = [result.variables.index(v) for v in shared]
         for row in result.rows:
@@ -477,20 +520,14 @@ class LusailEngine:
             if all(cell is None for cell in key):
                 kept.append(row)
                 continue
-            removed = False
-            for right in right_keys:
-                agree = True
-                overlap = False
-                for left_cell, right_cell in zip(key, right):
-                    if left_cell is None or right_cell is None:
-                        continue
-                    overlap = True
-                    if left_cell != right_cell:
-                        agree = False
-                        break
-                if agree and overlap:
-                    removed = True
-                    break
+            if None not in key:
+                removed = key in exact or any(
+                    compatible(key, right) for right in partial
+                )
+            else:
+                removed = any(
+                    compatible(key, right) for right in exact
+                ) or any(compatible(key, right) for right in partial)
             if not removed:
                 kept.append(row)
         context.charge_join(len(result) + len(minus_result))

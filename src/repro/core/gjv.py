@@ -25,7 +25,11 @@ from ..sparql.ast import GroupPattern, Query
 from ..sparql.expressions import ExistsExpr
 from ..sparql.serializer import serialize_query
 from ..federation.cache import CheckCache
-from ..federation.request_handler import ElasticRequestHandler, Request
+from ..federation.request_handler import (
+    ElasticRequestHandler,
+    Request,
+    ResponseFuture,
+)
 
 PatternPair = FrozenSet[TriplePattern]
 
@@ -131,6 +135,17 @@ class GJVDetector:
     # ------------------------------------------------------------------
 
     def detect(self, patterns: Sequence[TriplePattern]) -> GJVReport:
+        """Run Algorithm 1 as one begin/collect round trip."""
+        return self.collect(self.begin(patterns))
+
+    def begin(self, patterns: Sequence[TriplePattern]) -> "CheckWave":
+        """Apply the request-free rules and dispatch the check queries.
+
+        Returns a :class:`CheckWave` whose requests are in flight but not
+        yet awaited — the caller may submit more work (e.g. the cost
+        model's COUNT probes) into the same scheduler window before
+        calling :meth:`collect`.
+        """
         report = GJVReport()
         join_entities = self._join_entities(patterns)
         type_constraints = self._type_constraints(patterns)
@@ -164,8 +179,23 @@ class GJVDetector:
                         )
                     )
 
-        if check_queries:
-            self._run_checks(check_queries, report)
+        return self._submit_checks(check_queries, report)
+
+    def collect(self, wave: "CheckWave") -> GJVReport:
+        """Await the check wave and fold the answers into the report."""
+        report = wave.report
+        if not wave.pending:
+            return report
+        responses = self.handler.gather(wave.futures)
+        report.check_queries_sent += len(wave.futures)
+        for (check, endpoint_id), response in zip(wave.pending, responses):
+            has_witness = bool(len(response.value))  # type: ignore[arg-type]
+            if self.check_cache is not None:
+                self.check_cache.put(
+                    endpoint_id, check.cache_signature(), has_witness
+                )
+            if has_witness:
+                report.add(check.variable, check.outer, check.inner)
         return report
 
     # ------------------------------------------------------------------
@@ -235,8 +265,10 @@ class GJVDetector:
                 add(inner, outer)
         return checks
 
-    def _run_checks(self, checks: List[_CheckQuery], report: GJVReport) -> None:
-        """Execute check queries at their relevant endpoints in parallel."""
+    def _submit_checks(
+        self, checks: List[_CheckQuery], report: GJVReport
+    ) -> "CheckWave":
+        """Dispatch the uncached check queries at their relevant endpoints."""
         pending: List[Tuple[_CheckQuery, str]] = []
         for check in checks:
             if report.pair_forbidden(check.outer, check.inner):
@@ -254,18 +286,19 @@ class GJVDetector:
                     self.handler.context.metrics.cache_hits += 1
                     if cached:
                         report.add(check.variable, check.outer, check.inner)
-        if pending:
-            requests = [
+        futures = [
+            self.handler.submit(
                 Request(endpoint_id, check.to_sparql(), kind="SELECT")
-                for check, endpoint_id in pending
-            ]
-            responses = self.handler.execute_batch(requests)
-            report.check_queries_sent += len(requests)
-            for (check, endpoint_id), response in zip(pending, responses):
-                has_witness = bool(len(response.value))  # type: ignore[arg-type]
-                if self.check_cache is not None:
-                    self.check_cache.put(
-                        endpoint_id, check.cache_signature(), has_witness
-                    )
-                if has_witness:
-                    report.add(check.variable, check.outer, check.inner)
+            )
+            for check, endpoint_id in pending
+        ]
+        return CheckWave(report=report, pending=pending, futures=futures)
+
+
+@dataclass
+class CheckWave:
+    """Algorithm 1's in-flight check queries, between begin() and collect()."""
+
+    report: GJVReport
+    pending: List[Tuple[_CheckQuery, str]]
+    futures: List[ResponseFuture]

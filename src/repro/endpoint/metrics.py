@@ -36,6 +36,23 @@ class Metrics:
     #: probe counts, measured evaluator wall time) — lets the Figure-12
     #: profiling attribute local compute, not just virtual network time
     evaluator: Dict[str, float] = field(default_factory=dict)
+    #: most requests simultaneously in flight in the request scheduler —
+    #: pipelined phases push this well above any single batch's size
+    inflight_high_water: int = 0
+    #: submission bursts that started from an empty scheduler window; a
+    #: barrier per block shows up as many small waves, pipelining as few
+    #: wide ones
+    scheduler_waves: int = 0
+    #: endpoint id -> virtual seconds its (serialized) lane spent busy
+    lane_busy_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def lane_utilization(self) -> float:
+        """Mean busy fraction of the endpoint lanes over the query's
+        virtual makespan (1.0 = every lane saturated the whole time)."""
+        if not self.lane_busy_seconds or self.virtual_seconds <= 0:
+            return 0.0
+        busy = sum(self.lane_busy_seconds.values())
+        return busy / (self.virtual_seconds * len(self.lane_busy_seconds))
 
     def record_compute(self, compute: Optional[Dict[str, float]]) -> None:
         """Fold one endpoint response's evaluator counters in."""
@@ -54,6 +71,9 @@ class Metrics:
             "virtual_seconds": self.virtual_seconds,
             "peak_intermediate_rows": self.peak_intermediate_rows,
             "cache_hits": self.cache_hits,
+            "inflight_high_water": self.inflight_high_water,
+            "scheduler_waves": self.scheduler_waves,
+            "lane_utilization": self.lane_utilization(),
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
         }

@@ -2,7 +2,12 @@
 
 from .cache import AskCache, CheckCache, CountCache, canonical_pattern_key
 from .federation import DEFAULT_CLIENT_REGION, Federation
-from .request_handler import ElasticRequestHandler, Request, Response
+from .request_handler import (
+    ElasticRequestHandler,
+    Request,
+    Response,
+    ResponseFuture,
+)
 from .source_selection import SourceSelector, ask_query_text
 
 __all__ = [
@@ -14,6 +19,7 @@ __all__ = [
     "Federation",
     "Request",
     "Response",
+    "ResponseFuture",
     "SourceSelector",
     "ask_query_text",
     "canonical_pattern_key",

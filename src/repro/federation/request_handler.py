@@ -1,29 +1,48 @@
 """The Elastic Request Handler (ERH).
 
 The paper's ERH manages a pool of threads that issue ASK / check / SELECT
-requests to endpoints in parallel (Figure 3).  Virtual time models the
-parallelism deterministically: a batch of requests submitted together
-costs
+requests to endpoints in parallel (Figure 3).  Virtual time models that
+parallelism deterministically with a *makespan simulator*: every request
+submitted through :meth:`ElasticRequestHandler.submit` is scheduled onto
 
-    max( max over endpoints of (sum of that endpoint's request costs),
-         total cost / pool_size )
+- a **lane** per endpoint — requests addressed to one endpoint
+  serialize, exactly like a single SPARQL server answering one query at
+  a time; and
+- a pool of ``pool_size`` **workers** — total concurrency is bounded by
+  the thread pool, like the paper's setup.
 
-— requests to one endpoint serialize, requests to different endpoints
-overlap, and the thread pool bounds total concurrency.  Serial execution
-(``execute``) charges full cost per request; this is what a bound-join
-loop pays, which is exactly the effect the paper measures against FedX.
+A request starts at the latest of (a) the virtual clock when it was
+submitted, (b) the moment its endpoint lane frees up, and (c) the moment
+a pool worker frees up; it finishes ``cost_seconds`` later.  The clock
+only advances when a :class:`ResponseFuture` is resolved, so requests
+submitted by *different pipeline stages* before any of them is awaited
+share one in-flight window and overlap — the futures-based pipelining
+the paper's Figure 3 depicts.  ``execute_batch`` (submit a wave, gather
+it immediately) therefore charges the wave's makespan and keeps the
+barrier semantics earlier code relied on, while ``submit``/``gather``
+let callers keep many waves in flight at once.
 
-With ``use_threads=True`` batches additionally run on a real
+Serial execution (``execute``) still charges the full round trip per
+request — this is what a FedX-style bound-join loop pays, which is
+exactly the effect the paper measures against.
+
+With ``use_threads=True`` submissions additionally run on a real
 :class:`~concurrent.futures.ThreadPoolExecutor` (the paper's setup);
-results and accounting are identical — endpoints are read-only during
-queries — so the default stays deterministic single-threaded execution.
+futures are *scheduled* in submission order regardless of real
+completion order, so results and accounting are bit-identical to the
+single-threaded default — endpoints are read-only during queries, and a
+per-endpoint lock keeps their evaluator counters coherent.
 """
 
 from __future__ import annotations
 
+import heapq
+import threading
+from collections import deque
+from concurrent.futures import Future as _ThreadFuture
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..endpoint.metrics import ExecutionContext
 from ..sparql.results import ResultSet
@@ -49,6 +68,43 @@ class Response:
     compute: Optional[Dict[str, float]] = None
 
 
+class ResponseFuture:
+    """Handle for one in-flight request.
+
+    Created by :meth:`ElasticRequestHandler.submit`; resolving it (via
+    :meth:`result` or the handler's ``gather``) schedules every earlier
+    submission onto the lane/worker simulator and advances the virtual
+    clock to this request's completion time.  ``result`` is idempotent
+    and re-raises the request's failure, if any.
+    """
+
+    __slots__ = (
+        "_handler", "request", "_submit_clock", "_thread_future",
+        "_performed", "_submit_error", "_response", "_exception",
+        "_finish", "_scheduled",
+    )
+
+    def __init__(self, handler: "ElasticRequestHandler", request: Request,
+                 submit_clock: float):
+        self._handler = handler
+        self.request = request
+        self._submit_clock = submit_clock
+        self._thread_future: Optional[_ThreadFuture] = None
+        self._performed: Optional[Tuple[Response, int, int]] = None
+        self._submit_error: Optional[BaseException] = None
+        self._response: Optional[Response] = None
+        self._exception: Optional[BaseException] = None
+        self._finish = 0.0
+        self._scheduled = False
+
+    def done(self) -> bool:
+        """Whether this request has been scheduled (resolved)."""
+        return self._scheduled
+
+    def result(self) -> Response:
+        return self._handler._resolve(self)
+
+
 class ElasticRequestHandler:
     """Issues requests against a federation under an execution context."""
 
@@ -72,6 +128,19 @@ class ElasticRequestHandler:
         self.max_retries = max(0, max_retries)
         self.retry_backoff_seconds = retry_backoff_seconds
         self._executor: Optional[ThreadPoolExecutor] = None
+        # -- makespan simulator state (all touched only from the
+        #    orchestrating thread; workers never schedule) --------------
+        #: endpoint id -> absolute virtual time its lane frees up
+        self._lane_free: Dict[str, float] = {}
+        #: min-heap of worker busy-until times, at most ``pool_size`` deep
+        self._worker_free: List[float] = []
+        #: submitted-but-unscheduled futures, resolved strictly in order
+        self._pending: Deque[ResponseFuture] = deque()
+        #: serializes endpoint evaluator access in ``use_threads`` mode
+        self._endpoint_locks = {
+            endpoint_id: threading.Lock()
+            for endpoint_id in federation.endpoint_ids
+        }
 
     def close(self) -> None:
         if self._executor is not None:
@@ -140,40 +209,121 @@ class ElasticRequestHandler:
             response.bytes_received,
         )
 
+    def _perform_locked(self, request: Request) -> Tuple[Response, int, int]:
+        """Threaded perform: one request per endpoint at a time, so the
+        endpoint evaluator's compute counters stay per-request-exact
+        (matching the lane model, which serializes endpoints anyway)."""
+        lock = self._endpoint_locks.get(request.endpoint_id)
+        if lock is None:  # unknown endpoint: let _perform raise KeyError
+            return self._perform(request)
+        with lock:
+            return self._perform(request)
+
     def _record(self, response: Response, bytes_sent: int, bytes_received: int):
         self.context.record_request(
             response.request.kind, bytes_sent, bytes_received, response.compute
         )
 
+    # ------------------------------------------------------------------
+    # Futures-based scheduling
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> ResponseFuture:
+        """Dispatch one request without waiting for it.
+
+        The returned future joins the current in-flight window: its
+        start time is the virtual clock *now*, so submissions from
+        different pipeline stages overlap until something resolves them.
+        """
+        metrics = self.context.metrics
+        if not self._pending:
+            metrics.scheduler_waves += 1
+        future = ResponseFuture(self, request, metrics.virtual_seconds)
+        if self.use_threads:
+            future._thread_future = self._pool().submit(
+                self._perform_locked, request
+            )
+        else:
+            try:
+                future._performed = self._perform(request)
+            except Exception as error:  # re-raised when the future resolves
+                future._submit_error = error
+        self._pending.append(future)
+        if len(self._pending) > metrics.inflight_high_water:
+            metrics.inflight_high_water = len(self._pending)
+        return future
+
+    def submit_all(self, requests: Sequence[Request]) -> List[ResponseFuture]:
+        return [self.submit(request) for request in requests]
+
+    def gather(self, futures: Sequence[ResponseFuture]) -> List[Response]:
+        """Resolve futures in order; the clock ends at their makespan."""
+        return [future.result() for future in futures]
+
+    def _resolve(self, future: ResponseFuture) -> Response:
+        # Scheduling is strictly submission-ordered: resolving a future
+        # first schedules everything submitted before it, which keeps
+        # threaded and single-threaded accounting identical.
+        while not future._scheduled:
+            self._schedule_next()
+        if future._exception is not None:
+            raise future._exception
+        clock = self.context.metrics.virtual_seconds
+        if future._finish > clock:
+            self.context.charge(future._finish - clock)
+        return future._response
+
+    def _schedule_next(self) -> None:
+        future = self._pending.popleft()
+        try:
+            if future._thread_future is not None:
+                performed = future._thread_future.result()
+            elif future._submit_error is not None:
+                raise future._submit_error
+            else:
+                performed = future._performed
+        except Exception as error:
+            # A failed request holds no lane time (its retries already
+            # priced the attempts into nothing observable — the query is
+            # about to abort anyway); the error surfaces at result().
+            future._exception = error
+            future._scheduled = True
+            return
+        response, bytes_sent, bytes_received = performed
+        self._record(response, bytes_sent, bytes_received)
+        endpoint_id = response.request.endpoint_id
+        start = max(
+            future._submit_clock, self._lane_free.get(endpoint_id, 0.0)
+        )
+        if len(self._worker_free) >= self.pool_size:
+            start = max(start, heapq.heappop(self._worker_free))
+        finish = start + response.cost_seconds
+        heapq.heappush(self._worker_free, finish)
+        self._lane_free[endpoint_id] = finish
+        lanes = self.context.metrics.lane_busy_seconds
+        lanes[endpoint_id] = lanes.get(endpoint_id, 0.0) + response.cost_seconds
+        future._response = response
+        future._finish = finish
+        future._scheduled = True
+
+    # ------------------------------------------------------------------
+    # Barrier-style entry points (built on the scheduler)
+    # ------------------------------------------------------------------
+
     def execute(self, request: Request) -> Response:
         """Serial request: the caller waits out the full round trip."""
-        response, sent, received = self._perform(request)
-        self._record(response, sent, received)
-        self.context.charge(response.cost_seconds)
-        return response
+        return self.submit(request).result()
 
     def execute_batch(self, requests: Sequence[Request]) -> List[Response]:
-        """Concurrent batch: virtual time overlaps across endpoints."""
+        """Concurrent batch with a barrier: submit one wave, await it.
+
+        Charges the wave's makespan — requests to one endpoint
+        serialize, requests to different endpoints overlap, and the
+        worker pool bounds total concurrency.
+        """
         if not requests:
             return []
-        if self.use_threads and len(requests) > 1:
-            performed = list(self._pool().map(self._perform, requests))
-        else:
-            performed = [self._perform(request) for request in requests]
-        responses: List[Response] = []
-        per_endpoint: Dict[str, float] = {}
-        total = 0.0
-        for (response, sent, received) in performed:
-            self._record(response, sent, received)
-            endpoint_id = response.request.endpoint_id
-            per_endpoint[endpoint_id] = (
-                per_endpoint.get(endpoint_id, 0.0) + response.cost_seconds
-            )
-            total += response.cost_seconds
-            responses.append(response)
-        elapsed = max(max(per_endpoint.values()), total / self.pool_size)
-        self.context.charge(elapsed)
-        return responses
+        return self.gather(self.submit_all(requests))
 
     # Convenience wrappers -------------------------------------------------
 

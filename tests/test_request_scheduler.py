@@ -1,0 +1,218 @@
+"""Tests for the futures-based request scheduler (pipelined ERH).
+
+The scheduler replaces the per-batch cost formula with a virtual-clock
+makespan simulation: every endpoint is a serialized lane, at most
+``pool_size`` requests run concurrently, and a request's virtual finish
+time is ``max(submit clock, lane free, worker free) + cost``.  These
+tests pin the makespan properties (lane serialization, cross-endpoint
+overlap, pool cap, wave overlap through early submission) and the
+future API (exceptions at ``result()``, idempotent resolution, the new
+metrics counters).
+"""
+
+import pytest
+
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
+from repro.federation import ElasticRequestHandler, Federation, Request
+from repro.rdf import parse as nt_parse
+
+EP_TEMPLATE = """
+<http://u{i}/kim> <http://ub/advisor> <http://u{i}/tim> .
+<http://u{i}/tim> <http://ub/teacherOf> <http://u{i}/c1> .
+"""
+
+ASK = "ASK { ?s ?p ?o }"
+SELECT = "SELECT ?s WHERE { ?s <http://ub/advisor> ?o }"
+
+
+def make_federation(endpoints=3):
+    return Federation(
+        [
+            LocalEndpoint.from_triples(
+                f"ep{i}", nt_parse(EP_TEMPLATE.format(i=i))
+            )
+            for i in range(endpoints)
+        ],
+        network=LOCAL_CLUSTER,
+    )
+
+
+class TestMakespan:
+    def test_same_lane_serializes(self):
+        """Three requests to one endpoint cost the sum of their costs."""
+        federation = make_federation(1)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx, pool_size=8)
+        futures = [
+            handler.submit(Request("ep0", ASK, "ASK")) for _ in range(3)
+        ]
+        responses = handler.gather(futures)
+        total = sum(r.cost_seconds for r in responses)
+        assert ctx.metrics.virtual_seconds == pytest.approx(total)
+
+    def test_distinct_lanes_overlap(self):
+        """One request per endpoint costs the max, not the sum."""
+        federation = make_federation(3)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx, pool_size=8)
+        futures = [
+            handler.submit(Request(f"ep{i}", ASK, "ASK")) for i in range(3)
+        ]
+        responses = handler.gather(futures)
+        costs = [r.cost_seconds for r in responses]
+        assert ctx.metrics.virtual_seconds == pytest.approx(max(costs))
+        assert ctx.metrics.virtual_seconds < sum(costs)
+
+    def test_pool_size_one_serializes_everything(self):
+        federation = make_federation(3)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx, pool_size=1)
+        futures = [
+            handler.submit(Request(f"ep{i}", ASK, "ASK")) for i in range(3)
+        ]
+        responses = handler.gather(futures)
+        total = sum(r.cost_seconds for r in responses)
+        assert ctx.metrics.virtual_seconds == pytest.approx(total)
+
+    def test_early_submission_overlaps_waves(self):
+        """Submitting wave B before gathering wave A lets B's lanes start
+        while A's slow lane is still busy; a gather barrier between the
+        waves forces B to start at A's makespan."""
+        # Barrier: two sequential single-endpoint batches.
+        federation = make_federation(2)
+        ctx_barrier = federation.make_context()
+        barrier = ElasticRequestHandler(federation, ctx_barrier, pool_size=8)
+        barrier.execute_batch([Request("ep0", ASK, "ASK")])
+        barrier.execute_batch([Request("ep1", ASK, "ASK")])
+        # Pipelined: both submitted before any resolution.
+        ctx_pipe = federation.make_context()
+        pipelined = ElasticRequestHandler(federation, ctx_pipe, pool_size=8)
+        futures = [
+            pipelined.submit(Request("ep0", ASK, "ASK")),
+            pipelined.submit(Request("ep1", ASK, "ASK")),
+        ]
+        pipelined.gather(futures)
+        assert (
+            ctx_pipe.metrics.virtual_seconds
+            < ctx_barrier.metrics.virtual_seconds
+        )
+
+    def test_gather_matches_execute_batch(self):
+        """execute_batch is exactly gather(submit_all(...))."""
+        federation = make_federation(2)
+        requests = [
+            Request("ep0", ASK, "ASK"),
+            Request("ep1", ASK, "ASK"),
+            Request("ep0", SELECT, "SELECT"),
+        ]
+        ctx_batch = federation.make_context()
+        ElasticRequestHandler(federation, ctx_batch).execute_batch(requests)
+        ctx_futures = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx_futures)
+        handler.gather(handler.submit_all(requests))
+        assert ctx_batch.metrics.virtual_seconds == pytest.approx(
+            ctx_futures.metrics.virtual_seconds
+        )
+        assert ctx_batch.metrics.requests == ctx_futures.metrics.requests
+
+    def test_out_of_order_resolution_never_rewinds_clock(self):
+        """Resolving a later future first schedules everything before it;
+        earlier futures then resolve without advancing the clock."""
+        federation = make_federation(2)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        first = handler.submit(Request("ep0", ASK, "ASK"))
+        second = handler.submit(Request("ep1", ASK, "ASK"))
+        second.result()
+        after_second = ctx.metrics.virtual_seconds
+        first.result()
+        assert ctx.metrics.virtual_seconds == after_second
+        assert first.done() and second.done()
+
+
+class TestFutureApi:
+    def test_result_is_idempotent(self):
+        federation = make_federation(1)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        future = handler.submit(Request("ep0", ASK, "ASK"))
+        assert not future.done()
+        first = future.result()
+        clock = ctx.metrics.virtual_seconds
+        assert future.done()
+        assert future.result() is first
+        assert ctx.metrics.virtual_seconds == clock
+        assert ctx.metrics.requests == 1
+
+    def test_unknown_endpoint_raises_at_result(self):
+        federation = make_federation(1)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        future = handler.submit(Request("nope", ASK, "ASK"))
+        with pytest.raises(KeyError):
+            future.result()
+        # the exception is sticky and re-raised on every call
+        with pytest.raises(KeyError):
+            future.result()
+
+    def test_failed_future_does_not_block_others(self):
+        federation = make_federation(1)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        bad = handler.submit(Request("nope", ASK, "ASK"))
+        good = handler.submit(Request("ep0", ASK, "ASK"))
+        assert good.result().value is not None
+        with pytest.raises(KeyError):
+            bad.result()
+
+
+class TestSchedulerCounters:
+    def test_inflight_high_water_tracks_window(self):
+        federation = make_federation(2)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        futures = [
+            handler.submit(Request(f"ep{i % 2}", ASK, "ASK"))
+            for i in range(5)
+        ]
+        assert ctx.metrics.inflight_high_water == 5
+        handler.gather(futures)
+        assert ctx.metrics.inflight_high_water == 5
+
+    def test_waves_count_submission_bursts(self):
+        federation = make_federation(2)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        # burst 1: two requests submitted into an empty window
+        handler.gather(handler.submit_all(
+            [Request("ep0", ASK, "ASK"), Request("ep1", ASK, "ASK")]
+        ))
+        # burst 2: one request after the window drained
+        handler.execute(Request("ep0", ASK, "ASK"))
+        assert ctx.metrics.scheduler_waves == 2
+
+    def test_lane_busy_seconds_sum_to_costs(self):
+        federation = make_federation(2)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        responses = handler.gather(handler.submit_all([
+            Request("ep0", ASK, "ASK"),
+            Request("ep0", ASK, "ASK"),
+            Request("ep1", ASK, "ASK"),
+        ]))
+        by_lane = {}
+        for response in responses:
+            by_lane.setdefault(response.request.endpoint_id, 0.0)
+            by_lane[response.request.endpoint_id] += response.cost_seconds
+        assert ctx.metrics.lane_busy_seconds == pytest.approx(by_lane)
+        assert 0.0 < ctx.metrics.lane_utilization() <= 1.0
+
+    def test_snapshot_includes_scheduler_counters(self):
+        federation = make_federation(1)
+        ctx = federation.make_context()
+        handler = ElasticRequestHandler(federation, ctx)
+        handler.execute(Request("ep0", ASK, "ASK"))
+        snapshot = ctx.metrics.snapshot()
+        assert snapshot["inflight_high_water"] == 1
+        assert snapshot["scheduler_waves"] == 1
+        assert "lane_utilization" in snapshot
