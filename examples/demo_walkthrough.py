@@ -13,6 +13,8 @@ Run with::
 
 from repro.core import LusailEngine, keyword_search, render_trace
 from repro.datasets import LargeRdfBenchGenerator, LRB_QUERIES
+from repro.datasets.lubm import LUBM_QUERIES, LubmGenerator
+from repro.endpoint import FaultProfile
 
 
 def walk_through(engine: LusailEngine, name: str, query_text: str) -> None:
@@ -43,6 +45,25 @@ def main() -> None:
     # C5: two disjoint subgraphs joined only by a FILTER — the shape the
     # paper's competitors cannot execute at all.
     walk_through(engine, "C5 (disjoint subgraphs + filter)", LRB_QUERIES["C5"])
+
+    # Fault tolerance: one LUBM endpoint is hard-down.  In
+    # partial-results mode the engine degrades instead of aborting — the
+    # breaker fast-fails the dead endpoint after its first exhausted
+    # retries, the remaining endpoints answer, and the trace narrates
+    # the PARTIAL outcome with its completeness report.
+    lubm = LubmGenerator(universities=2)
+    degraded_federation = lubm.build_federation()
+    degraded_federation.endpoint("university1").set_faults(
+        FaultProfile.always_down()
+    )
+    degraded_engine = LusailEngine(degraded_federation, partial_results=True)
+    banner = " degraded run (university1 down, partial results) "
+    print(f"{banner:=^78}")
+    outcome = degraded_engine.execute(LUBM_QUERIES["Q2"], trace=True)
+    print(render_trace(outcome.trace))
+    print(f"status: {outcome.status}, {len(outcome)} rows; "
+          f"completeness: {outcome.completeness.to_dict()}")
+    print()
 
     # Bonus: the paper's future work, implemented — keyword search over
     # the whole federation without writing SPARQL.

@@ -15,6 +15,7 @@ import sys
 
 from . import experiments
 from . import federation_bench
+from . import resilience_bench
 from .evaluator_bench import check as evaluator_check
 from .evaluator_bench import format_report, run_hotpath, write_results
 from .reporting import format_runs, format_table
@@ -56,6 +57,15 @@ def main(argv=None) -> int:
         )
         print(federation_bench.format_report(payload))
         print(f"wrote {federation_bench.write_results(payload)}")
+
+    def _run_resilience():
+        payload = (
+            resilience_bench.check()
+            if args.check
+            else resilience_bench.run_resilience()
+        )
+        print(resilience_bench.format_report(payload))
+        print(f"wrote {resilience_bench.write_results(payload)}")
 
     registry = {
         "table1": lambda: print(format_table(
@@ -118,6 +128,7 @@ def main(argv=None) -> int:
         )),
         "evaluator": _run_evaluator,
         "federation": _run_federation,
+        "resilience": _run_resilience,
         "qerror": lambda: print(format_table(
             [experiments.qerror_study(scale=args.scale)],
             ["subqueries_measured", "median_qerror", "max_qerror"],

@@ -1,0 +1,331 @@
+"""Resilience benchmark: fault injection × breaker × partial results.
+
+Sweeps the LUBM federation through the failure modes a public-endpoint
+federation actually sees (the paper's Table 2 shows FedX erroring out
+against Bio2RDF) and records what each mitigation buys:
+
+- **flaky** — i.i.d. transient failures (``failure_rate``) on every
+  endpoint.  The retry budget must absorb them: answers stay exactly
+  equal to the fault-free run, while the honest accounting shows up in
+  ``requests_failed``, ``retries`` and the extra ``virtual_seconds``
+  the backoffs cost.
+- **outage** — one endpoint hard-down (``FaultProfile.always_down``).
+  Without partial results the query aborts with ``RE`` (a FedX-style
+  engine with no retries aborts even faster); with
+  ``partial_results=True`` the remaining endpoints' answers come back
+  as a ``PARTIAL`` result with a completeness report.  The circuit
+  breaker turns the dead endpoint's repeated retry storms into fast
+  fails, cutting the virtual time burned on it.
+- **replica** — the down endpoint has a registered standby replica;
+  rerouting recovers the *full* answer and the run reports complete.
+
+``BENCH_resilience.json`` records every scenario row; ``--check``
+asserts the invariants above.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import LusailEngine
+from ..datasets.lubm import LUBM_QUERIES, LubmGenerator
+from ..endpoint.faults import FaultProfile
+from ..endpoint.local import LocalEndpoint
+from ..federation.federation import Federation
+
+DEFAULT_OUTPUT = "BENCH_resilience.json"
+
+#: the endpoint taken down in the outage / replica scenarios
+DOWN_ENDPOINT = "university1"
+REPLICA_ENDPOINT = "university1-replica"
+
+#: transient-failure rates for the flaky sweep
+FLAKY_RATES = (0.05, 0.15)
+
+
+def _build_federation(
+    generator: LubmGenerator,
+    fault_profiles: Optional[Dict[str, FaultProfile]] = None,
+    with_replica: bool = False,
+) -> Federation:
+    """LUBM federation with per-endpoint fault profiles, optionally
+    with a fault-free standby replica of :data:`DOWN_ENDPOINT`."""
+    profiles = fault_profiles or {}
+    endpoints: List[LocalEndpoint] = []
+    for index in range(generator.universities):
+        endpoint_id = f"university{index}"
+        endpoints.append(LocalEndpoint.from_triples(
+            endpoint_id,
+            generator.generate_university(index),
+            faults=profiles.get(endpoint_id),
+        ))
+    if with_replica:
+        down_index = int(DOWN_ENDPOINT.removeprefix("university"))
+        endpoints.append(LocalEndpoint.from_triples(
+            REPLICA_ENDPOINT, generator.generate_university(down_index),
+        ))
+    federation = Federation(endpoints)
+    if with_replica:
+        federation.register_replica(DOWN_ENDPOINT, REPLICA_ENDPOINT)
+    return federation
+
+
+def _run_one(
+    federation: Federation,
+    query_text: str,
+    *,
+    partial_results: bool,
+    breaker: bool,
+    max_retries: int = 2,
+) -> Dict[str, object]:
+    engine = LusailEngine(
+        federation,
+        partial_results=partial_results,
+        breaker=breaker,
+        max_retries=max_retries,
+    )
+    outcome = engine.execute(query_text)
+    metrics = outcome.metrics
+    row: Dict[str, object] = {
+        "status": outcome.status,
+        "rows": sorted(
+            tuple("" if cell is None else cell.n3() for cell in r)
+            for r in outcome.result.rows
+        ) if outcome.result is not None else None,
+        "virtual_seconds": round(metrics.virtual_seconds, 4),
+        "requests": metrics.requests,
+        "requests_failed": metrics.requests_failed,
+        "retries": metrics.retries,
+        "breaker_opens": metrics.breaker_opens,
+        "breaker_fast_fails": metrics.breaker_fast_fails,
+        "subqueries_degraded": metrics.subqueries_degraded,
+    }
+    if outcome.completeness is not None:
+        row["completeness"] = outcome.completeness.to_dict()
+    if outcome.error is not None:
+        row["error"] = outcome.error
+    return row
+
+
+def run_resilience(
+    universities: int = 2,
+    queries: Sequence[str] = ("Q1", "Q2"),
+    flaky_rates: Sequence[float] = FLAKY_RATES,
+) -> Dict[str, object]:
+    """Run the full scenario grid; returns the payload."""
+    generator = LubmGenerator(universities=universities)
+    scenarios: List[Dict[str, object]] = []
+    for name in queries:
+        query_text = LUBM_QUERIES[name]
+        baseline = _run_one(
+            _build_federation(generator), query_text,
+            partial_results=False, breaker=True,
+        )
+        scenarios.append({
+            "query": name, "scenario": "fault-free",
+            "failure_rate": 0.0, "breaker": True, "partial": False,
+            **baseline,
+        })
+        # Flaky sweep: rate x breaker, retries must absorb everything.
+        for rate in flaky_rates:
+            profiles = {
+                f"university{i}": FaultProfile(failure_rate=rate)
+                for i in range(universities)
+            }
+            for breaker in (True, False):
+                scenarios.append({
+                    "query": name, "scenario": "flaky",
+                    "failure_rate": rate, "breaker": breaker,
+                    "partial": False,
+                    **_run_one(
+                        _build_federation(generator, profiles), query_text,
+                        partial_results=False, breaker=breaker,
+                    ),
+                })
+        # Hard outage on one endpoint.
+        outage = {DOWN_ENDPOINT: FaultProfile.always_down()}
+        scenarios.append({
+            "query": name, "scenario": "outage-fedx-style",
+            "failure_rate": None, "breaker": False, "partial": False,
+            **_run_one(
+                _build_federation(generator, outage), query_text,
+                partial_results=False, breaker=False, max_retries=0,
+            ),
+        })
+        scenarios.append({
+            "query": name, "scenario": "outage-abort",
+            "failure_rate": None, "breaker": True, "partial": False,
+            **_run_one(
+                _build_federation(generator, outage), query_text,
+                partial_results=False, breaker=True,
+            ),
+        })
+        for breaker in (True, False):
+            scenarios.append({
+                "query": name, "scenario": "outage-partial",
+                "failure_rate": None, "breaker": breaker, "partial": True,
+                **_run_one(
+                    _build_federation(generator, outage), query_text,
+                    partial_results=True, breaker=breaker,
+                ),
+            })
+        scenarios.append({
+            "query": name, "scenario": "outage-replica",
+            "failure_rate": None, "breaker": True, "partial": True,
+            **_run_one(
+                _build_federation(generator, outage, with_replica=True),
+                query_text, partial_results=True, breaker=True,
+            ),
+        })
+    return {
+        "benchmark": "resilience",
+        "universities": universities,
+        "flaky_rates": list(flaky_rates),
+        "scenarios": scenarios,
+    }
+
+
+def _rows_of(scenarios, query, scenario, **filters):
+    for row in scenarios:
+        if row["query"] != query or row["scenario"] != scenario:
+            continue
+        if all(row.get(k) == v for k, v in filters.items()):
+            yield row
+
+
+def check(
+    universities: int = 2,
+    queries: Sequence[str] = ("Q2",),
+) -> Dict[str, object]:
+    """Fast smoke mode asserting the resilience invariants:
+
+    - flaky runs (any rate, breaker on or off) return *exactly* the
+      fault-free rows, with the absorbed failures visible in
+      ``requests_failed``/``retries`` and extra virtual time;
+    - a hard outage without partial results aborts with ``RE`` (with or
+      without retries/breaker);
+    - the same outage with ``partial_results=True`` returns a subset of
+      the fault-free rows as ``PARTIAL`` with an honest completeness
+      report naming the dead endpoint;
+    - the breaker converts retry storms into fast fails without
+      changing the answer, and never makes the run slower;
+    - a standby replica recovers the full answer (``OK``, complete).
+    """
+    payload = run_resilience(universities=universities, queries=queries)
+    scenarios = payload["scenarios"]
+    for query in queries:
+        baseline = next(_rows_of(scenarios, query, "fault-free"))
+        for row in _rows_of(scenarios, query, "flaky"):
+            if row["status"] != "OK" or row["rows"] != baseline["rows"]:
+                raise AssertionError(
+                    f"{query} flaky rate={row['failure_rate']} "
+                    f"breaker={row['breaker']}: answers diverged "
+                    f"({row['status']})"
+                )
+            if row["requests_failed"] == 0 or row["retries"] == 0:
+                raise AssertionError(
+                    f"{query} flaky rate={row['failure_rate']}: no "
+                    "failures recorded — injection inactive?"
+                )
+            if row["virtual_seconds"] <= baseline["virtual_seconds"]:
+                raise AssertionError(
+                    f"{query} flaky: retries and backoffs cost no "
+                    "virtual time — failure accounting broken"
+                )
+        for scenario in ("outage-fedx-style", "outage-abort"):
+            row = next(_rows_of(scenarios, query, scenario))
+            if row["status"] != "RE":
+                raise AssertionError(
+                    f"{query} {scenario}: expected RE, got {row['status']}"
+                )
+        partial_on = next(
+            _rows_of(scenarios, query, "outage-partial", breaker=True)
+        )
+        partial_off = next(
+            _rows_of(scenarios, query, "outage-partial", breaker=False)
+        )
+        for row in (partial_on, partial_off):
+            if row["status"] != "PARTIAL":
+                raise AssertionError(
+                    f"{query} outage-partial: expected PARTIAL, got "
+                    f"{row['status']}"
+                )
+            if not set(map(tuple, row["rows"])) <= set(
+                map(tuple, baseline["rows"])
+            ):
+                raise AssertionError(
+                    f"{query} outage-partial: produced rows outside the "
+                    "fault-free answer"
+                )
+            report = row["completeness"]
+            if report["complete"] or DOWN_ENDPOINT not in report[
+                "endpoints_failed"
+            ]:
+                raise AssertionError(
+                    f"{query} outage-partial: completeness report does "
+                    f"not name {DOWN_ENDPOINT}: {report}"
+                )
+        if partial_on["rows"] != partial_off["rows"]:
+            raise AssertionError(
+                f"{query}: the breaker changed the partial answer"
+            )
+        if partial_on["breaker_fast_fails"] == 0:
+            raise AssertionError(
+                f"{query}: breaker never fast-failed under a hard outage"
+            )
+        if partial_on["virtual_seconds"] > partial_off["virtual_seconds"]:
+            raise AssertionError(
+                f"{query}: breaker made the outage run slower "
+                f"({partial_on['virtual_seconds']}s vs "
+                f"{partial_off['virtual_seconds']}s)"
+            )
+        replica = next(_rows_of(scenarios, query, "outage-replica"))
+        if replica["status"] != "OK" or replica["rows"] != baseline["rows"]:
+            raise AssertionError(
+                f"{query} outage-replica: reroute did not recover the "
+                f"full answer ({replica['status']})"
+            )
+        if replica["completeness"]["rerouted"] != {
+            DOWN_ENDPOINT: REPLICA_ENDPOINT
+        }:
+            raise AssertionError(
+                f"{query} outage-replica: reroute not reported "
+                f"({replica['completeness']})"
+            )
+    payload["check"] = "ok"
+    return payload
+
+
+def write_results(payload: Dict[str, object], path: Optional[str] = None) -> Path:
+    target = Path(path) if path else Path.cwd() / DEFAULT_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "Resilience: fault injection x circuit breaker x partial results",
+        f"LUBM x{payload['universities']} universities, "
+        f"flaky rates {payload['flaky_rates']}",
+    ]
+    for row in payload["scenarios"]:
+        knobs = (
+            f"breaker={'on' if row['breaker'] else 'off'}, "
+            f"partial={'on' if row['partial'] else 'off'}"
+        )
+        rate = (
+            f", rate={row['failure_rate']}"
+            if row["failure_rate"] not in (None, 0.0) else ""
+        )
+        rows = "-" if row["rows"] is None else len(row["rows"])
+        lines.append(
+            f"  {row['query']} {row['scenario']}{rate} ({knobs}): "
+            f"{row['status']}, {rows} rows, "
+            f"{row['virtual_seconds']:.3f}s virtual, "
+            f"{row['requests']} req "
+            f"({row['requests_failed']} failed, {row['retries']} retries, "
+            f"{row['breaker_fast_fails']} fast-fails)"
+        )
+    return "\n".join(lines)

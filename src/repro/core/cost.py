@@ -147,7 +147,11 @@ class CardinalityEstimator:
         issued requests are always accounted before analysis ends."""
         while self._inflight:
             cache_key, future = self._inflight.popitem()
-            self.count_cache[cache_key] = self._parse_count(future.result())
+            response, error = self.handler.settle(future)
+            # A failed probe (partial mode) is simply not cached — the
+            # estimate degrades, the query does not abort.
+            if error is None:
+                self.count_cache[cache_key] = self._parse_count(response)
 
     def pattern_cardinalities(
         self,
@@ -169,19 +173,30 @@ class CardinalityEstimator:
                 continue
             future = self._inflight.pop((endpoint_id, key), None)
             if future is not None:
-                count = self._parse_count(future.result())
-                counts[endpoint_id] = count
-                self.count_cache[(endpoint_id, key)] = count
+                response, error = self.handler.settle(future)
+                if error is None:
+                    count = self._parse_count(response)
+                    counts[endpoint_id] = count
+                    self.count_cache[(endpoint_id, key)] = count
+                else:
+                    # Partial mode: a down endpoint contributes no rows,
+                    # so 0 is the honest (uncached) fallback estimate.
+                    counts[endpoint_id] = 0
             else:
                 missing.append(endpoint_id)
         if missing:
             group = GroupPattern(elements=[pattern], filters=list(pushable))
             text = serialize_query(count_query(group))
             requests = [Request(eid, text, kind="SELECT") for eid in missing]
-            for response in self.handler.execute_batch(requests):
-                count = self._parse_count(response)
-                counts[response.request.endpoint_id] = count
-                self.count_cache[(response.request.endpoint_id, key)] = count
+            for probe_future in self.handler.submit_all(requests):
+                probe_endpoint = probe_future.request.endpoint_id
+                response, error = self.handler.settle(probe_future)
+                if error is None:
+                    count = self._parse_count(response)
+                    counts[probe_endpoint] = count
+                    self.count_cache[(probe_endpoint, key)] = count
+                else:
+                    counts[probe_endpoint] = 0
         return counts
 
     # -- the paper's estimation rules ----------------------------------

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..endpoint.errors import FederationError
-from ..endpoint.metrics import ExecutionContext, Metrics
+from ..endpoint.metrics import CompletenessReport, ExecutionContext, Metrics
 from ..federation.cache import AskCache, CheckCache, CountCache
 from ..federation.federation import Federation
 from ..federation.request_handler import ElasticRequestHandler
@@ -56,7 +56,7 @@ from .trace import QueryTrace
 class QueryResult:
     """Outcome of one federated query."""
 
-    status: str  # "OK" | "TO" | "OOM" | "RE"
+    status: str  # "OK" | "PARTIAL" | "TO" | "OOM" | "RE"
     result: Optional[ResultSet]
     metrics: Metrics
     boolean: Optional[bool] = None
@@ -64,6 +64,9 @@ class QueryResult:
     decomposition: List[Subquery] = field(default_factory=list)
     #: execution narrative, populated when ``execute(..., trace=True)``
     trace: Optional[QueryTrace] = None
+    #: which endpoints failed / subqueries degraded (partial-results
+    #: mode); ``completeness.complete`` is True for a fault-free run
+    completeness: Optional[CompletenessReport] = None
 
     @property
     def ok(self) -> bool:
@@ -101,6 +104,10 @@ class LusailEngine:
         use_threads: bool = False,
         max_retries: int = 2,
         pipeline: bool = True,
+        partial_results: bool = False,
+        breaker: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 1.0,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -118,6 +125,15 @@ class LusailEngine:
         self.use_threads = use_threads
         #: transient-failure retries per endpoint request
         self.max_retries = max_retries
+        #: degrade (drop a down endpoint's contribution, annotate the
+        #: result with a completeness report) instead of aborting with RE
+        self.partial_results = partial_results
+        #: per-endpoint circuit breaker: after ``breaker_threshold``
+        #: consecutive exhausted failures, fail fast until a virtual-time
+        #: cooldown (exponential, deterministically jittered) elapses
+        self.breaker = breaker
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
         self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
         self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
         #: COUNT-probe cache shared across this engine's queries — the
@@ -146,6 +162,7 @@ class LusailEngine:
             max_intermediate_rows=max_intermediate_rows,
             join_threads=self.join_threads,
             real_time_limit=real_time_limit,
+            partial_results=self.partial_results,
         )
         if trace:
             context.trace = QueryTrace()
@@ -153,18 +170,27 @@ class LusailEngine:
         try:
             query = parse_query(query_text)
             result, boolean, decomposition = self._run(query, context)
+            status = "OK"
+            if not context.completeness.complete:
+                # The answer is real but degraded: some endpoint's
+                # contribution is missing.  Never report that as OK.
+                status = "PARTIAL"
+                context.trace_event(
+                    "completeness", **context.completeness.to_dict()
+                )
             context.trace_event(
                 "done",
                 rows=0 if result is None else len(result),
                 requests=context.metrics.requests,
             )
             return QueryResult(
-                status="OK",
+                status=status,
                 result=result,
                 boolean=boolean,
                 metrics=context.metrics,
                 decomposition=decomposition,
                 trace=context.trace,
+                completeness=context.completeness,
             )
         except FederationError as error:
             return QueryResult(
@@ -174,6 +200,7 @@ class LusailEngine:
                 error=str(error),
                 decomposition=decomposition,
                 trace=context.trace,
+                completeness=context.completeness,
             )
         except Exception as error:  # runtime exception -> "RE"
             return QueryResult(
@@ -183,16 +210,24 @@ class LusailEngine:
                 error=f"{type(error).__name__}: {error}",
                 decomposition=decomposition,
                 trace=context.trace,
+                completeness=context.completeness,
             )
+
+    def _make_handler(self, context: ExecutionContext) -> ElasticRequestHandler:
+        return ElasticRequestHandler(
+            self.federation, context, self.pool_size,
+            use_threads=self.use_threads, max_retries=self.max_retries,
+            breaker_threshold=self.breaker_threshold if self.breaker else None,
+            breaker_cooldown_seconds=self.breaker_cooldown_seconds,
+        )
 
     def explain(self, query_text: str) -> List[Subquery]:
         """Decompose without executing; returns the subqueries."""
-        context = self.federation.make_context()
+        context = self.federation.make_context(
+            partial_results=self.partial_results
+        )
         query = parse_query(query_text)
-        with ElasticRequestHandler(
-            self.federation, context, self.pool_size,
-            use_threads=self.use_threads, max_retries=self.max_retries,
-        ) as handler:
+        with self._make_handler(context) as handler:
             subqueries, _report = self._analyze(query.where, handler, context)
         return subqueries
 
@@ -212,10 +247,7 @@ class LusailEngine:
                 if aggregate.argument is not None:
                     needed.add(aggregate.argument)
             required = frozenset(needed)
-        with ElasticRequestHandler(
-            self.federation, context, self.pool_size,
-            use_threads=self.use_threads, max_retries=self.max_retries,
-        ) as handler:
+        with self._make_handler(context) as handler:
             with context.phase("execution"):
                 # phases inside _evaluate_group re-attribute analysis time
                 result, decomposition = self._evaluate_group(

@@ -186,9 +186,16 @@ class GJVDetector:
         report = wave.report
         if not wave.pending:
             return report
-        responses = self.handler.gather(wave.futures)
         report.check_queries_sent += len(wave.futures)
-        for (check, endpoint_id), response in zip(wave.pending, responses):
+        for (check, endpoint_id), future in zip(wave.pending, wave.futures):
+            response, error = self.handler.settle(future)
+            if error is not None:
+                # Partial mode: without an answer, locality cannot be
+                # proven — conservatively treat the variable as global,
+                # which is always sound (it only forbids the pair from
+                # sharing a subquery).  The non-answer is never cached.
+                report.add(check.variable, check.outer, check.inner)
+                continue
             has_witness = bool(len(response.value))  # type: ignore[arg-type]
             if self.check_cache is not None:
                 self.check_cache.put(

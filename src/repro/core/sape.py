@@ -97,6 +97,48 @@ class SubqueryEvaluator:
         self.pipeline = pipeline
 
     # ------------------------------------------------------------------
+    # Partial-results settling
+    # ------------------------------------------------------------------
+
+    def _mark_degraded(self, label: str, endpoint_id: str) -> None:
+        report = self.context.completeness
+        if label not in report.subqueries_degraded:
+            self.context.metrics.subqueries_degraded += 1
+        report.note_degraded(label)
+        self.context.trace_event(
+            "subquery_degraded", label=label, endpoint=endpoint_id
+        )
+
+    def _settle_contribution(
+        self, label: str, endpoint_id: str, future: ResponseFuture
+    ) -> Optional[Tuple[str, ResultSet]]:
+        """Resolve one endpoint's contribution to a subquery.
+
+        Returns ``(answering_endpoint_id, value)``, or None when partial
+        mode dropped the contribution.  A failed request is first
+        rerouted to the endpoint's registered standby replica (same
+        query text); only an unrecovered failure degrades the subquery.
+        Outside partial mode this raises exactly like ``result()``.
+        """
+        response, error = self.handler.settle(future)
+        if error is None:
+            return endpoint_id, response.value  # type: ignore[return-value]
+        replica_id = self.handler.federation.replica_of(endpoint_id)
+        if replica_id is not None:
+            request = future.request
+            retry = self.handler.submit(
+                Request(replica_id, request.query_text, request.kind)
+            )
+            response, error = self.handler.settle(retry)
+            if error is None:
+                self.context.completeness.note_reroute(
+                    endpoint_id, replica_id
+                )
+                return replica_id, response.value  # type: ignore[return-value]
+        self._mark_degraded(label, endpoint_id)
+        return None
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
@@ -127,12 +169,16 @@ class SubqueryEvaluator:
                     requests.append(
                         (subquery, Request(endpoint_id, text, kind="SELECT"))
                     )
-            responses = self.handler.execute_batch([r for _, r in requests])
+            futures = self.handler.submit_all([r for _, r in requests])
             per_subquery: Dict[str, Dict[str, ResultSet]] = {}
-            for (subquery, request), response in zip(requests, responses):
-                per_subquery.setdefault(subquery.label, {})[
-                    request.endpoint_id
-                ] = response.value  # type: ignore[assignment]
+            for (subquery, request), future in zip(requests, futures):
+                settled = self._settle_contribution(
+                    subquery.label, request.endpoint_id, future
+                )
+                if settled is None:
+                    continue
+                answered_id, value = settled
+                per_subquery.setdefault(subquery.label, {})[answered_id] = value
             for subquery in non_delayed:
                 merged = self.combine_endpoint_results(
                     subquery, per_subquery.get(subquery.label, {})
@@ -265,10 +311,14 @@ class SubqueryEvaluator:
         # Refinement answers gate only their own subquery's SELECTs; the
         # rest of the wave is already in flight while we wait.
         for plan in deferred:
-            responses = self.handler.gather(plan.ask_futures)
-            refined = [
-                r.request.endpoint_id for r in responses if bool(r.value)
-            ]
+            refined = []
+            for ask_future in plan.ask_futures:
+                response, error = self.handler.settle(ask_future)
+                # A failed refinement ASK excludes that endpoint — it
+                # cannot answer the dependent SELECTs either (partial
+                # mode; outside it settle re-raised).
+                if error is None and bool(response.value):
+                    refined.append(ask_future.request.endpoint_id)
             plan.sources = refined or plan.sources
             self._submit_blocks(plan)
         results: List[Tuple[Subquery, ResultSet]] = []
@@ -277,9 +327,13 @@ class SubqueryEvaluator:
                 eid: [] for eid in plan.sources
             }
             for endpoint_id, future in plan.select_futures:
-                per_endpoint[endpoint_id].append(
-                    future.result().value  # type: ignore[arg-type]
+                settled = self._settle_contribution(
+                    plan.subquery.label, endpoint_id, future
                 )
+                if settled is None:
+                    continue
+                answered_id, value = settled
+                per_endpoint.setdefault(answered_id, []).append(value)
             merged_per_endpoint = {
                 eid: union_all(results_list, self.context)
                 for eid, results_list in per_endpoint.items()
@@ -340,10 +394,14 @@ class SubqueryEvaluator:
             values_block = ValuesBlock([variable], [(v,) for v in block])
             text = subquery.to_sparql(values=values_block)
             requests = [Request(eid, text, kind="SELECT") for eid in sources]
-            for response in self.handler.execute_batch(requests):
-                per_endpoint[response.request.endpoint_id].append(
-                    response.value  # type: ignore[arg-type]
+            for future in self.handler.submit_all(requests):
+                settled = self._settle_contribution(
+                    subquery.label, future.request.endpoint_id, future
                 )
+                if settled is None:
+                    continue
+                answered_id, value = settled
+                per_endpoint.setdefault(answered_id, []).append(value)
         merged_per_endpoint = {
             eid: union_all(results, self.context)
             for eid, results in per_endpoint.items()
@@ -354,11 +412,14 @@ class SubqueryEvaluator:
     def _fetch_unbound(self, subquery: Subquery) -> Dict[str, ResultSet]:
         text = subquery.to_sparql()
         requests = [Request(eid, text, kind="SELECT") for eid in subquery.sources]
-        responses = self.handler.execute_batch(requests)
-        return {
-            r.request.endpoint_id: r.value  # type: ignore[misc]
-            for r in responses
-        }
+        per_endpoint: Dict[str, ResultSet] = {}
+        for future in self.handler.submit_all(requests):
+            settled = self._settle_contribution(
+                subquery.label, future.request.endpoint_id, future
+            )
+            if settled is not None:
+                per_endpoint[settled[0]] = settled[1]
+        return per_endpoint
 
     def _refine_sources(
         self,
@@ -373,10 +434,11 @@ class SubqueryEvaluator:
         matters for ``?s ?p ?o``-style patterns relevant to everyone.
         """
         futures = self._submit_refinement(subquery, variable, sample_block, sources)
-        responses = self.handler.gather(futures)
-        refined = [
-            r.request.endpoint_id for r in responses if bool(r.value)
-        ]
+        refined = []
+        for future in futures:
+            response, error = self.handler.settle(future)
+            if error is None and bool(response.value):
+                refined.append(future.request.endpoint_id)
         return refined or sources
 
     # ------------------------------------------------------------------

@@ -103,6 +103,60 @@ def _render_join_order(event: TraceEvent) -> str:
     return f"global join order: {' >< '.join(event.detail['order'])}"
 
 
+@_renders("retry")
+def _render_retry(event: TraceEvent) -> str:
+    attempts = event.detail["failed_attempts"]
+    where = event.detail["endpoint"]
+    kind = event.detail.get("request_kind", "request")
+    if event.detail.get("exhausted"):
+        return (f"retry budget exhausted at {where}: {attempts} failed "
+                f"{kind} attempt(s), giving up")
+    return (f"transient failure(s) at {where}: {attempts} {kind} "
+            f"attempt(s) absorbed by retries")
+
+
+@_renders("breaker_open")
+def _render_breaker_open(event: TraceEvent) -> str:
+    return (f"circuit breaker OPEN for {event.detail['endpoint']} after "
+            f"{event.detail['consecutive_failures']} consecutive failures; "
+            f"failing fast until t={event.detail['open_until']:.3f}s")
+
+
+@_renders("breaker_close")
+def _render_breaker_close(event: TraceEvent) -> str:
+    return (f"circuit breaker CLOSED for {event.detail['endpoint']} "
+            f"(half-open probe succeeded)")
+
+
+@_renders("subquery_degraded")
+def _render_subquery_degraded(event: TraceEvent) -> str:
+    return (f"subquery {event.detail['label']} DEGRADED: dropped the "
+            f"contribution of {event.detail['endpoint']} (down past its "
+            f"retry budget)")
+
+
+@_renders("completeness")
+def _render_completeness(event: TraceEvent) -> str:
+    failed = ", ".join(event.detail["endpoints_failed"]) or "none"
+    degraded = ", ".join(event.detail["subqueries_degraded"]) or "none"
+    lines = [
+        "PARTIAL result — completeness report:",
+        f"    endpoints failed:    {failed}",
+        f"    subqueries degraded: {degraded}",
+    ]
+    if event.detail.get("rerouted"):
+        routes = ", ".join(
+            f"{primary} -> {replica}"
+            for primary, replica in event.detail["rerouted"].items()
+        )
+        lines.append(f"    rerouted:            {routes}")
+    counts = event.detail.get("status_counts") or {}
+    if counts:
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        lines.append(f"    failure kinds:       {summary}")
+    return "\n".join(lines)
+
+
 @_renders("done")
 def _render_done(event: TraceEvent) -> str:
     return (f"done: {event.detail['rows']} answers, "

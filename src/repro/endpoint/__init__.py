@@ -2,14 +2,16 @@
 
 from .base import EndpointResponse, SPARQLEndpoint
 from .errors import (
+    CircuitBreakerOpenError,
     EndpointRateLimitError,
     EndpointUnavailableError,
     FederationError,
     MemoryLimitError,
     QueryTimeoutError,
 )
+from .faults import FaultInjector, FaultProfile, OutageWindow
 from .local import LocalEndpoint
-from .metrics import ExecutionContext, Metrics
+from .metrics import CompletenessReport, ExecutionContext, Metrics
 from .network import (
     AZURE_GEO,
     AZURE_REGIONS,
@@ -24,10 +26,15 @@ from .network import (
 __all__ = [
     "AZURE_GEO",
     "AZURE_REGIONS",
+    "CircuitBreakerOpenError",
+    "CompletenessReport",
     "EndpointRateLimitError",
     "EndpointUnavailableError",
     "EndpointResponse",
     "ExecutionContext",
+    "FaultInjector",
+    "FaultProfile",
+    "OutageWindow",
     "FAST_CLUSTER",
     "FederationError",
     "LOCAL_CLUSTER",

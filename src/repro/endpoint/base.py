@@ -30,6 +30,10 @@ class EndpointResponse:
     #: :class:`repro.sparql.plan.EvaluatorStats`); ``None`` when the
     #: endpoint does not instrument its evaluator
     compute: Optional[Dict[str, float]] = None
+    #: extra virtual seconds the endpoint took beyond the network model's
+    #: prediction (injected latency spikes — see
+    #: :class:`repro.endpoint.faults.FaultProfile`)
+    latency_penalty_seconds: float = 0.0
 
 
 class SPARQLEndpoint(Protocol):

@@ -46,6 +46,26 @@ class EndpointUnavailableError(FederationError):
         self.endpoint_id = endpoint_id
 
 
+class CircuitBreakerOpenError(EndpointUnavailableError):
+    """The request handler's circuit breaker is open for this endpoint.
+
+    Raised *without* contacting the endpoint: after enough consecutive
+    failures the handler fails fast until a virtual-time cooldown
+    elapses, then lets one half-open probe through.  Sharing the
+    :class:`EndpointUnavailableError` base means partial-results
+    handling treats fast-fails and real failures uniformly.
+    """
+
+    def __init__(self, endpoint_id: str, open_until: float):
+        FederationError.__init__(
+            self,
+            f"circuit breaker open for endpoint {endpoint_id!r} "
+            f"until t={open_until:.3f}s",
+        )
+        self.endpoint_id = endpoint_id
+        self.open_until = open_until
+
+
 class EndpointRateLimitError(FederationError):
     """A (simulated) public endpoint refused further requests.
 

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for simulated endpoints.
+
+Real federations fail in structured ways, not just i.i.d. coin flips:
+public endpoints go down for a *while* (maintenance windows, crashes),
+get slow under load (latency spikes), and throttle chatty clients
+(politeness limits — the paper's Table 2 shows FedX dying with runtime
+errors against exactly such endpoints).  :class:`FaultProfile` describes
+those behaviours declaratively; :class:`FaultInjector` applies them to
+one endpoint's request stream.
+
+Everything is deterministic, and — crucially — *thread-schedule
+independent* for the stochastic faults: transient-failure and
+latency-spike draws are keyed on ``(seed, endpoint, query text,
+occurrence index of that text)`` rather than on a shared sequential RNG
+stream, so a threaded run that interleaves requests from different
+pipeline stages draws exactly the same outcomes per request as the
+single-threaded simulator.  Outage windows are keyed on the endpoint's
+request *ordinal* (its own monotonic request counter), which models a
+service that is down for a span of traffic regardless of what is asked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from .errors import EndpointRateLimitError, EndpointUnavailableError
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A contiguous span of request ordinals during which the endpoint
+    is hard down (every request raises, including retries — each retry
+    attempt consumes an ordinal, so a wide window defeats flat retry
+    budgets the way a real outage does)."""
+
+    start: int
+    #: exclusive end ordinal; ``None`` means the endpoint never recovers
+    end: Optional[int] = None
+
+    def covers(self, ordinal: int) -> bool:
+        if ordinal < self.start:
+            return False
+        return self.end is None or ordinal < self.end
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Declarative fault behaviour for one endpoint.
+
+    ``failure_rate`` — fraction of requests that transiently fail
+    (seeded, per-(query text, occurrence) so threaded runs match the
+    simulator bit for bit).
+
+    ``outage_windows`` — hard-down spans of request ordinals.
+
+    ``latency_spike_rate`` / ``latency_spike_seconds`` — fraction of
+    requests answered ``latency_spike_seconds`` slower than the network
+    model predicts (an overloaded server, a GC pause).
+
+    ``requests_per_query`` — politeness limit: more requests than this
+    within one query window raises :class:`EndpointRateLimitError`.
+    """
+
+    failure_rate: float = 0.0
+    seed: int = 97
+    outage_windows: Tuple[OutageWindow, ...] = ()
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 0.25
+    requests_per_query: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        if not 0.0 <= self.latency_spike_rate < 1.0:
+            raise ValueError("latency_spike_rate must be in [0, 1)")
+
+    @staticmethod
+    def always_down() -> "FaultProfile":
+        """An endpoint that never answers (total outage)."""
+        return FaultProfile(outage_windows=(OutageWindow(start=0),))
+
+
+def _draw(seed: int, endpoint_id: str, salt: str, text: str,
+          occurrence: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (request, purpose).
+
+    String seeds hash through SHA-512 inside :mod:`random`, so the draw
+    is stable across processes (unlike built-in ``hash`` of strings).
+    """
+    key = f"{seed}:{endpoint_id}:{salt}:{occurrence}:{text}"
+    return random.Random(key).random()
+
+
+@dataclass
+class FaultInjector:
+    """Applies one :class:`FaultProfile` to one endpoint's requests.
+
+    Mutable counters live here (the profile itself is frozen and
+    shareable).  The owner must serialize calls per endpoint — the
+    request handler's per-endpoint lock already does in threaded mode.
+    """
+
+    profile: FaultProfile
+    endpoint_id: str
+    #: lifetime request ordinal (drives outage windows)
+    ordinal: int = 0
+    #: per-query-window request count (drives the politeness limit)
+    requests_in_window: int = 0
+    _occurrences: Dict[str, int] = field(default_factory=dict)
+
+    def reset_window(self) -> None:
+        self.requests_in_window = 0
+
+    def check(self, query_text: str) -> float:
+        """Account one request; raises on fault, else returns the
+        latency penalty (virtual seconds) to add to the response."""
+        profile = self.profile
+        ordinal = self.ordinal
+        self.ordinal += 1
+        occurrence = self._occurrences.get(query_text, 0)
+        self._occurrences[query_text] = occurrence + 1
+        if profile.requests_per_query is not None:
+            self.requests_in_window += 1
+            if self.requests_in_window > profile.requests_per_query:
+                raise EndpointRateLimitError(
+                    self.endpoint_id, profile.requests_per_query
+                )
+        for window in profile.outage_windows:
+            if window.covers(ordinal):
+                raise EndpointUnavailableError(self.endpoint_id)
+        if profile.failure_rate and _draw(
+            profile.seed, self.endpoint_id, "fail", query_text, occurrence
+        ) < profile.failure_rate:
+            raise EndpointUnavailableError(self.endpoint_id)
+        if profile.latency_spike_rate and _draw(
+            profile.seed, self.endpoint_id, "spike", query_text, occurrence
+        ) < profile.latency_spike_rate:
+            return profile.latency_spike_seconds
+        return 0.0
+
+
+def injector_for(
+    endpoint_id: str,
+    faults: Optional[FaultProfile],
+    failure_rate: float,
+    failure_seed: int,
+) -> Optional[FaultInjector]:
+    """Build an injector from either an explicit profile or the legacy
+    ``failure_rate``/``failure_seed`` shorthand (``None`` when fault-free)."""
+    if faults is None:
+        if not failure_rate:
+            return None
+        faults = FaultProfile(failure_rate=failure_rate, seed=failure_seed)
+    return FaultInjector(profile=faults, endpoint_id=endpoint_id)

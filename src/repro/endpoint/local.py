@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, Optional
 
 from ..rdf.triple import Triple
@@ -12,7 +11,8 @@ from ..sparql.parser import parse_query
 from ..sparql.results import ResultSet
 from ..store.triplestore import TripleStore
 from .base import EndpointResponse
-from .errors import EndpointRateLimitError, EndpointUnavailableError
+from .errors import EndpointRateLimitError
+from .faults import FaultProfile, injector_for
 from .network import Region
 
 _DEFAULT_REGION = Region("local")
@@ -26,9 +26,12 @@ class LocalEndpoint:
     :meth:`reset_request_window`; exceeding the limit raises
     :class:`EndpointRateLimitError`.
 
-    ``failure_rate`` injects transient faults: that fraction of requests
-    raises :class:`EndpointUnavailableError` (deterministically, from a
-    seeded stream), exercising the request handler's retry logic.
+    ``failure_rate`` injects i.i.d. transient faults: that fraction of
+    requests raises :class:`EndpointUnavailableError` (deterministically
+    seeded), exercising the request handler's retry logic.  ``faults``
+    accepts a full :class:`~repro.endpoint.faults.FaultProfile` for
+    structured failure modes — outage windows, latency spikes, rate
+    limits — and overrides the ``failure_rate`` shorthand when given.
     """
 
     def __init__(
@@ -39,6 +42,7 @@ class LocalEndpoint:
         max_requests_per_query: Optional[int] = None,
         failure_rate: float = 0.0,
         failure_seed: int = 97,
+        faults: Optional[FaultProfile] = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -47,7 +51,9 @@ class LocalEndpoint:
         self.region = region
         self.max_requests_per_query = max_requests_per_query
         self.failure_rate = failure_rate
-        self._failure_rng = random.Random(f"{failure_seed}:{endpoint_id}")
+        self.faults = injector_for(
+            endpoint_id, faults, failure_rate, failure_seed
+        )
         self._requests_in_window = 0
         self._evaluator = Evaluator(store)
         self._parse_cache: Dict[str, Query] = {}
@@ -62,8 +68,15 @@ class LocalEndpoint:
     ) -> "LocalEndpoint":
         return cls(endpoint_id, TripleStore(triples), region, **kwargs)
 
+    def set_faults(self, profile: Optional[FaultProfile]) -> None:
+        """(Re)configure fault injection on a live endpoint — e.g. to
+        take it down for a resilience scenario; ``None`` heals it."""
+        self.faults = injector_for(self.endpoint_id, profile, 0.0, 97)
+
     def reset_request_window(self) -> None:
         self._requests_in_window = 0
+        if self.faults is not None:
+            self.faults.reset_window()
 
     def execute(self, query_text: str) -> EndpointResponse:
         if self.max_requests_per_query is not None:
@@ -72,8 +85,9 @@ class LocalEndpoint:
                 raise EndpointRateLimitError(
                     self.endpoint_id, self.max_requests_per_query
                 )
-        if self.failure_rate and self._failure_rng.random() < self.failure_rate:
-            raise EndpointUnavailableError(self.endpoint_id)
+        latency_penalty = 0.0
+        if self.faults is not None:
+            latency_penalty = self.faults.check(query_text)
         query = self._parse_cache.get(query_text)
         if query is None:
             query = parse_query(query_text)
@@ -88,6 +102,7 @@ class LocalEndpoint:
                 rows_touched=1,
                 bytes_received=16,
                 compute=stats.delta(before),
+                latency_penalty_seconds=latency_penalty,
             )
         result: ResultSet = self._evaluator.select(query)
         return EndpointResponse(
@@ -95,6 +110,7 @@ class LocalEndpoint:
             rows_touched=max(1, len(result)),
             bytes_received=64 + result.estimated_bytes(),
             compute=stats.delta(before),
+            latency_penalty_seconds=latency_penalty,
         )
 
     def triple_count(self) -> int:

@@ -19,6 +19,65 @@ from .network import NetworkModel, Region
 
 
 @dataclass
+class CompletenessReport:
+    """How much of the full answer a degraded query actually produced.
+
+    Partial-results mode drops the contribution of endpoints that stay
+    down past their retry budget instead of aborting; this report makes
+    that degradation *honest*: which endpoints failed, which subqueries
+    lost contributions, where traffic was rerouted to replicas, and the
+    per-failure-kind counts.  ``complete`` is True only when no subquery
+    lost any contribution (reroutes that fully recovered still count as
+    complete — the answers are all there).
+    """
+
+    #: endpoint ids that failed past the retry budget at least once
+    endpoints_failed: List[str] = field(default_factory=list)
+    #: subquery labels that lost at least one endpoint's contribution
+    subqueries_degraded: List[str] = field(default_factory=list)
+    #: failed endpoint id -> replica id that answered in its place
+    rerouted: Dict[str, str] = field(default_factory=dict)
+    #: failure kind (``unavailable`` / ``breaker_open`` / ``rate_limited``)
+    #: -> count of failed requests
+    status_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True unless an endpoint's contribution may be missing.
+
+        A subquery that dropped an endpoint's rows is obviously
+        incomplete; so is any run where an endpoint failed *during
+        source selection* without a replica answering in its place —
+        the selection then silently never targeted it, and whatever it
+        would have contributed is gone.
+        """
+        if self.subqueries_degraded:
+            return False
+        return all(eid in self.rerouted for eid in self.endpoints_failed)
+
+    def note_failure(self, endpoint_id: str, kind: str) -> None:
+        if endpoint_id not in self.endpoints_failed:
+            self.endpoints_failed.append(endpoint_id)
+        self.status_counts[kind] = self.status_counts.get(kind, 0) + 1
+
+    def note_degraded(self, label: str) -> None:
+        if label not in self.subqueries_degraded:
+            self.subqueries_degraded.append(label)
+
+    def note_reroute(self, endpoint_id: str, replica_id: str) -> None:
+        self.rerouted[endpoint_id] = replica_id
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "complete": self.complete,
+            "endpoints_failed": list(self.endpoints_failed),
+            "subqueries_degraded": list(self.subqueries_degraded),
+            "rerouted": dict(self.rerouted),
+            "status_counts": dict(self.status_counts),
+        }
+
+
+@dataclass
 class Metrics:
     """Counters for one query execution."""
 
@@ -45,6 +104,18 @@ class Metrics:
     scheduler_waves: int = 0
     #: endpoint id -> virtual seconds its (serialized) lane spent busy
     lane_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: endpoint request attempts that failed (whether later retried to
+    #: success or exhausted) — failures are never free: each one also
+    #: charges its round trip and backoff to the virtual clock
+    requests_failed: int = 0
+    #: re-attempts performed after a transient failure
+    retries: int = 0
+    #: times a circuit breaker opened for an endpoint
+    breaker_opens: int = 0
+    #: requests failed fast by an open breaker (no endpoint contact)
+    breaker_fast_fails: int = 0
+    #: subqueries that lost an endpoint contribution in partial mode
+    subqueries_degraded: int = 0
 
     def lane_utilization(self) -> float:
         """Mean busy fraction of the endpoint lanes over the query's
@@ -74,6 +145,11 @@ class Metrics:
             "inflight_high_water": self.inflight_high_water,
             "scheduler_waves": self.scheduler_waves,
             "lane_utilization": self.lane_utilization(),
+            "requests_failed": self.requests_failed,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "subqueries_degraded": self.subqueries_degraded,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
         }
@@ -91,6 +167,7 @@ class ExecutionContext:
         join_rate: float = 4_000_000.0,
         join_threads: int = 4,
         real_time_limit: Optional[float] = None,
+        partial_results: bool = False,
     ):
         self.network = network
         self.client_region = client_region
@@ -107,6 +184,11 @@ class ExecutionContext:
         self._current_phase: Optional[str] = None
         #: optional QueryTrace collecting the execution narrative
         self.trace = None
+        #: degrade instead of aborting when an endpoint stays down past
+        #: its retry budget (see ElasticRequestHandler.settle)
+        self.partial_results = partial_results
+        #: honest accounting of what partial mode dropped
+        self.completeness = CompletenessReport()
 
     def trace_event(self, kind: str, **detail) -> None:
         """Record a trace event when tracing is enabled (no-op otherwise)."""

@@ -19,6 +19,7 @@ class Federation:
         endpoints: Sequence[LocalEndpoint],
         network: NetworkModel = LOCAL_CLUSTER,
         client_region: Region = DEFAULT_CLIENT_REGION,
+        replicas: Optional[Dict[str, str]] = None,
     ):
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
@@ -29,6 +30,13 @@ class Federation:
             self._endpoints[endpoint.endpoint_id] = endpoint
         self.network = network
         self.client_region = client_region
+        #: primary endpoint id -> standby replica id (fault tolerance:
+        #: requests reroute here when the primary stays down)
+        self._replicas: Dict[str, str] = {}
+        #: replica ids excluded from normal source selection
+        self._standby: set = set()
+        for primary, replica in (replicas or {}).items():
+            self.register_replica(primary, replica)
 
     # -- registry --------------------------------------------------------
 
@@ -40,10 +48,39 @@ class Federation:
 
     @property
     def endpoint_ids(self) -> List[str]:
+        """Active endpoint ids (standby replicas excluded)."""
+        return [
+            eid for eid in self._endpoints if eid not in self._standby
+        ]
+
+    @property
+    def all_endpoint_ids(self) -> List[str]:
+        """Every registered endpoint id, standby replicas included."""
         return list(self._endpoints)
 
     def endpoints(self) -> Iterable[LocalEndpoint]:
         return self._endpoints.values()
+
+    # -- replicas ----------------------------------------------------------
+
+    def register_replica(self, primary_id: str, replica_id: str) -> None:
+        """Mark ``replica_id`` as the standby for ``primary_id``.
+
+        A standby is excluded from normal source selection; it only
+        receives traffic when the primary fails past its retry budget
+        and the engine is running in partial-results mode (the rerouting
+        of Montoya et al.'s replicated-fragment federations).
+        """
+        for endpoint_id in (primary_id, replica_id):
+            if endpoint_id not in self._endpoints:
+                raise KeyError(f"unknown endpoint {endpoint_id!r}")
+        if primary_id == replica_id:
+            raise ValueError("an endpoint cannot be its own replica")
+        self._replicas[primary_id] = replica_id
+        self._standby.add(replica_id)
+
+    def replica_of(self, endpoint_id: str) -> Optional[str]:
+        return self._replicas.get(endpoint_id)
 
     def __len__(self) -> int:
         return len(self._endpoints)
@@ -59,6 +96,7 @@ class Federation:
         max_intermediate_rows: int = 5_000_000,
         join_threads: int = 4,
         real_time_limit: float = None,
+        partial_results: bool = False,
     ) -> ExecutionContext:
         """Fresh virtual clock and budgets for one query execution."""
         self.reset_request_windows()
@@ -69,6 +107,7 @@ class Federation:
             max_intermediate_rows=max_intermediate_rows,
             join_threads=join_threads,
             real_time_limit=real_time_limit,
+            partial_results=partial_results,
         )
 
     def reset_request_windows(self) -> None:

@@ -38,12 +38,18 @@ from __future__ import annotations
 
 import heapq
 import threading
+import zlib
 from collections import deque
 from concurrent.futures import Future as _ThreadFuture
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..endpoint.errors import (
+    CircuitBreakerOpenError,
+    EndpointRateLimitError,
+    EndpointUnavailableError,
+)
 from ..endpoint.metrics import ExecutionContext
 from ..sparql.results import ResultSet
 from .federation import Federation
@@ -66,6 +72,35 @@ class Response:
     #: endpoint-evaluator compute counters for this request, when the
     #: endpoint reports them (see ``EndpointResponse.compute``)
     compute: Optional[Dict[str, float]] = None
+    #: transient failures absorbed by retries before this answer arrived
+    failed_attempts: int = 0
+
+
+def _jitter_fraction(*parts: object) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) — CRC-based so it
+    is stable across processes (built-in str hashing is randomized)."""
+    key = "|".join(str(part) for part in parts)
+    return (zlib.crc32(key.encode("utf-8")) % 997) / 997.0
+
+
+class _EndpointHealth:
+    """Circuit-breaker state for one endpoint, in virtual time.
+
+    All transitions happen on the orchestrating thread — at ``submit``
+    (fast-fail / half-open gating against the current virtual clock) and
+    in ``_schedule_next`` (success/failure bookkeeping in submission
+    order) — so threaded and simulated runs agree bit for bit.
+    """
+
+    __slots__ = ("consecutive_failures", "state", "open_until",
+                 "open_count", "probe_inflight")
+
+    def __init__(self):
+        self.consecutive_failures = 0
+        self.state = "closed"  # "closed" | "open" | "half_open"
+        self.open_until = 0.0
+        self.open_count = 0
+        self.probe_inflight = False
 
 
 class ResponseFuture:
@@ -116,6 +151,8 @@ class ElasticRequestHandler:
         use_threads: bool = False,
         max_retries: int = 2,
         retry_backoff_seconds: float = 0.25,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_seconds: float = 1.0,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -124,9 +161,16 @@ class ElasticRequestHandler:
         self.pool_size = pool_size
         self.use_threads = use_threads
         #: transient EndpointUnavailableError retries per request; each
-        #: failed attempt charges a round trip plus a virtual backoff
+        #: failed attempt charges a round trip plus an exponential
+        #: backoff with deterministic jitter
         self.max_retries = max(0, max_retries)
         self.retry_backoff_seconds = retry_backoff_seconds
+        #: consecutive exhausted failures that open an endpoint's
+        #: circuit breaker; ``None`` disables the breaker
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        #: endpoint id -> breaker/health state (created on first trouble)
+        self._health: Dict[str, _EndpointHealth] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         # -- makespan simulator state (all touched only from the
         #    orchestrating thread; workers never schedule) --------------
@@ -137,12 +181,24 @@ class ElasticRequestHandler:
         #: submitted-but-unscheduled futures, resolved strictly in order
         self._pending: Deque[ResponseFuture] = deque()
         #: serializes endpoint evaluator access in ``use_threads`` mode
+        #: (standby replicas included — they receive rerouted traffic)
         self._endpoint_locks = {
             endpoint_id: threading.Lock()
-            for endpoint_id in federation.endpoint_ids
+            for endpoint_id in getattr(
+                federation, "all_endpoint_ids", federation.endpoint_ids
+            )
         }
 
     def close(self) -> None:
+        # Submitted-but-ungathered futures (e.g. the engine aborted
+        # mid-wave) already executed at the endpoint — eagerly in the
+        # simulator, really on the thread pool.  Drain them so their
+        # requests, bytes, and failures reach the metrics instead of
+        # silently under-counting; their errors are swallowed
+        # (_schedule_next parks exceptions on the future, it never
+        # raises) and the virtual clock is left where the query ended.
+        while self._pending:
+            self._schedule_next()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -162,17 +218,26 @@ class ElasticRequestHandler:
 
     # ------------------------------------------------------------------
 
+    def _retry_backoff(self, request: Request, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter (virtual time)."""
+        base = self.retry_backoff_seconds * (2.0 ** attempt)
+        jitter = _jitter_fraction(
+            request.endpoint_id, attempt, request.query_text
+        )
+        return base * (1.0 + 0.1 * jitter)
+
     def _perform(self, request: Request) -> Tuple[Response, int, int]:
         """Run one request; returns (response, bytes_sent, bytes_received).
 
         Transient :class:`EndpointUnavailableError` failures are retried
         up to ``max_retries`` times, each failed attempt adding a round
-        trip plus a backoff to the request's virtual cost.  No shared
-        state is mutated here, so this is safe to call from worker
-        threads; accounting happens in the caller.
+        trip plus an exponentially growing, deterministically jittered
+        backoff to the request's virtual cost.  When the budget is
+        exhausted, the raised error carries the accumulated virtual cost
+        and attempt/byte counts so the scheduler can charge the failure
+        honestly.  No shared state is mutated here, so this is safe to
+        call from worker threads; accounting happens in the caller.
         """
-        from ..endpoint.errors import EndpointUnavailableError
-
         endpoint = self.federation.endpoint(request.endpoint_id)
         bytes_sent = len(request.query_text)
         penalty = 0.0
@@ -180,8 +245,8 @@ class ElasticRequestHandler:
             try:
                 response = endpoint.execute(request.query_text)
                 break
-            except EndpointUnavailableError:
-                penalty += self.retry_backoff_seconds
+            except EndpointUnavailableError as error:
+                penalty += self._retry_backoff(request, attempt)
                 penalty += self.context.network.request_cost(
                     client=self.context.client_region,
                     endpoint=endpoint.region,
@@ -190,20 +255,38 @@ class ElasticRequestHandler:
                     rows_touched=1,
                 )
                 if attempt == self.max_retries:
+                    error.virtual_cost = penalty
+                    error.failed_attempts = attempt + 1
+                    error.bytes_sent_total = bytes_sent * (attempt + 1)
                     raise
+            except EndpointRateLimitError as error:
+                # The endpoint answered — with a refusal; charge the
+                # attempted round trips up to and including this one.
+                penalty += self.context.network.request_cost(
+                    client=self.context.client_region,
+                    endpoint=endpoint.region,
+                    bytes_sent=bytes_sent,
+                    bytes_received=0,
+                    rows_touched=1,
+                )
+                error.virtual_cost = penalty
+                error.failed_attempts = attempt + 1
+                error.bytes_sent_total = bytes_sent * (attempt + 1)
+                raise
         cost = penalty + self.context.network.request_cost(
             client=self.context.client_region,
             endpoint=endpoint.region,
             bytes_sent=bytes_sent,
             bytes_received=response.bytes_received,
             rows_touched=response.rows_touched,
-        )
+        ) + getattr(response, "latency_penalty_seconds", 0.0)
         return (
             Response(
                 request=request,
                 value=response.value,
                 cost_seconds=cost,
                 compute=getattr(response, "compute", None),
+                failed_attempts=attempt,
             ),
             bytes_sent,
             response.bytes_received,
@@ -239,6 +322,11 @@ class ElasticRequestHandler:
         if not self._pending:
             metrics.scheduler_waves += 1
         future = ResponseFuture(self, request, metrics.virtual_seconds)
+        if self._breaker_rejects(request, future):
+            self._pending.append(future)
+            if len(self._pending) > metrics.inflight_high_water:
+                metrics.inflight_high_water = len(self._pending)
+            return future
         if self.use_threads:
             future._thread_future = self._pool().submit(
                 self._perform_locked, request
@@ -256,6 +344,85 @@ class ElasticRequestHandler:
     def submit_all(self, requests: Sequence[Request]) -> List[ResponseFuture]:
         return [self.submit(request) for request in requests]
 
+    # -- circuit breaker ---------------------------------------------------
+
+    def _breaker_rejects(self, request: Request,
+                         future: ResponseFuture) -> bool:
+        """Gate a submission on the endpoint's breaker state.
+
+        Returns True when the request must fail fast (breaker open, or
+        half-open with the single probe slot already taken); the future
+        then carries a :class:`CircuitBreakerOpenError` and never
+        contacts the endpoint or the thread pool.  Gating compares the
+        breaker's ``open_until`` against the *submission-time* virtual
+        clock, which both execution modes share.
+        """
+        if self.breaker_threshold is None:
+            return False
+        health = self._health.get(request.endpoint_id)
+        if health is None or health.state == "closed":
+            return False
+        now = self.context.metrics.virtual_seconds
+        if health.state == "open":
+            if now < health.open_until:
+                future._submit_error = CircuitBreakerOpenError(
+                    request.endpoint_id, health.open_until
+                )
+                self.context.metrics.breaker_fast_fails += 1
+                return True
+            health.state = "half_open"
+            health.probe_inflight = False
+        if health.state == "half_open":
+            if health.probe_inflight:
+                future._submit_error = CircuitBreakerOpenError(
+                    request.endpoint_id, health.open_until
+                )
+                self.context.metrics.breaker_fast_fails += 1
+                return True
+            health.probe_inflight = True
+        return False
+
+    def _note_failure(self, endpoint_id: str, at: float) -> None:
+        """Record an exhausted failure; maybe open the breaker at ``at``."""
+        if self.breaker_threshold is None:
+            return
+        health = self._health.setdefault(endpoint_id, _EndpointHealth())
+        health.consecutive_failures += 1
+        reopen = health.state == "half_open"
+        tripped = (
+            health.state == "closed"
+            and health.consecutive_failures >= self.breaker_threshold
+        )
+        if not (reopen or tripped):
+            return
+        health.open_count += 1
+        cooldown = (
+            self.breaker_cooldown_seconds
+            * (2.0 ** (health.open_count - 1))
+            * (1.0 + 0.1 * _jitter_fraction(endpoint_id, health.open_count))
+        )
+        health.open_until = at + cooldown
+        health.state = "open"
+        health.probe_inflight = False
+        self.context.metrics.breaker_opens += 1
+        self.context.trace_event(
+            "breaker_open",
+            endpoint=endpoint_id,
+            open_until=health.open_until,
+            consecutive_failures=health.consecutive_failures,
+        )
+
+    def _note_success(self, endpoint_id: str) -> None:
+        health = self._health.get(endpoint_id)
+        if health is None:
+            return
+        if health.state == "half_open":
+            self.context.trace_event("breaker_close", endpoint=endpoint_id)
+        health.state = "closed"
+        health.consecutive_failures = 0
+        health.open_count = 0
+        health.probe_inflight = False
+
     def gather(self, futures: Sequence[ResponseFuture]) -> List[Response]:
         """Resolve futures in order; the clock ends at their makespan."""
         return [future.result() for future in futures]
@@ -266,15 +433,86 @@ class ElasticRequestHandler:
         # threaded and single-threaded accounting identical.
         while not future._scheduled:
             self._schedule_next()
-        if future._exception is not None:
-            raise future._exception
+        # Failures charge the clock too — the caller really waited out
+        # the retries and backoffs before seeing the error.
         clock = self.context.metrics.virtual_seconds
         if future._finish > clock:
             self.context.charge(future._finish - clock)
+        if future._exception is not None:
+            raise future._exception
         return future._response
+
+    def settle(
+        self, future: ResponseFuture
+    ) -> Tuple[Optional[Response], Optional[BaseException]]:
+        """Resolve a future, degrading instead of raising in partial mode.
+
+        Returns ``(response, None)`` on success.  When the context runs
+        with ``partial_results=True`` and the request failed past its
+        retry budget (endpoint down, breaker open, or rate limited), the
+        failure is recorded in the context's completeness report and
+        ``(None, error)`` is returned so the caller can drop or reroute
+        this endpoint's contribution.  Outside partial mode — and for
+        non-endpoint failures like timeouts — this re-raises exactly
+        like :meth:`ResponseFuture.result`.
+        """
+        try:
+            return future.result(), None
+        except (EndpointUnavailableError, EndpointRateLimitError) as error:
+            if not self.context.partial_results:
+                raise
+            if isinstance(error, CircuitBreakerOpenError):
+                kind = "breaker_open"
+            elif isinstance(error, EndpointRateLimitError):
+                kind = "rate_limited"
+            else:
+                kind = "unavailable"
+            self.context.completeness.note_failure(
+                future.request.endpoint_id, kind
+            )
+            return None, error
+
+    def _schedule_lane(self, future: ResponseFuture, endpoint_id: str,
+                       cost_seconds: float) -> float:
+        """Place one request onto its lane and a pool worker; returns
+        the absolute virtual finish time."""
+        start = max(
+            future._submit_clock, self._lane_free.get(endpoint_id, 0.0)
+        )
+        if len(self._worker_free) >= self.pool_size:
+            start = max(start, heapq.heappop(self._worker_free))
+        finish = start + cost_seconds
+        heapq.heappush(self._worker_free, finish)
+        self._lane_free[endpoint_id] = finish
+        lanes = self.context.metrics.lane_busy_seconds
+        lanes[endpoint_id] = lanes.get(endpoint_id, 0.0) + cost_seconds
+        return finish
+
+    def _account_retries(self, endpoint_id: str, kind: str, attempts: int,
+                         bytes_retransmitted: int, exhausted: bool) -> None:
+        """Fold failed attempts into the metrics and the trace.
+
+        Failures are never free: every attempt — absorbed by a later
+        retry or not — counts in ``requests_failed``, and the bytes it
+        put on the wire count in ``bytes_sent``.
+        """
+        if attempts <= 0:
+            return
+        metrics = self.context.metrics
+        metrics.requests_failed += attempts
+        metrics.retries += attempts - 1 if exhausted else attempts
+        metrics.bytes_sent += bytes_retransmitted
+        self.context.trace_event(
+            "retry",
+            endpoint=endpoint_id,
+            request_kind=kind,
+            failed_attempts=attempts,
+            exhausted=exhausted,
+        )
 
     def _schedule_next(self) -> None:
         future = self._pending.popleft()
+        endpoint_id = future.request.endpoint_id
         try:
             if future._thread_future is not None:
                 performed = future._thread_future.result()
@@ -283,27 +521,47 @@ class ElasticRequestHandler:
             else:
                 performed = future._performed
         except Exception as error:
-            # A failed request holds no lane time (its retries already
-            # priced the attempts into nothing observable — the query is
-            # about to abort anyway); the error surfaces at result().
+            # Honest failure accounting: the retries really happened, so
+            # their round trips and backoffs hold lane time and charge
+            # the clock like any other work — only breaker fast-fails
+            # are free (nothing was sent).  The error itself surfaces at
+            # result()/settle().
+            if not isinstance(error, CircuitBreakerOpenError):
+                cost = getattr(error, "virtual_cost", 0.0)
+                attempts = getattr(error, "failed_attempts", 0)
+                self._account_retries(
+                    endpoint_id,
+                    future.request.kind,
+                    attempts,
+                    getattr(error, "bytes_sent_total", 0),
+                    exhausted=True,
+                )
+                if cost > 0:
+                    future._finish = self._schedule_lane(
+                        future, endpoint_id, cost
+                    )
+                if isinstance(
+                    error, (EndpointUnavailableError, EndpointRateLimitError)
+                ):
+                    self._note_failure(endpoint_id, at=future._finish)
             future._exception = error
             future._scheduled = True
             return
         response, bytes_sent, bytes_received = performed
         self._record(response, bytes_sent, bytes_received)
-        endpoint_id = response.request.endpoint_id
-        start = max(
-            future._submit_clock, self._lane_free.get(endpoint_id, 0.0)
-        )
-        if len(self._worker_free) >= self.pool_size:
-            start = max(start, heapq.heappop(self._worker_free))
-        finish = start + response.cost_seconds
-        heapq.heappush(self._worker_free, finish)
-        self._lane_free[endpoint_id] = finish
-        lanes = self.context.metrics.lane_busy_seconds
-        lanes[endpoint_id] = lanes.get(endpoint_id, 0.0) + response.cost_seconds
+        if response.failed_attempts:
+            self._account_retries(
+                endpoint_id,
+                future.request.kind,
+                response.failed_attempts,
+                bytes_sent * response.failed_attempts,
+                exhausted=False,
+            )
+        self._note_success(endpoint_id)
         future._response = response
-        future._finish = finish
+        future._finish = self._schedule_lane(
+            future, endpoint_id, response.cost_seconds
+        )
         future._scheduled = True
 
     # ------------------------------------------------------------------

@@ -46,16 +46,56 @@ class SourceSelector:
             else:
                 answers[endpoint_id] = cached
                 self.handler.context.metrics.cache_hits += 1
+        rerouted: List[str] = []
         if missing:
             text = ask_query_text(pattern)
             requests = [Request(eid, text, kind="ASK") for eid in missing]
-            for response in self.handler.execute_batch(requests):
-                endpoint_id = response.request.endpoint_id
+            for future in self.handler.submit_all(requests):
+                endpoint_id = future.request.endpoint_id
+                response, error = self.handler.settle(future)
+                if error is not None:
+                    # Partial mode: a dead endpoint simply drops out of
+                    # selection (downstream requests never target it) —
+                    # unless a standby replica answers in its place.
+                    # The failure is never cached: the endpoint may be
+                    # back for the next query.
+                    answers[endpoint_id] = False
+                    replica = self._ask_replica(endpoint_id, text, pattern)
+                    if replica is not None:
+                        replica_id, replica_answer = replica
+                        answers[replica_id] = replica_answer
+                        rerouted.append(replica_id)
+                    continue
                 answer = bool(response.value)
                 answers[endpoint_id] = answer
                 if self.cache is not None:
                     self.cache.put(endpoint_id, pattern, answer)
-        return tuple(eid for eid in endpoint_ids if answers.get(eid))
+        relevant = [eid for eid in endpoint_ids if answers.get(eid)]
+        relevant.extend(eid for eid in rerouted if answers.get(eid))
+        return tuple(relevant)
+
+    def _ask_replica(
+        self, endpoint_id: str, text: str, pattern: TriplePattern
+    ) -> Optional[Tuple[str, bool]]:
+        """Re-ask a failed primary's standby replica, if one exists.
+
+        The replica's answer is recorded under *its own* id, so every
+        downstream request (checks, probes, SELECTs) naturally targets
+        the replica instead of the dead primary.  Returns
+        ``(replica_id, answer)`` when the replica answered, else None.
+        """
+        replica_id = self.handler.federation.replica_of(endpoint_id)
+        if replica_id is None:
+            return None
+        future = self.handler.submit(Request(replica_id, text, kind="ASK"))
+        response, error = self.handler.settle(future)
+        if error is not None:
+            return None
+        answer = bool(response.value)
+        if self.cache is not None:
+            self.cache.put(replica_id, pattern, answer)
+        self.handler.context.completeness.note_reroute(endpoint_id, replica_id)
+        return replica_id, answer
 
     def select_all(
         self, patterns: Sequence[TriplePattern]
