@@ -1,17 +1,21 @@
-"""Evaluator hot path: compile-once/batched executor vs the seed joiner.
+"""Evaluator hot path: seed joiner vs planned executor vs dictionary kernels.
 
-Shape asserted (ISSUE 1 acceptance): on multi-pattern LUBM-style BGPs
-(>= 5 patterns) the planned/batched executor is >= 3x faster than the
-seed per-binding recursive join, returns identical rows, and issues zero
-per-binding ``store.count`` ordering probes.  The payload is also written
-to ``BENCH_evaluator.json`` at the repo root to seed the perf trajectory.
+Shape asserted: on multi-pattern LUBM-style BGPs (>= 5 patterns) the
+planned/batched executor is >= 3x faster than the seed per-binding
+recursive join (ISSUE 1 acceptance), the dictionary-encoded ID kernels
+are >= 1.5x faster again than the planned term path (ISSUE 4
+acceptance), all paths return identical rows, and neither planned path
+issues per-binding ``store.count`` ordering probes.  The payload is also
+written to ``BENCH_evaluator.json`` at the repo root to extend the perf
+trajectory.
 
 Run standalone (no pytest) with ``python benchmarks/bench_evaluator_hotpath.py``;
-``--check`` runs the <10 s smoke mode that only proves the plan-once path
-is active.
+``--check`` runs the <10 s smoke mode proving both optimized paths are
+active.
 """
 
 from repro.bench.evaluator_bench import (
+    MIN_DICT_SPEEDUP,
     check,
     format_report,
     run_hotpath,
@@ -30,7 +34,9 @@ def bench_evaluator_hotpath(benchmark, record_table):
         assert row["planned_count_probes"] == 0
         assert row["plans_built"] >= 1
         assert row["seed_count_probes"] > row["patterns"]
+        assert row["dictionary_hits"] >= 1
     assert payload["min_speedup"] >= MIN_SPEEDUP
+    assert payload["min_dict_speedup"] >= MIN_DICT_SPEEDUP
 
 
 def main(argv=None) -> int:
@@ -50,6 +56,12 @@ def main(argv=None) -> int:
     print(f"wrote {target}")
     if not args.check and payload["min_speedup"] < MIN_SPEEDUP:
         print(f"FAIL: min speedup {payload['min_speedup']}x < {MIN_SPEEDUP}x")
+        return 1
+    if not args.check and payload["min_dict_speedup"] < MIN_DICT_SPEEDUP:
+        print(
+            f"FAIL: min dict speedup {payload['min_dict_speedup']}x "
+            f"< {MIN_DICT_SPEEDUP}x"
+        )
         return 1
     return 0
 

@@ -4,18 +4,27 @@ Every reported runtime in the reproduction is virtual network time plus
 *measured local compute*, and local compute is dominated by
 :class:`repro.sparql.Evaluator` — it runs inside every simulated
 endpoint for every ASK, check, COUNT probe, subquery, and bound-VALUES
-round.  This benchmark measures the compile-once/batched executor
-(``use_planner=True``, the default) against the seed's per-binding
-recursive join (kept as ``use_planner=False``) on multi-pattern
-LUBM-style BGPs, and records the result in ``BENCH_evaluator.json`` to
-seed the perf trajectory.
+round.  This benchmark measures three configurations of the same
+LUBM-style multi-pattern BGP workload:
 
-Two invariants are asserted alongside the timings:
+- **seed** — the per-binding recursive join (``use_planner=False``);
+- **planned** — the compile-once/batched executor on a term-keyed store
+  (``use_dictionary=False``), i.e. the PR-3 baseline;
+- **dict** — the same planner on a dictionary-encoded store, where
+  every index probe, join key, and intermediate row is a dense int ID
+  and terms are only decoded at ResultSet materialization.
 
-- both paths return multiset-identical results;
-- the planned path issues **zero** per-binding ``store.count`` probes
-  (the seed path issues one per remaining pattern per intermediate
-  binding — the O(rows × patterns²) overhead this PR removes).
+Invariants asserted alongside the timings:
+
+- all three paths return identical result rows (the planned paths in
+  identical order);
+- neither planned path issues per-binding ``store.count`` probes;
+- the dict path actually exercises the dictionary (intern-table hits
+  and a non-trivial decode phase are observed).
+
+The payload is written to ``BENCH_evaluator.json`` to extend the perf
+trajectory: ``speedup`` tracks seed→planned (ISSUE 1), ``dict_speedup``
+tracks planned→dict (ISSUE 4).
 """
 
 from __future__ import annotations
@@ -39,22 +48,23 @@ HOTPATH_QUERIES = ("Q1", "Q2")
 def build_hotpath_store(
     universities: int = 6,
     graduate_students_per_department: int = 48,
+    use_dictionary: bool = True,
 ) -> TripleStore:
     """One merged LUBM store — the data a busy endpoint would hold."""
     generator = LubmGenerator(
         universities=universities,
         graduate_students_per_department=graduate_students_per_department,
     )
-    store = TripleStore()
+    store = TripleStore(use_dictionary=use_dictionary)
     for index in range(universities):
         store.add_all(generator.generate_university(index))
     return store
 
 
-def _measure(evaluator: Evaluator, query, repeats: int) -> Dict[str, float]:
+def _measure(evaluator: Evaluator, query, repeats: int) -> Dict[str, object]:
     """Best-of-``repeats`` wall time plus counter deltas for one query."""
     best = float("inf")
-    rows = 0
+    result = None
     store = evaluator.store
     before_counts = store.count_calls
     before_stats = evaluator.stats.snapshot()
@@ -63,16 +73,19 @@ def _measure(evaluator: Evaluator, query, repeats: int) -> Dict[str, float]:
         result = evaluator.select(query)
         elapsed = time.perf_counter() - started
         best = min(best, elapsed)
-        rows = len(result)
     stats_delta = evaluator.stats.delta(before_stats)
     return {
         "seconds": best,
-        "rows": rows,
+        "rows": len(result),
+        "result_rows": list(result.rows),
         "count_probes": store.count_calls - before_counts,
         "plans_built": stats_delta.get("plans_built", 0),
         "plan_cache_hits": stats_delta.get("plan_cache_hits", 0),
         "batches": stats_delta.get("batches", 0),
         "intermediate_rows": stats_delta.get("intermediate_rows", 0),
+        "terms_interned": stats_delta.get("terms_interned", 0),
+        "dictionary_hits": stats_delta.get("dictionary_hits", 0),
+        "decode_seconds": stats_delta.get("decode_seconds", 0.0),
     }
 
 
@@ -82,57 +95,92 @@ def run_hotpath(
     repeats: int = 3,
     queries=HOTPATH_QUERIES,
 ) -> Dict[str, object]:
-    """Compare seed vs planned execution; returns the report payload."""
-    store = build_hotpath_store(universities, graduate_students_per_department)
+    """Compare seed vs planned vs dictionary execution; returns the payload.
+
+    The seed and planned runs share one term-keyed store (the PR-3
+    configuration); the dict run uses a dictionary-encoded store built
+    from the same generator output, so the data is identical.
+    """
+    term_store = build_hotpath_store(
+        universities, graduate_students_per_department, use_dictionary=False
+    )
+    dict_store = build_hotpath_store(
+        universities, graduate_students_per_department, use_dictionary=True
+    )
     report_rows: List[Dict[str, object]] = []
     for name in queries:
         query = parse_query(LUBM_QUERIES[name])
         patterns = len(query.where.triple_patterns())
-        seed = _measure(Evaluator(store, use_planner=False), query, repeats)
-        planned = _measure(Evaluator(store, use_planner=True), query, repeats)
-        if planned["rows"] != seed["rows"]:
+        seed = _measure(Evaluator(term_store, use_planner=False), query, repeats)
+        planned = _measure(Evaluator(term_store), query, repeats)
+        encoded = _measure(Evaluator(dict_store), query, repeats)
+        if sorted(planned["result_rows"]) != sorted(seed["result_rows"]):
             raise AssertionError(
-                f"{name}: planned executor returned {planned['rows']} rows, "
-                f"seed returned {seed['rows']}"
+                f"{name}: planned executor and seed disagree on result rows"
             )
-        if planned["count_probes"]:
+        if encoded["result_rows"] != planned["result_rows"]:
             raise AssertionError(
-                f"{name}: planned execution issued {planned['count_probes']} "
-                "store.count probes; the plan-once path must issue none"
+                f"{name}: dictionary path rows differ from the term path "
+                "(rows and order must be bit-identical)"
+            )
+        for label, run in (("planned", planned), ("dict", encoded)):
+            if run["count_probes"]:
+                raise AssertionError(
+                    f"{name}: {label} execution issued {run['count_probes']} "
+                    "store.count probes; the plan-once path must issue none"
+                )
+        if not encoded["dictionary_hits"]:
+            raise AssertionError(
+                f"{name}: dictionary path recorded zero intern-table hits — "
+                "the ID kernel is not active"
             )
         speedup = seed["seconds"] / max(planned["seconds"], 1e-9)
+        dict_speedup = planned["seconds"] / max(encoded["seconds"], 1e-9)
         report_rows.append({
             "query": name,
             "patterns": patterns,
             "rows": planned["rows"],
             "seed_seconds": round(seed["seconds"], 6),
             "planned_seconds": round(planned["seconds"], 6),
+            "dict_seconds": round(encoded["seconds"], 6),
             "speedup": round(speedup, 2),
+            "dict_speedup": round(dict_speedup, 2),
             "seed_count_probes": seed["count_probes"],
             "planned_count_probes": planned["count_probes"],
             "plans_built": planned["plans_built"],
             "plan_cache_hits": planned["plan_cache_hits"],
             "batches": planned["batches"],
             "intermediate_rows": planned["intermediate_rows"],
+            "dictionary_hits": encoded["dictionary_hits"],
+            "terms_interned": encoded["terms_interned"],
+            "decode_seconds": round(encoded["decode_seconds"], 6),
         })
     speedups = [row["speedup"] for row in report_rows]
+    dict_speedups = [row["dict_speedup"] for row in report_rows]
     return {
         "benchmark": "evaluator-hotpath",
-        "store_triples": len(store),
+        "store_triples": len(term_store),
+        "dictionary_terms": len(dict_store.dictionary),
         "universities": universities,
         "repeats": repeats,
         "queries": report_rows,
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
+        "min_dict_speedup": min(dict_speedups),
+        "max_dict_speedup": max(dict_speedups),
     }
 
 
+#: acceptance floor (ISSUE 4): dictionary kernels vs the PR-3 planned path
+MIN_DICT_SPEEDUP = 1.5
+
+
 def check(universities: int = 2) -> Dict[str, object]:
-    """Fast smoke mode (<10 s): proves the plan-once path is active."""
+    """Fast smoke mode (<10 s): proves both optimized paths are active."""
     payload = run_hotpath(
         universities=universities,
         graduate_students_per_department=12,
-        repeats=1,
+        repeats=3,
     )
     for row in payload["queries"]:
         if row["plans_built"] < 1:
@@ -149,6 +197,15 @@ def check(universities: int = 2) -> Dict[str, object]:
                 f"{row['query']}: seed path probe counter looks broken "
                 f"({row['seed_count_probes']} probes)"
             )
+        if row["dictionary_hits"] < 1:
+            raise AssertionError(
+                f"{row['query']}: dictionary path never hit the intern table"
+            )
+    if payload["min_dict_speedup"] < MIN_DICT_SPEEDUP:
+        raise AssertionError(
+            f"dictionary kernels only {payload['min_dict_speedup']}x over the "
+            f"planned term path (floor {MIN_DICT_SPEEDUP}x)"
+        )
     payload["check"] = "ok"
     return payload
 
@@ -161,8 +218,10 @@ def write_results(payload: Dict[str, object], path: Optional[str] = None) -> Pat
 
 def format_report(payload: Dict[str, object]) -> str:
     lines = [
-        "Evaluator hot path: seed (per-binding recursive) vs planned/batched",
-        f"store: {payload['store_triples']} triples, "
+        "Evaluator hot path: seed (per-binding recursive) vs planned/batched "
+        "vs dictionary-encoded",
+        f"store: {payload['store_triples']} triples "
+        f"({payload.get('dictionary_terms', 0)} distinct terms), "
         f"{payload['universities']} universities, best of {payload['repeats']}",
     ]
     for row in payload["queries"]:
@@ -170,8 +229,10 @@ def format_report(payload: Dict[str, object]) -> str:
             f"  {row['query']}: {row['patterns']} patterns, {row['rows']} rows"
             f" | seed {row['seed_seconds']:.4f}s"
             f" ({row['seed_count_probes']} count probes)"
-            f" | planned {row['planned_seconds']:.4f}s"
-            f" ({row['plans_built']} plan(s), {row['batches']} batches,"
-            f" 0 probes) | {row['speedup']:.1f}x"
+            f" | planned {row['planned_seconds']:.4f}s ({row['speedup']:.1f}x)"
+            f" | dict {row['dict_seconds']:.4f}s"
+            f" ({row['dict_speedup']:.1f}x over planned,"
+            f" {row['dictionary_hits']} intern hits,"
+            f" decode {row['decode_seconds'] * 1000:.1f} ms)"
         )
     return "\n".join(lines)

@@ -228,6 +228,57 @@ def _compare(
     return row
 
 
+def _dictionary_ablation(
+    lubm_universities: int,
+    lubm_queries: Sequence[str],
+) -> List[Dict[str, object]]:
+    """Run LUBM end to end with ``use_dictionary`` on and off.
+
+    The dictionary layer (ISSUE 4) must be invisible in the answers:
+    every endpoint store, the BGP executor, the global join operators,
+    and the SAPE binding trackers switch between term and ID kernels,
+    and the serialized rows must come back bit-identical — same rows,
+    same order.
+    """
+    regions = _lubm_regions(lubm_universities)
+    generator = LubmGenerator(universities=lubm_universities)
+    ablation: List[Dict[str, object]] = []
+    for name in lubm_queries:
+        runs = {}
+        for mode in (True, False):
+            engine = LusailEngine(
+                generator.build_federation(
+                    network=AZURE_GEO, regions=regions,
+                    use_dictionary=mode,
+                ),
+                pool_size=8,
+                delay_threshold="mu+sigma",
+                values_block_size=16,
+                use_dictionary=mode,
+            )
+            outcome = engine.execute(LUBM_QUERIES[name])
+            if not outcome.ok:
+                raise AssertionError(
+                    f"LUBM-{name} failed (use_dictionary={mode}): "
+                    f"{outcome.error}"
+                )
+            runs[mode] = [
+                tuple("" if cell is None else cell.n3() for cell in row)
+                for row in outcome.result.rows
+            ]
+        if runs[True] != runs[False]:
+            raise AssertionError(
+                f"LUBM-{name}: use_dictionary changed the answer "
+                f"({len(runs[True])} vs {len(runs[False])} rows, or order)"
+            )
+        ablation.append({
+            "query": f"LUBM-{name}",
+            "rows": len(runs[True]),
+            "bit_identical": True,
+        })
+    return ablation
+
+
 def run_federation(
     lubm_universities: int = 6,
     directory_universities: int = 12,
@@ -264,6 +315,9 @@ def run_federation(
         "directory_universities": directory_universities,
         "queries": rows,
         "max_speedup": max(row["speedup"] for row in rows),
+        "dictionary_ablation": _dictionary_ablation(
+            lubm_universities, lubm_queries
+        ),
     }
 
 
@@ -331,6 +385,12 @@ def check(
             f"({pipelined['lane_utilization']} vs "
             f"{barrier['lane_utilization']})"
         )
+    for row in payload["dictionary_ablation"]:
+        if not row["bit_identical"] or row["rows"] < 1:
+            raise AssertionError(
+                f"{row['query']}: dictionary ablation not bit-identical "
+                "or returned no rows"
+            )
     payload["check"] = "ok"
     return payload
 
@@ -360,5 +420,10 @@ def format_report(payload: Dict[str, object]) -> str:
             f"{pipelined['inflight_high_water']},"
             f" {pipelined['scheduler_waves']} waves)"
             f" | {row['speedup']:.2f}x"
+        )
+    for row in payload.get("dictionary_ablation", []):
+        lines.append(
+            f"  {row['query']}: use_dictionary on/off bit-identical "
+            f"({row['rows']} rows)"
         )
     return "\n".join(lines)

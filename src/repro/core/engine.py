@@ -108,6 +108,7 @@ class LusailEngine:
         breaker: bool = True,
         breaker_threshold: int = 3,
         breaker_cooldown_seconds: float = 1.0,
+        use_dictionary: bool = True,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -134,6 +135,10 @@ class LusailEngine:
         self.breaker = breaker
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        #: run the federator's global joins and SAPE binding tracking on
+        #: interned IDs (ablation knob mirroring ``pipeline``; endpoint
+        #: evaluators have their own knob on LocalEndpoint/TripleStore)
+        self.use_dictionary = use_dictionary
         self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
         self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
         #: COUNT-probe cache shared across this engine's queries — the
@@ -163,6 +168,7 @@ class LusailEngine:
             join_threads=self.join_threads,
             real_time_limit=real_time_limit,
             partial_results=self.partial_results,
+            use_dictionary=self.use_dictionary,
         )
         if trace:
             context.trace = QueryTrace()
@@ -177,6 +183,14 @@ class LusailEngine:
                 status = "PARTIAL"
                 context.trace_event(
                     "completeness", **context.completeness.to_dict()
+                )
+            if context.join_dictionary is not None:
+                context.trace_event(
+                    "dictionary",
+                    join_terms=len(context.join_dictionary),
+                    interned=context.metrics.join_terms_interned,
+                    hits=context.metrics.join_dictionary_hits,
+                    decode_seconds=context.metrics.join_decode_seconds,
                 )
             context.trace_event(
                 "done",

@@ -4,62 +4,152 @@ Joins follow SPARQL solution compatibility: two rows join when every
 shared variable that is bound in both has equal values.  Unbound cells
 (``None``, produced by OPTIONAL) act as wildcards.  All operators charge
 the execution context's virtual join clock and intermediate-row budget.
+
+Header analysis (which columns are shared, where right-only columns land)
+happens **once per join** in :func:`_merge_headers`; the per-row loops
+work from precomputed index pairs — no ``list.index`` scans per row.
+
+**ID kernel.**  Joins above :data:`_ID_KERNEL_MIN_ROWS` total input rows
+encode their cells into a :class:`~repro.rdf.dictionary.TermDictionary`
+(the context-owned ``join_dictionary``, shared by every join of one
+federated query so repeated terms intern once) and build/probe on dense
+integer rows — key hashing and compatibility checks become machine-int
+comparisons.  Output rows decode back to terms only when the joined
+:class:`ResultSet` is materialized.  Cell equality is preserved exactly
+by interning, and every dict used by the kernel iterates in insertion
+order, so term-mode and ID-mode joins produce bit-identical results
+(rows *and* order); ``context.use_dictionary = False`` ablates the
+kernel away.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..endpoint.metrics import ExecutionContext
+from ..rdf.dictionary import TermDictionary
 from ..rdf.term import GroundTerm, Variable
 from ..sparql.results import ResultSet
 
 Row = Tuple[Optional[GroundTerm], ...]
 
+#: below this many total input rows the encode/decode round trip costs
+#: more than integer hashing saves — join directly on terms
+_ID_KERNEL_MIN_ROWS = 32
+
 
 def _merge_headers(
     left: ResultSet, right: ResultSet
-) -> Tuple[Tuple[Variable, ...], List[int], List[int]]:
-    """Output header = left vars + right-only vars, with index maps."""
+) -> Tuple[Tuple[Variable, ...], List[int], List[Tuple[int, int]]]:
+    """Output header = left vars + right-only vars, with index maps.
+
+    Returns ``(header, right_extra_indexes, shared_pairs)`` where
+    ``shared_pairs`` holds one ``(left_index, right_index)`` pair per
+    shared variable — the row loops never scan ``variables`` again.
+    """
+    left_index = {v: i for i, v in enumerate(left.variables)}
     header = list(left.variables)
     right_extra_indexes: List[int] = []
+    shared_pairs: List[Tuple[int, int]] = []
     for index, variable in enumerate(right.variables):
-        if variable not in left.variables:
+        li = left_index.get(variable)
+        if li is None:
             header.append(variable)
             right_extra_indexes.append(index)
-    shared = [v for v in right.variables if v in left.variables]
-    return tuple(header), right_extra_indexes, [right.variables.index(v) for v in shared]
+        else:
+            shared_pairs.append((li, index))
+    return tuple(header), right_extra_indexes, shared_pairs
 
 
 def _combine(
     left_row: Row,
     right_row: Row,
-    left: ResultSet,
-    right: ResultSet,
+    shared_pairs: List[Tuple[int, int]],
     right_extra_indexes: List[int],
-) -> Optional[Row]:
+) -> Row:
     """Merge two compatible rows; fill unbound left cells from the right."""
     out = list(left_row)
-    for variable, value in zip(right.variables, right_row):
-        if variable in left.variables:
-            index = left.variables.index(variable)
-            if out[index] is None:
-                out[index] = value
-    out.extend(right_row[i] for i in right_extra_indexes)
+    for li, ri in shared_pairs:
+        if out[li] is None:
+            out[li] = right_row[ri]
+    out.extend([right_row[i] for i in right_extra_indexes])
     return tuple(out)
 
 
 def _compatible(
-    left_row: Row, right_row: Row, left: ResultSet, right: ResultSet
+    left_row: Row, right_row: Row, shared_pairs: List[Tuple[int, int]]
 ) -> bool:
-    for index, variable in enumerate(right.variables):
-        if variable not in left.variables:
+    for li, ri in shared_pairs:
+        left_value = left_row[li]
+        if left_value is None:
             continue
-        left_value = left_row[left.variables.index(variable)]
-        right_value = right_row[index]
-        if left_value is not None and right_value is not None and left_value != right_value:
+        right_value = right_row[ri]
+        if right_value is not None and left_value != right_value:
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# ID kernel: encode/decode boundary
+# ----------------------------------------------------------------------
+
+
+def _kernel_dictionary(
+    context: Optional[ExecutionContext], total_rows: int
+) -> Optional[TermDictionary]:
+    """The intern table to run this join on, or ``None`` for term mode."""
+    if total_rows < _ID_KERNEL_MIN_ROWS:
+        return None
+    if context is None:
+        return TermDictionary()
+    if not context.use_dictionary:
+        return None
+    return context.get_join_dictionary()
+
+
+def _encode_rows(rows: Sequence[Row], dictionary: TermDictionary) -> List[tuple]:
+    """Term rows -> ID rows (``None`` cells stay ``None``)."""
+    encode = dictionary.encode
+    return [
+        tuple([None if cell is None else encode(cell) for cell in row])
+        for row in rows
+    ]
+
+
+def _decode_rows(rows: List[tuple], dictionary: TermDictionary) -> List[Row]:
+    """ID rows -> term rows, at result materialization."""
+    decode = dictionary.decode
+    return [
+        tuple([None if cell is None else decode(cell) for cell in row])
+        for row in rows
+    ]
+
+
+def _kernel_begin(
+    context: Optional[ExecutionContext], dictionary: Optional[TermDictionary]
+) -> Tuple[int, int]:
+    if context is None or dictionary is None:
+        return (0, 0)
+    return (dictionary.terms_interned, dictionary.hits)
+
+def _kernel_end(
+    context: Optional[ExecutionContext],
+    dictionary: Optional[TermDictionary],
+    before: Tuple[int, int],
+    decode_seconds: float,
+) -> None:
+    if context is None or dictionary is None:
+        return
+    metrics = context.metrics
+    metrics.join_terms_interned += dictionary.terms_interned - before[0]
+    metrics.join_dictionary_hits += dictionary.hits - before[1]
+    metrics.join_decode_seconds += decode_seconds
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
 
 
 def hash_join(
@@ -69,49 +159,63 @@ def hash_join(
 ) -> ResultSet:
     """Natural (inner) join; degenerates to a cross product when the
     inputs share no variables."""
-    header, right_extra, _ = _merge_headers(left, right)
-    shared = [v for v in right.variables if v in left.variables]
-    if not shared:
+    header, right_extra, shared_pairs = _merge_headers(left, right)
+    dictionary = _kernel_dictionary(context, len(left.rows) + len(right.rows))
+    before = _kernel_begin(context, dictionary)
+    if dictionary is None:
+        left_rows, right_rows = left.rows, right.rows
+    else:
+        left_rows = _encode_rows(left.rows, dictionary)
+        right_rows = _encode_rows(right.rows, dictionary)
+    if not shared_pairs:
         rows = [
-            _combine(l, r, left, right, right_extra)
-            for l in left.rows
-            for r in right.rows
+            _combine(l, r, shared_pairs, right_extra)
+            for l in left_rows
+            for r in right_rows
         ]
-        result = ResultSet(header, rows)
-        _account(context, left, right, result)
-        return result
-
-    build, probe, build_is_left = (
-        (left, right, True) if len(left) <= len(right) else (right, left, False)
-    )
-    build_key_indexes = [build.variables.index(v) for v in shared]
-    probe_key_indexes = [probe.variables.index(v) for v in shared]
-    table: Dict[Tuple, List[Row]] = {}
-    wildcards: List[Row] = []
-    for row in build.rows:
-        key = tuple(row[i] for i in build_key_indexes)
-        if any(cell is None for cell in key):
-            wildcards.append(row)
+    else:
+        build_rows, probe_rows, build_is_left = (
+            (left_rows, right_rows, True)
+            if len(left_rows) <= len(right_rows)
+            else (right_rows, left_rows, False)
+        )
+        if build_is_left:
+            build_key_indexes = [li for li, _ in shared_pairs]
+            probe_key_indexes = [ri for _, ri in shared_pairs]
         else:
-            table.setdefault(key, []).append(row)
+            build_key_indexes = [ri for _, ri in shared_pairs]
+            probe_key_indexes = [li for li, _ in shared_pairs]
+        table: Dict[Tuple, List[Row]] = {}
+        wildcards: List[Row] = []
+        for row in build_rows:
+            key = tuple([row[i] for i in build_key_indexes])
+            if None in key:
+                wildcards.append(row)
+            else:
+                table.setdefault(key, []).append(row)
 
-    rows: List[Row] = []
-    for probe_row in probe.rows:
-        key = tuple(probe_row[i] for i in probe_key_indexes)
-        candidates: List[Row] = []
-        if any(cell is None for cell in key):
-            # unbound probe key: must scan everything
-            candidates = [r for bucket in table.values() for r in bucket] + wildcards
-        else:
-            candidates = list(table.get(key, ())) + wildcards
-        for build_row in candidates:
-            left_row, right_row = (
-                (build_row, probe_row) if build_is_left else (probe_row, build_row)
-            )
-            if _compatible(left_row, right_row, left, right):
-                combined = _combine(left_row, right_row, left, right, right_extra)
-                if combined is not None:
-                    rows.append(combined)
+        rows = []
+        for probe_row in probe_rows:
+            key = tuple([probe_row[i] for i in probe_key_indexes])
+            if None in key:
+                # unbound probe key: must scan everything
+                candidates = [r for bucket in table.values() for r in bucket] + wildcards
+            else:
+                candidates = list(table.get(key, ())) + wildcards
+            for build_row in candidates:
+                left_row, right_row = (
+                    (build_row, probe_row) if build_is_left else (probe_row, build_row)
+                )
+                if _compatible(left_row, right_row, shared_pairs):
+                    rows.append(
+                        _combine(left_row, right_row, shared_pairs, right_extra)
+                    )
+    if dictionary is not None:
+        decode_started = time.perf_counter()
+        rows = _decode_rows(rows, dictionary)
+        _kernel_end(
+            context, dictionary, before, time.perf_counter() - decode_started
+        )
     result = ResultSet(header, rows)
     _account(context, left, right, result)
     return result
@@ -123,33 +227,47 @@ def left_outer_join(
     context: Optional[ExecutionContext] = None,
 ) -> ResultSet:
     """SPARQL OPTIONAL semantics at the result level."""
-    header, right_extra, _ = _merge_headers(left, right)
-    shared = [v for v in right.variables if v in left.variables]
+    header, right_extra, shared_pairs = _merge_headers(left, right)
+    dictionary = _kernel_dictionary(context, len(left.rows) + len(right.rows))
+    before = _kernel_begin(context, dictionary)
+    if dictionary is None:
+        left_rows, right_rows = left.rows, right.rows
+    else:
+        left_rows = _encode_rows(left.rows, dictionary)
+        right_rows = _encode_rows(right.rows, dictionary)
     table: Dict[Tuple, List[Row]] = {}
     wildcards: List[Row] = []
-    key_indexes = [right.variables.index(v) for v in shared]
-    for row in right.rows:
-        key = tuple(row[i] for i in key_indexes)
-        if any(cell is None for cell in key):
+    key_indexes = [ri for _, ri in shared_pairs]
+    for row in right_rows:
+        key = tuple([row[i] for i in key_indexes])
+        if None in key:
             wildcards.append(row)
         else:
             table.setdefault(key, []).append(row)
-    left_key_indexes = [left.variables.index(v) for v in shared]
+    left_key_indexes = [li for li, _ in shared_pairs]
     padding = tuple([None] * len(right_extra))
     rows: List[Row] = []
-    for left_row in left.rows:
-        key = tuple(left_row[i] for i in left_key_indexes)
-        if shared and not any(cell is None for cell in key):
+    for left_row in left_rows:
+        key = tuple([left_row[i] for i in left_key_indexes])
+        if shared_pairs and None not in key:
             candidates = list(table.get(key, ())) + wildcards
         else:
             candidates = [r for bucket in table.values() for r in bucket] + wildcards
         matched = False
         for right_row in candidates:
-            if _compatible(left_row, right_row, left, right):
-                rows.append(_combine(left_row, right_row, left, right, right_extra))
+            if _compatible(left_row, right_row, shared_pairs):
+                rows.append(
+                    _combine(left_row, right_row, shared_pairs, right_extra)
+                )
                 matched = True
         if not matched:
             rows.append(tuple(left_row) + padding)
+    if dictionary is not None:
+        decode_started = time.perf_counter()
+        rows = _decode_rows(rows, dictionary)
+        _kernel_end(
+            context, dictionary, before, time.perf_counter() - decode_started
+        )
     result = ResultSet(header, rows)
     _account(context, left, right, result)
     return result

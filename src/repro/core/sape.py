@@ -49,19 +49,40 @@ class BindingTracker:
     and the tightest available bound set.  Feeding relations in one at a
     time (as they arrive from endpoints) replaces the seed's rescan of
     *every* relation after *each* delayed subquery.
+
+    With a ``dictionary`` (the context's join intern table), tracked sets
+    hold interned IDs and the per-relation intersections run on machine
+    integers; selection heuristics only ever ask for ``len()``, so terms
+    are decoded solely when :meth:`SubqueryEvaluator._plan_blocks` turns
+    an intersection into concrete ``VALUES`` rows.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dictionary=None) -> None:
+        self.dictionary = dictionary
+        #: variable -> set of terms (no dictionary) or interned IDs
         self.bindings: Bindings = {}
 
     def add(self, result: ResultSet) -> None:
         """Tighten the tracked intersections with one new relation."""
-        for variable in result.variables:
-            values = result.distinct_values(variable)
+        dictionary = self.dictionary
+        if dictionary is None:
+            for variable in result.variables:
+                values = result.distinct_values(variable)
+                if variable in self.bindings:
+                    self.bindings[variable] &= values
+                else:
+                    self.bindings[variable] = set(values)
+            return
+        encode = dictionary.encode
+        rows = result.rows
+        for index, variable in enumerate(result.variables):
+            values = {
+                encode(row[index]) for row in rows if row[index] is not None
+            }
             if variable in self.bindings:
                 self.bindings[variable] &= values
             else:
-                self.bindings[variable] = set(values)
+                self.bindings[variable] = values
 
 
 class _DelayedPlan:
@@ -95,6 +116,11 @@ class SubqueryEvaluator:
         self.values_block_size = max(1, values_block_size)
         #: futures-based phase-2 scheduling; False = barrier per block
         self.pipeline = pipeline
+        #: intern table the binding tracker keeps its value sets in
+        #: (shared with the join kernel); None = track raw terms
+        self._binding_dictionary = (
+            context.get_join_dictionary() if context.use_dictionary else None
+        )
 
     # ------------------------------------------------------------------
     # Partial-results settling
@@ -153,7 +179,7 @@ class SubqueryEvaluator:
         the original query); their values also bound delayed subqueries.
         """
         relations: Dict[str, ResultSet] = dict(initial_relations or {})
-        tracker = BindingTracker()
+        tracker = BindingTracker(self._binding_dictionary)
         for result in relations.values():
             tracker.add(result)
 
@@ -265,7 +291,13 @@ class SubqueryEvaluator:
     def _plan_blocks(
         self, subquery: Subquery, variable: Variable, bindings: Bindings
     ) -> List[List[GroundTerm]]:
-        values = sorted(bindings[variable], key=lambda t: t.sort_key())
+        """Decode boundary: tracked ID sets become term ``VALUES`` rows
+        here, sorted by term sort key (identical order in both modes)."""
+        raw = bindings[variable]
+        dictionary = self._binding_dictionary
+        if dictionary is not None:
+            raw = dictionary.decode_many(raw)
+        values = sorted(raw, key=lambda t: t.sort_key())
         return [
             values[i:i + self.values_block_size]
             for i in range(0, len(values), self.values_block_size)

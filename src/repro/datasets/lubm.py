@@ -172,6 +172,7 @@ class LubmGenerator:
         self,
         network: NetworkModel = LOCAL_CLUSTER,
         regions: Dict[int, Region] = None,
+        use_dictionary: bool = True,
     ) -> Federation:
         """One endpoint per university."""
         endpoints = []
@@ -181,6 +182,7 @@ class LubmGenerator:
                 f"university{index}",
                 self.generate_university(index),
                 region=region,
+                use_dictionary=use_dictionary,
             ))
         return Federation(endpoints, network=network)
 

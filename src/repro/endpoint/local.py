@@ -43,6 +43,7 @@ class LocalEndpoint:
         failure_rate: float = 0.0,
         failure_seed: int = 97,
         faults: Optional[FaultProfile] = None,
+        use_dictionary: bool = True,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -55,7 +56,9 @@ class LocalEndpoint:
             endpoint_id, faults, failure_rate, failure_seed
         )
         self._requests_in_window = 0
-        self._evaluator = Evaluator(store)
+        #: ablation knob: term-native evaluation even on a
+        #: dictionary-encoded store (no-op when the store is term-keyed)
+        self._evaluator = Evaluator(store, use_dictionary=use_dictionary)
         self._parse_cache: Dict[str, Query] = {}
 
     @classmethod
@@ -64,9 +67,16 @@ class LocalEndpoint:
         endpoint_id: str,
         triples: Iterable[Triple],
         region: Region = _DEFAULT_REGION,
+        use_dictionary: bool = True,
         **kwargs,
     ) -> "LocalEndpoint":
-        return cls(endpoint_id, TripleStore(triples), region, **kwargs)
+        return cls(
+            endpoint_id,
+            TripleStore(triples, use_dictionary=use_dictionary),
+            region,
+            use_dictionary=use_dictionary,
+            **kwargs,
+        )
 
     def set_faults(self, profile: Optional[FaultProfile]) -> None:
         """(Re)configure fault injection on a live endpoint — e.g. to

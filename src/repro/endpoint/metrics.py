@@ -116,6 +116,13 @@ class Metrics:
     breaker_fast_fails: int = 0
     #: subqueries that lost an endpoint contribution in partial mode
     subqueries_degraded: int = 0
+    #: terms interned into the federator's join dictionary (the ID kernel
+    #: in :mod:`repro.core.joins` encodes result cells once per term)
+    join_terms_interned: int = 0
+    #: join-dictionary encode calls answered from the intern table
+    join_dictionary_hits: int = 0
+    #: wall time decoding joined ID rows back to terms
+    join_decode_seconds: float = 0.0
 
     def lane_utilization(self) -> float:
         """Mean busy fraction of the endpoint lanes over the query's
@@ -150,6 +157,9 @@ class Metrics:
             "breaker_opens": self.breaker_opens,
             "breaker_fast_fails": self.breaker_fast_fails,
             "subqueries_degraded": self.subqueries_degraded,
+            "join_terms_interned": self.join_terms_interned,
+            "join_dictionary_hits": self.join_dictionary_hits,
+            "join_decode_seconds": self.join_decode_seconds,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
         }
@@ -168,6 +178,7 @@ class ExecutionContext:
         join_threads: int = 4,
         real_time_limit: Optional[float] = None,
         partial_results: bool = False,
+        use_dictionary: bool = True,
     ):
         self.network = network
         self.client_region = client_region
@@ -189,6 +200,20 @@ class ExecutionContext:
         self.partial_results = partial_results
         #: honest accounting of what partial mode dropped
         self.completeness = CompletenessReport()
+        #: run the federator's result joins on interned IDs (ablation
+        #: knob mirroring the endpoint evaluators' ``use_dictionary``)
+        self.use_dictionary = use_dictionary
+        #: lazily-created intern table shared by every join of this query,
+        #: so terms flowing through multiple joins encode exactly once
+        self.join_dictionary = None
+
+    def get_join_dictionary(self):
+        """The query-lifetime join intern table (created on first use)."""
+        if self.join_dictionary is None:
+            from ..rdf.dictionary import TermDictionary
+
+            self.join_dictionary = TermDictionary()
+        return self.join_dictionary
 
     def trace_event(self, kind: str, **detail) -> None:
         """Record a trace event when tracing is enabled (no-op otherwise)."""

@@ -97,6 +97,7 @@ class Federation:
         join_threads: int = 4,
         real_time_limit: float = None,
         partial_results: bool = False,
+        use_dictionary: bool = True,
     ) -> ExecutionContext:
         """Fresh virtual clock and budgets for one query execution."""
         self.reset_request_windows()
@@ -108,6 +109,7 @@ class Federation:
             join_threads=join_threads,
             real_time_limit=real_time_limit,
             partial_results=partial_results,
+            use_dictionary=use_dictionary,
         )
 
     def reset_request_windows(self) -> None:

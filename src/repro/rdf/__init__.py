@@ -1,5 +1,6 @@
 """RDF data model: terms, triples, namespaces, and N-Triples I/O."""
 
+from .dictionary import TermDictionary, TermId
 from .namespace import (
     FOAF,
     Namespace,
@@ -45,6 +46,8 @@ __all__ = [
     "RDFS",
     "RDFS_LABEL",
     "Term",
+    "TermDictionary",
+    "TermId",
     "Triple",
     "TriplePattern",
     "UB",

@@ -12,6 +12,15 @@ of bindings are pushed through each pattern via the store's
 ``match_bindings`` fast path.  The seed's per-binding recursive join —
 which re-probed ``store.count`` for every intermediate binding — is kept
 behind ``use_planner=False`` as the reference/baseline path.
+
+On dictionary-encoded stores (the default) planned BGPs run **ID-native**
+(:meth:`BGPPlan.execute_ids` + :meth:`TripleStore.extend_id_rows`):
+solutions travel as slot-mapped lists of interned integer IDs and decode
+back to terms only at the BGP boundary — or, for pure-BGP SELECTs, not
+until the final :class:`ResultSet` cells are materialized.  Pass
+``use_dictionary=False`` (or build the store with it) to ablate back to
+term-native execution; both modes produce bit-identical results, rows
+and order.
 """
 
 from __future__ import annotations
@@ -50,10 +59,14 @@ class Evaluator:
         store: TripleStore,
         use_planner: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        use_dictionary: bool = True,
     ):
         self.store = store
         self.use_planner = use_planner
         self.batch_size = max(1, batch_size)
+        #: run planned BGPs on interned IDs; requires a dictionary-mode
+        #: store (term-keyed stores always evaluate term-native)
+        self.use_dictionary = use_dictionary and store.dictionary is not None
         self.stats = EvaluatorStats()
         self._timer_depth = 0
         self._plan_cache: Dict[
@@ -68,6 +81,9 @@ class Evaluator:
         outermost = self._timer_depth == 0
         self._timer_depth += 1
         started = time.perf_counter()
+        dictionary = self.store.dictionary if outermost else None
+        if dictionary is not None:
+            interned_before, hits_before = dictionary.terms_interned, dictionary.hits
         try:
             for _ in self._evaluate_group(query.where, _EMPTY_BINDING):
                 return True
@@ -76,6 +92,9 @@ class Evaluator:
             self._timer_depth -= 1
             if outermost:
                 self.stats.exec_seconds += time.perf_counter() - started
+                if dictionary is not None:
+                    self.stats.terms_interned += dictionary.terms_interned - interned_before
+                    self.stats.dictionary_hits += dictionary.hits - hits_before
 
     def select(self, query: Query):
         """Evaluate a SELECT query; returns a :class:`ResultSet`."""
@@ -84,16 +103,25 @@ class Evaluator:
         outermost = self._timer_depth == 0
         self._timer_depth += 1
         started = time.perf_counter()
+        dictionary = self.store.dictionary if outermost else None
+        if dictionary is not None:
+            interned_before, hits_before = dictionary.terms_interned, dictionary.hits
         try:
-            solutions = list(self._evaluate_group(query.where, _EMPTY_BINDING))
+            result = self._select_bgp_fast(query)
+            if result is None:
+                solutions = list(self._evaluate_group(query.where, _EMPTY_BINDING))
         finally:
             self._timer_depth -= 1
             if outermost:
                 self.stats.exec_seconds += time.perf_counter() - started
-        if query.aggregates or query.group_by:
-            return self._aggregate(query, solutions)
-        header = query.projected_variables()
-        result = ResultSet.from_bindings(header, solutions)
+                if dictionary is not None:
+                    self.stats.terms_interned += dictionary.terms_interned - interned_before
+                    self.stats.dictionary_hits += dictionary.hits - hits_before
+        if result is None:
+            if query.aggregates or query.group_by:
+                return self._aggregate(query, solutions)
+            header = query.projected_variables()
+            result = ResultSet.from_bindings(header, solutions)
         if query.distinct:
             result = result.distinct()
         if query.order_by:
@@ -102,6 +130,50 @@ class Evaluator:
             end = None if query.limit is None else query.offset + query.limit
             result = type(result)(result.variables, result.rows[query.offset:end])
         return result
+
+    def _select_bgp_fast(self, query: Query):
+        """Pure-BGP SELECT on a dictionary store: skip binding dicts.
+
+        When the WHERE clause is nothing but triple patterns (no filters,
+        aggregates, or grouping), ID rows coming off the planned pipeline
+        are projected by slot index and decoded straight into the
+        :class:`ResultSet` cells — no per-solution dict is ever built.
+        Returns ``None`` when the query doesn't qualify (the general path
+        takes over); DISTINCT/ORDER/LIMIT still apply in the caller.
+        """
+        from .results import ResultSet
+
+        if not (self.use_planner and self.use_dictionary):
+            return None
+        if query.aggregates or query.group_by or query.where.filters:
+            return None
+        patterns = query.where.elements
+        if not patterns or not all(
+            isinstance(e, TriplePattern) for e in patterns
+        ):
+            return None
+        plan = self.plan_for(list(patterns), frozenset())
+        id_rows = list(
+            plan.execute_ids(
+                self.store, [[None] * len(plan.slot_vars)], self.stats, self.batch_size
+            )
+        )
+        header = query.projected_variables()
+        decode_started = time.perf_counter()
+        slot_of = {v: i for i, v in enumerate(plan.slot_vars)}
+        projection = [slot_of.get(v) for v in header]
+        decode = self.store.dictionary.decode
+        rows = [
+            tuple(
+                [
+                    None if s is None or row[s] is None else decode(row[s])
+                    for s in projection
+                ]
+            )
+            for row in id_rows
+        ]
+        self.stats.decode_seconds += time.perf_counter() - decode_started
+        return ResultSet(tuple(header), rows)
 
     def evaluate(self, query: Query):
         """Dispatch on the query form; ASK returns bool."""
@@ -226,9 +298,54 @@ class Evaluator:
                 yield from self._join_patterns(patterns, binding)
             return
         plan = self.plan_for(patterns, bound)
+        if self.use_dictionary:
+            yield from self._execute_plan_ids(plan, solutions)
+            return
         yield from plan.execute(
             self.store, solutions, self.stats, self.batch_size
         )
+
+    def _execute_plan_ids(
+        self, plan: BGPPlan, solutions: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """Run a plan ID-native, converting bindings at the boundary.
+
+        Input bindings (there is usually exactly one — the group's initial
+        binding) encode into slot-mapped ID rows; output rows decode back
+        to binding dicts so downstream operators (OPTIONAL, FILTER, …)
+        stay term-based.  Pure-BGP SELECTs skip even this via
+        :meth:`_select_bgp_fast`.
+        """
+        dictionary = self.store.dictionary
+        slot_vars = plan.slot_vars
+        slot_of = {v: i for i, v in enumerate(slot_vars)}
+        encode = dictionary.encode
+        n_slots = len(slot_vars)
+        rows: List[List[Optional[int]]] = []
+        for binding in solutions:
+            row: List[Optional[int]] = [None] * n_slots
+            for variable, value in binding.items():
+                slot = slot_of.get(variable)
+                if slot is None:
+                    # A binding outside the plan's slot universe can't be
+                    # carried through ID rows; take the term path.
+                    yield from plan.execute(
+                        self.store, [binding], self.stats, self.batch_size
+                    )
+                    break
+                row[slot] = encode(value)
+            else:
+                rows.append(row)
+        if not rows:
+            return
+        decode = dictionary.decode
+        for row in plan.execute_ids(self.store, rows, self.stats, self.batch_size):
+            binding = {}
+            for i in range(n_slots):
+                tid = row[i]
+                if tid is not None:
+                    binding[slot_vars[i]] = decode(tid)
+            yield binding
 
     def plan_for(
         self,

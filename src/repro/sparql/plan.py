@@ -15,9 +15,15 @@ with the classic plan-once / execute-batched split:
   walks the SPO/POS/OSP indexes directly (no intermediate ``Triple``
   allocation, no re-match) and build/probes when bound join values
   repeat across the batch;
+- :meth:`BGPPlan.execute_ids` is the dictionary-mode kernel: the plan
+  assigns every variable a dense *slot*, encodes the query's ground
+  terms to interned IDs once, and pushes vectors of slot-mapped integer
+  rows through :meth:`~repro.store.TripleStore.extend_id_rows`.  No
+  binding dicts, no term hashing, no decode until the caller
+  materializes results;
 - :class:`EvaluatorStats` counts what happened (plans built, cache hits,
-  batches, intermediate rows, legacy count probes, per-phase wall time)
-  so endpoint compute can be attributed end to end.
+  batches, intermediate rows, legacy count probes, dictionary traffic,
+  per-phase wall time) so endpoint compute can be attributed end to end.
 
 Streams stay lazy at *block* granularity: each stage pulls at most
 ``batch_size`` bindings from the stage above before producing output, so
@@ -27,9 +33,9 @@ ASK / EXISTS still short-circuit after a bounded amount of work.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import islice
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.term import Variable
 from ..rdf.triple import Triple, TriplePattern
@@ -51,13 +57,22 @@ class EvaluatorStats:
     #: legacy per-binding ``store.count`` ordering probes (planned
     #: execution never increments this — the microbenchmark asserts it)
     count_probes: int = 0
+    #: terms newly interned into the store dictionary during evaluation
+    #: (query constants and injected VALUES bindings; data interns at load)
+    terms_interned: int = 0
+    #: dictionary encode/lookup calls answered from the intern table
+    dictionary_hits: int = 0
     plan_seconds: float = 0.0
     #: total BGP evaluation wall time (includes plan_seconds)
     exec_seconds: float = 0.0
+    #: time spent decoding interned IDs back to terms at result
+    #: materialization (the select fast path's ID→term boundary)
+    decode_seconds: float = 0.0
 
     _FIELDS = (
         "plans_built", "plan_cache_hits", "patterns_evaluated", "batches",
-        "intermediate_rows", "count_probes", "plan_seconds", "exec_seconds",
+        "intermediate_rows", "count_probes", "terms_interned",
+        "dictionary_hits", "plan_seconds", "exec_seconds", "decode_seconds",
     )
 
     def snapshot(self) -> Dict[str, float]:
@@ -127,9 +142,17 @@ def _static_estimate(store, pattern: TriplePattern, bound: set) -> float:
 
 
 class BGPPlan:
-    """An ordered BGP execution pipeline, built once and reused."""
+    """An ordered BGP execution pipeline, built once and reused.
 
-    __slots__ = ("order", "bound_in", "store_version")
+    Beyond the pattern order, the plan owns the query's *slot map*: every
+    variable the BGP can bind gets a dense integer slot (externally bound
+    variables first, sorted by name; then pattern variables in plan order
+    of first appearance).  Dictionary-mode execution represents each
+    intermediate solution as a list of interned IDs aligned to these
+    slots, so the compiled stage descriptors below are pure integers.
+    """
+
+    __slots__ = ("order", "bound_in", "store_version", "slot_vars", "_id_stages")
 
     def __init__(
         self,
@@ -141,6 +164,19 @@ class BGPPlan:
         self.bound_in = bound_in
         #: the store mutation counter this plan's statistics reflect
         self.store_version = store_version
+        #: slot i holds the value of ``slot_vars[i]`` in every ID row
+        slot_vars: List[Variable] = sorted(bound_in, key=lambda v: v.name)
+        seen = set(slot_vars)
+        for pattern in self.order:
+            for term in pattern.as_tuple():
+                if isinstance(term, Variable) and term not in seen:
+                    seen.add(term)
+                    slot_vars.append(term)
+        self.slot_vars: Tuple[Variable, ...] = tuple(slot_vars)
+        #: per-pattern ``(consts, slots, key_slots)`` descriptors, compiled
+        #: lazily against the store's dictionary (IDs are append-only
+        #: stable, so once compiled they stay valid for the plan's life)
+        self._id_stages: Optional[Tuple[tuple, ...]] = None
 
     def __repr__(self) -> str:
         inside = ", ".join(p.n3() for p in self.order)
@@ -155,7 +191,12 @@ class BGPPlan:
         stats: EvaluatorStats = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> Iterator[dict]:
-        """Push ``bindings`` through every pattern, block-at-a-time."""
+        """Push binding dicts through every pattern, block-at-a-time.
+
+        This is the term-native path (``use_dictionary=False`` stores and
+        external callers); dictionary-mode evaluation goes through
+        :meth:`execute_ids`.
+        """
         if stats is not None:
             stats.patterns_evaluated += len(self.order)
         stream: Iterator[dict] = iter(bindings)
@@ -165,8 +206,92 @@ class BGPPlan:
             return stream
         return _count_rows(stream, stats)
 
+    # ------------------------------------------------------------------
 
-def _count_rows(stream: Iterator[dict], stats: EvaluatorStats) -> Iterator[dict]:
+    def id_stages(self, dictionary) -> Tuple[tuple, ...]:
+        """Compile (once) the integer stage descriptors for this plan.
+
+        Because the plan's dataflow is static — a slot is bound at stage
+        *k* iff its variable is in ``bound_in`` or appears in an earlier
+        pattern — each pattern's shape analysis (which positions read
+        group keys, which bind free slots, which repeated-variable
+        equality checks apply) happens here, once, instead of per group
+        at execution time.  Ground terms encode via
+        ``dictionary.encode`` — a constant the data never mentions gets a
+        fresh ID that matches nothing, which is exactly the semantics of
+        an empty index walk.
+        """
+        stages = self._id_stages
+        if stages is not None:
+            return stages
+        var_slot = {v: i for i, v in enumerate(self.slot_vars)}
+        encode = dictionary.encode
+        bound_slots = {var_slot[v] for v in self.bound_in}
+        compiled = []
+        for pattern in self.order:
+            consts: List[Optional[int]] = [None, None, None]
+            bound_positions: List[Tuple[int, int]] = []
+            key_slots: List[int] = []
+            key_index: Dict[int, int] = {}
+            free: List[Tuple[int, int]] = []
+            free_first: Dict[int, int] = {}
+            checks: List[Tuple[int, int]] = []
+            for pos, term in enumerate(pattern.as_tuple()):
+                if not isinstance(term, Variable):
+                    consts[pos] = encode(term)
+                    continue
+                slot = var_slot[term]
+                if slot in bound_slots:
+                    ki = key_index.get(slot)
+                    if ki is None:
+                        ki = len(key_slots)
+                        key_index[slot] = ki
+                        key_slots.append(slot)
+                    bound_positions.append((pos, ki))
+                else:
+                    first = free_first.get(slot)
+                    if first is None:
+                        free_first[slot] = pos
+                        free.append((pos, slot))
+                    else:
+                        checks.append((first, pos))
+            compiled.append(
+                (
+                    tuple(consts),
+                    tuple(bound_positions),
+                    tuple(key_slots),
+                    tuple(free),
+                    tuple(checks),
+                )
+            )
+            bound_slots.update(var_slot[v] for v in pattern.variables())
+        self._id_stages = stages = tuple(compiled)
+        return stages
+
+    def execute_ids(
+        self,
+        store,
+        rows: Iterable[List[Optional[int]]],
+        stats: EvaluatorStats = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[List[Optional[int]]]:
+        """Push slot-mapped ID rows through every pattern.
+
+        ``rows`` are lists of interned IDs (or ``None``) aligned to
+        :attr:`slot_vars`; output rows are fully extended copies in the
+        same layout.  The entire pipeline hashes machine integers.
+        """
+        if stats is not None:
+            stats.patterns_evaluated += len(self.order)
+        stream: Iterator[List[Optional[int]]] = iter(rows)
+        for stage in self.id_stages(store.dictionary):
+            stream = _id_stage(store, stage, stream, stats, batch_size)
+        if stats is None:
+            return stream
+        return _count_rows(stream, stats)
+
+
+def _count_rows(stream: Iterator, stats: EvaluatorStats) -> Iterator:
     """Count the pipeline's final output rows (inner stages count their
     input chunks, which are the upstream stages' outputs)."""
     for row in stream:
@@ -194,6 +319,24 @@ def _stage(
             stats.batches += 1
             stats.intermediate_rows += len(chunk)
         yield from store.match_bindings(pattern, chunk)
+
+
+def _id_stage(
+    store,
+    stage: tuple,
+    upstream: Iterator[List[Optional[int]]],
+    stats: EvaluatorStats,
+    batch_size: int,
+) -> Iterator[List[Optional[int]]]:
+    """One ID pipeline stage: extend integer rows against one pattern."""
+    while True:
+        chunk = list(islice(upstream, batch_size))
+        if not chunk:
+            return
+        if stats is not None:
+            stats.batches += 1
+            stats.intermediate_rows += len(chunk)
+        yield from store.extend_id_rows(stage, chunk)
 
 
 def build_plan(

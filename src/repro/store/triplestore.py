@@ -7,39 +7,61 @@ subject counts) are maintained incrementally — these are exactly the
 "lightweight per-triple statistics" the paper's cost model relies on
 (Section 4.1), and what the compile-once BGP planner orders patterns by.
 
-Two lookup surfaces exist:
+**Dictionary encoding.** By default every ground term is interned into a
+:class:`~repro.rdf.dictionary.TermDictionary` at :meth:`add` and the
+three indexes are keyed by dense ``int`` IDs, so index walks, batch
+probes, and membership tests hash and compare machine integers instead
+of term objects.  Terms are decoded back only at the public term-level
+surfaces (:meth:`match`, :meth:`match_terms`, :meth:`triples`, the
+statistics accessors).  ``use_dictionary=False`` keeps the term-keyed
+representation as the ablation baseline; both modes enumerate matches in
+identical order because all index levels are insertion-ordered dicts.
+
+Three lookup surfaces exist:
 
 - :meth:`match` / :meth:`match_terms` — classic single-pattern matching;
-- :meth:`match_bindings` — the batch fast path used by the planned BGP
-  executor: a whole vector of bindings is pushed through one pattern,
-  bindings agreeing on the pattern's bound variables share one index
-  walk (build/probe), and extended bindings are produced directly from
-  the index leaves with no intermediate :class:`Triple` allocation.
+- :meth:`match_bindings` — the batch compatibility path used by the
+  planned BGP executor on term-keyed stores: a whole vector of binding
+  dicts is pushed through one pattern, bindings agreeing on the
+  pattern's bound variables share one index walk (build/probe), and
+  extended bindings are produced directly from the index leaves;
+- :meth:`extend_id_rows` — the ID-native kernel (dictionary mode only):
+  vectors of slot-mapped integer rows go in and come out, with no term
+  objects, binding dicts, or :class:`Triple` allocations anywhere in the
+  loop.  This is what :class:`~repro.sparql.plan.BGPPlan` drives.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..rdf.dictionary import TermDictionary
 from ..rdf.term import GroundTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
 
-_Index = Dict[GroundTerm, Dict[GroundTerm, Set[GroundTerm]]]
+#: index key: a dense term ID (dictionary mode) or the term itself
+#: (``use_dictionary=False``); all three index levels are dicts, so
+#: iteration order is insertion order in both modes.
+_Index = Dict[object, Dict[object, Dict[object, None]]]
 _Terms = Tuple[GroundTerm, GroundTerm, GroundTerm]
 
+#: returned by ``_key`` for a ground term the dictionary has never seen —
+#: distinct from ``None``, which the raw matchers treat as a wildcard.
+_ABSENT = object()
 
-def _index_add(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) -> None:
-    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+def _index_add(index: _Index, a, b, c) -> None:
+    index.setdefault(a, {}).setdefault(b, {})[c] = None
 
 
-def _index_remove(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) -> None:
+def _index_remove(index: _Index, a, b, c) -> None:
     level_b = index.get(a)
     if level_b is None:
         return
     level_c = level_b.get(b)
     if level_c is None:
         return
-    level_c.discard(c)
+    level_c.pop(c, None)
     if not level_c:
         del level_b[b]
         if not level_b:
@@ -49,15 +71,26 @@ def _index_remove(index: _Index, a: GroundTerm, b: GroundTerm, c: GroundTerm) ->
 class TripleStore:
     """Indexed set of ground triples with pattern matching and counting."""
 
-    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        use_dictionary: bool = True,
+        dictionary: Optional[TermDictionary] = None,
+    ):
+        #: the intern table, or ``None`` for the term-keyed ablation mode
+        self.dictionary: Optional[TermDictionary] = (
+            (dictionary if dictionary is not None else TermDictionary())
+            if use_dictionary
+            else None
+        )
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
-        self._predicate_counts: Dict[GroundTerm, int] = {}
+        self._predicate_counts: Dict[object, int] = {}
         #: per (predicate, subject) triple counts — len() per predicate
         #: gives distinct subjects in O(1)
-        self._pred_subjects: Dict[GroundTerm, Dict[GroundTerm, int]] = {}
+        self._pred_subjects: Dict[object, Dict[object, int]] = {}
         #: bumped on every successful add/remove; cached BGP plans carry
         #: the version their statistics reflect
         self._version = 0
@@ -68,12 +101,27 @@ class TripleStore:
             self.add_all(triples)
 
     # ------------------------------------------------------------------
+    # Encode/decode boundary
+    # ------------------------------------------------------------------
+
+    def _key(self, term: GroundTerm):
+        """Index key for a ground term; ``_ABSENT`` when it cannot match."""
+        d = self.dictionary
+        if d is None:
+            return term
+        tid = d.lookup(term)
+        return _ABSENT if tid is None else tid
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
         """Add a triple; return ``True`` if it was not already present."""
         s, p, o = triple.subject, triple.predicate, triple.object
+        d = self.dictionary
+        if d is not None:
+            s, p, o = d.encode(s), d.encode(p), d.encode(o)
         existing = self._spo.get(s, {}).get(p)
         if existing is not None and o in existing:
             return False
@@ -96,8 +144,17 @@ class TripleStore:
         return inserted
 
     def remove(self, triple: Triple) -> bool:
-        """Remove a triple; return ``True`` if it was present."""
-        s, p, o = triple.subject, triple.predicate, triple.object
+        """Remove a triple; return ``True`` if it was present.
+
+        The dictionary entry itself is never evicted — IDs are stable
+        for the lifetime of the store, so cached plans survive removals
+        (the version bump still invalidates their statistics).
+        """
+        s = self._key(triple.subject)
+        p = self._key(triple.predicate)
+        o = self._key(triple.object)
+        if s is _ABSENT or p is _ABSENT or o is _ABSENT:
+            return False
         existing = self._spo.get(s, {}).get(p)
         if existing is None or o not in existing:
             return False
@@ -134,17 +191,34 @@ class TripleStore:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        objects = self._spo.get(triple.subject, {}).get(triple.predicate)
-        return objects is not None and triple.object in objects
+        s = self._key(triple.subject)
+        if s is _ABSENT:
+            return False
+        p = self._key(triple.predicate)
+        o = self._key(triple.object)
+        if p is _ABSENT or o is _ABSENT:
+            return False
+        objects = self._spo.get(s, {}).get(p)
+        return objects is not None and o in objects
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
 
     def triples(self) -> Iterator[Triple]:
+        d = self.dictionary
+        if d is None:
+            for s, by_predicate in self._spo.items():
+                for p, objects in by_predicate.items():
+                    for o in objects:
+                        yield Triple(s, p, o)
+            return
+        dec = d.decode
         for s, by_predicate in self._spo.items():
+            subject = dec(s)
             for p, objects in by_predicate.items():
+                predicate = dec(p)
                 for o in objects:
-                    yield Triple(s, p, o)
+                    yield Triple(subject, predicate, dec(o))
 
     def match(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Yield all triples matching the pattern.
@@ -157,26 +231,31 @@ class TripleStore:
 
     def match_terms(self, pattern: TriplePattern) -> Iterator[_Terms]:
         """Like :meth:`match` but yields raw ``(s, p, o)`` term tuples,
-        skipping the :class:`Triple` allocation."""
-        s = None if isinstance(pattern.subject, Variable) else pattern.subject
-        p = None if isinstance(pattern.predicate, Variable) else pattern.predicate
-        o = None if isinstance(pattern.object, Variable) else pattern.object
-        stream = self._match_terms_raw(s, p, o)
+        skipping the :class:`Triple` allocation.  This is the term-level
+        compatibility surface: in dictionary mode the walk runs on IDs
+        and each match is decoded exactly here."""
+        s = None if isinstance(pattern.subject, Variable) else self._key(pattern.subject)
+        p = None if isinstance(pattern.predicate, Variable) else self._key(pattern.predicate)
+        o = None if isinstance(pattern.object, Variable) else self._key(pattern.object)
+        if s is _ABSENT or p is _ABSENT or o is _ABSENT:
+            return iter(())
+        stream = self._match_raw(s, p, o)
         constraints = _equality_constraints(pattern)
-        if not constraints:
+        if constraints:
+            # Keys are equal iff the terms are, so constraints apply pre-decode.
+            stream = (
+                keys
+                for keys in stream
+                if all(keys[i] == keys[j] for i, j in constraints)
+            )
+        d = self.dictionary
+        if d is None:
             return stream
-        return (
-            terms
-            for terms in stream
-            if all(terms[i] == terms[j] for i, j in constraints)
-        )
+        dec = d.decode
+        return ((dec(a), dec(b), dec(c)) for a, b, c in stream)
 
-    def _match_terms_raw(
-        self,
-        s: Optional[GroundTerm],
-        p: Optional[GroundTerm],
-        o: Optional[GroundTerm],
-    ) -> Iterator[_Terms]:
+    def _match_raw(self, s, p, o) -> Iterator[Tuple[object, object, object]]:
+        """Index walk over raw keys; ``None`` positions are wildcards."""
         if s is not None:
             by_predicate = self._spo.get(s)
             if by_predicate is None:
@@ -232,7 +311,7 @@ class TripleStore:
                     yield (s_, p_, o_)
 
     # ------------------------------------------------------------------
-    # Batch matching (the planned executor's fast path)
+    # Batch matching (the planned executor's paths)
     # ------------------------------------------------------------------
 
     def match_bindings(
@@ -246,6 +325,10 @@ class TripleStore:
         the index leaves, with no ``Triple`` allocation or re-match.  A
         binding that adds no new variables is yielded as-is (callers
         never mutate solution dicts in place).
+
+        This is the term-dict compatibility surface: bound values encode
+        once per group and leaf IDs decode once per extension.  The
+        ID-native executor uses :meth:`extend_id_rows` instead.
         """
         base = pattern.as_tuple()
         pattern_vars: List[Variable] = []
@@ -254,16 +337,26 @@ class TripleStore:
             if isinstance(term, Variable) and term not in var_index:
                 var_index[term] = len(pattern_vars)
                 pattern_vars.append(term)
+        d = self.dictionary
         if not pattern_vars:
             # Ground pattern: pure filter on presence.
-            objects = self._spo.get(base[0], {}).get(base[1])
-            if objects is not None and base[2] in objects:
+            k0, k1, k2 = self._key(base[0]), self._key(base[1]), self._key(base[2])
+            if k0 is _ABSENT or k1 is _ABSENT or k2 is _ABSENT:
+                return
+            objects = self._spo.get(k0, {}).get(k1)
+            if objects is not None and k2 in objects:
                 yield from bindings
             return
         #: per position: index into ``pattern_vars`` or None for ground
         slots = tuple(
             var_index[t] if isinstance(t, Variable) else None for t in base
         )
+        base_keys = [
+            None if slot is not None else self._key(base[pos])
+            for pos, slot in enumerate(slots)
+        ]
+        if any(key is _ABSENT for key in base_keys):
+            return
         groups: Dict[tuple, List[dict]] = {}
         for binding in bindings:
             key = tuple([binding.get(v) for v in pattern_vars])
@@ -273,11 +366,15 @@ class TripleStore:
             else:
                 group.append(binding)
         for key, members in groups.items():
-            # Concrete query terms for this group; None means free.
+            # Concrete query keys for this group; None means free.
             query = [
-                base[pos] if slot is None else key[slot]
+                base_keys[pos]
+                if slot is None
+                else (None if key[slot] is None else self._key(key[slot]))
                 for pos, slot in enumerate(slots)
             ]
+            if any(k is _ABSENT for k in query):
+                continue
             free = [
                 (pos, pattern_vars[slot])
                 for pos, slot in enumerate(slots)
@@ -289,7 +386,7 @@ class TripleStore:
                 if objects is not None and query[2] in objects:
                     yield from members
                 continue
-            stream = self._match_terms_raw(query[0], query[1], query[2])
+            stream = self._match_raw(query[0], query[1], query[2])
             if len(free) > 1:
                 # Repeated free variables force equality constraints.
                 first_pos: Dict[Variable, int] = {}
@@ -309,18 +406,34 @@ class TripleStore:
                     free = unique
             if len(members) == 1:
                 binding = members[0]
-                for terms in stream:
-                    merged = dict(binding)
-                    for pos, var in free:
-                        merged[var] = terms[pos]
-                    yield merged
+                if d is None:
+                    for terms in stream:
+                        merged = dict(binding)
+                        for pos, var in free:
+                            merged[var] = terms[pos]
+                        yield merged
+                else:
+                    dec = d.decode
+                    for terms in stream:
+                        merged = dict(binding)
+                        for pos, var in free:
+                            merged[var] = dec(terms[pos])
+                        yield merged
             else:
                 # Build once, probe per member: output is |members| ×
                 # |extensions| rows, so materializing the extension
                 # tuples is bounded by the output size.
-                extensions = [
-                    tuple([terms[pos] for pos, _ in free]) for terms in stream
-                ]
+                if d is None:
+                    extensions = [
+                        tuple([terms[pos] for pos, _ in free])
+                        for terms in stream
+                    ]
+                else:
+                    dec = d.decode
+                    extensions = [
+                        tuple([dec(terms[pos]) for pos, _ in free])
+                        for terms in stream
+                    ]
                 variables = [var for _, var in free]
                 for binding in members:
                     for extension in extensions:
@@ -328,6 +441,109 @@ class TripleStore:
                         for var, term in zip(variables, extension):
                             merged[var] = term
                         yield merged
+
+    def extend_id_rows(
+        self,
+        stage: tuple,
+        rows: Iterable[List[Optional[int]]],
+    ) -> Iterator[List[Optional[int]]]:
+        """ID-native batch kernel: extend slot-mapped integer rows.
+
+        ``stage`` is a compiled descriptor (see
+        :meth:`~repro.sparql.plan.BGPPlan.id_stages`) —
+        ``(consts, bound_positions, key_slots, free, checks)``:
+
+        - ``consts``: per position, the ground term's interned ID or
+          ``None`` for a variable position;
+        - ``bound_positions``: ``(pos, key_index)`` pairs filling
+          variable positions whose slot is bound in every input row;
+        - ``key_slots``: the distinct bound slots the pattern reads —
+          rows agreeing on them share one index walk (build/probe);
+        - ``free``: ``(pos, slot)`` for each distinct unbound slot the
+          pattern binds;
+        - ``checks``: ``(pos_a, pos_b)`` equality constraints from a
+          repeated free variable.
+
+        The contract mirrors the plan's static dataflow: every
+        ``key_slots`` slot is non-``None`` in every row and every
+        ``free`` slot is ``None`` — which lets all shape analysis happen
+        at compile time and the per-group work here collapse to a
+        3-element list copy.  Rows are lists of interned IDs; output
+        rows are fresh lists (inputs never mutated); everything in the
+        loop hashes machine integers — no terms, dicts, or Triples.
+        """
+        consts, bound_positions, key_slots, free, checks = stage
+        groups: Dict[object, list]
+        if not key_slots:
+            # Pattern reads nothing from the rows: one shared walk.
+            groups = {None: rows if isinstance(rows, list) else list(rows)}
+            single_key = True
+        elif len(key_slots) == 1:
+            ks = key_slots[0]
+            groups = {}
+            for row in rows:
+                key = row[ks]
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [row]
+                else:
+                    group.append(row)
+            single_key = True
+        else:
+            groups = {}
+            for row in rows:
+                key = tuple([row[s] for s in key_slots])
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [row]
+                else:
+                    group.append(row)
+            single_key = False
+        for key, members in groups.items():
+            query = list(consts)
+            if single_key:
+                for pos, _ in bound_positions:
+                    query[pos] = key
+            else:
+                for pos, ki in bound_positions:
+                    query[pos] = key[ki]
+            if not free:
+                # Fully bound for this group: membership test only.
+                objects = self._spo.get(query[0], {}).get(query[1])
+                if objects is not None and query[2] in objects:
+                    yield from members
+                continue
+            stream = self._match_raw(query[0], query[1], query[2])
+            if checks:
+                stream = (
+                    t for t in stream
+                    if all(t[a] == t[b] for a, b in checks)
+                )
+            if len(members) == 1:
+                row = members[0]
+                if len(free) == 1:
+                    pos, slot = free[0]
+                    for ids in stream:
+                        extended = list(row)
+                        extended[slot] = ids[pos]
+                        yield extended
+                else:
+                    for ids in stream:
+                        extended = list(row)
+                        for pos, slot in free:
+                            extended[slot] = ids[pos]
+                        yield extended
+            else:
+                extensions = [
+                    tuple([ids[pos] for pos, _ in free]) for ids in stream
+                ]
+                free_slots = [slot for _, slot in free]
+                for row in members:
+                    for extension in extensions:
+                        extended = list(row)
+                        for slot, value in zip(free_slots, extension):
+                            extended[slot] = value
+                        yield extended
 
     def count(self, pattern: TriplePattern) -> int:
         """Count triples matching the pattern.
@@ -349,53 +565,69 @@ class TripleStore:
         if not s_var and not p_var and not o_var:
             return 1 if Triple(pattern.subject, pattern.predicate, pattern.object) in self else 0
         if s_var and o_var:  # only predicate bound
-            return self._predicate_counts.get(pattern.predicate, 0)
+            return self._predicate_counts.get(self._key(pattern.predicate), 0)
         if p_var and o_var:  # only subject bound
-            by_predicate = self._spo.get(pattern.subject, {})
+            by_predicate = self._spo.get(self._key(pattern.subject), {})
             return sum(len(objects) for objects in by_predicate.values())
         if s_var and p_var:  # only object bound
-            by_subject = self._osp.get(pattern.object, {})
+            by_subject = self._osp.get(self._key(pattern.object), {})
             return sum(len(predicates) for predicates in by_subject.values())
         if s_var:  # predicate and object bound
-            return len(self._pos.get(pattern.predicate, {}).get(pattern.object, ()))
+            return len(
+                self._pos.get(self._key(pattern.predicate), {})
+                .get(self._key(pattern.object), ())
+            )
         if o_var:  # subject and predicate bound
-            return len(self._spo.get(pattern.subject, {}).get(pattern.predicate, ()))
+            return len(
+                self._spo.get(self._key(pattern.subject), {})
+                .get(self._key(pattern.predicate), ())
+            )
         # subject and object bound, predicate free
-        return len(self._osp.get(pattern.object, {}).get(pattern.subject, ()))
+        return len(
+            self._osp.get(self._key(pattern.object), {})
+            .get(self._key(pattern.subject), ())
+        )
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
 
+    def _decode_keys(self, keys: Iterable[object]) -> Set[GroundTerm]:
+        d = self.dictionary
+        if d is None:
+            return set(keys)
+        dec = d.decode
+        return {dec(k) for k in keys}
+
     def predicates(self) -> Set[GroundTerm]:
-        return set(self._predicate_counts)
+        return self._decode_keys(self._predicate_counts)
 
     def predicate_count(self, predicate: GroundTerm) -> int:
-        return self._predicate_counts.get(predicate, 0)
+        return self._predicate_counts.get(self._key(predicate), 0)
 
     def subjects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
         if predicate is None:
-            return set(self._spo)
-        return set(self._pred_subjects.get(predicate, ()))
+            return self._decode_keys(self._spo)
+        return self._decode_keys(self._pred_subjects.get(self._key(predicate), ()))
 
     def objects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
         if predicate is None:
-            return set(self._osp)
-        return set(self._pos.get(predicate, {}))
+            return self._decode_keys(self._osp)
+        return self._decode_keys(self._pos.get(self._key(predicate), ()))
 
     def subject_predicate_count(self, subject: GroundTerm, predicate: GroundTerm) -> int:
         """Exact triple count for a ground (subject, predicate) pair, O(1)."""
-        return len(self._spo.get(subject, {}).get(predicate, ()))
+        return len(self._spo.get(self._key(subject), {}).get(self._key(predicate), ()))
 
     def predicate_object_count(self, predicate: GroundTerm, object: GroundTerm) -> int:
         """Exact triple count for a ground (predicate, object) pair, O(1)."""
-        return len(self._pos.get(predicate, {}).get(object, ()))
+        return len(self._pos.get(self._key(predicate), {}).get(self._key(object), ()))
 
     def distinct_subject_count(self, predicate: GroundTerm) -> int:
-        return len(self._pred_subjects.get(predicate, ()))
+        return len(self._pred_subjects.get(self._key(predicate), ()))
 
     def distinct_object_count(self, predicate: GroundTerm) -> int:
-        return len(self._pos.get(predicate, {}))
+        return len(self._pos.get(self._key(predicate), ()))
 
     def distinct_subjects_total(self) -> int:
         return len(self._spo)

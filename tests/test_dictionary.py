@@ -1,0 +1,321 @@
+"""Dictionary-encoding tests: intern-table semantics, ID-native
+execution equivalence (rows *and* order), statistics maintenance under
+interning, and the join-layer ID kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joins import _ID_KERNEL_MIN_ROWS, hash_join, left_outer_join
+from repro.core.sape import BindingTracker
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint, Region
+from repro.endpoint.metrics import ExecutionContext
+from repro.rdf import IRI, Literal, TermDictionary, Triple, TriplePattern, Variable
+from repro.sparql import Evaluator, parse_query
+from repro.sparql.ast import GroupPattern, Query
+from repro.sparql.results import ResultSet
+from repro.store import TripleStore
+
+_TERMS = [IRI(f"http://x/t{i}") for i in range(5)] + [Literal("lit")]
+_VARIABLES = [Variable(name) for name in ("a", "b", "c")]
+
+_triples = st.builds(
+    Triple,
+    st.sampled_from(_TERMS),
+    st.sampled_from(_TERMS),
+    st.sampled_from(_TERMS),
+)
+_pattern_terms = st.one_of(st.sampled_from(_TERMS), st.sampled_from(_VARIABLES))
+_patterns = st.builds(TriplePattern, _pattern_terms, _pattern_terms, _pattern_terms)
+
+
+def _iri(name):
+    return IRI("http://ex/" + name)
+
+
+class TestTermDictionary:
+    def test_encode_is_idempotent_and_dense(self):
+        d = TermDictionary()
+        a, b = _iri("a"), _iri("b")
+        assert d.encode(a) == 0
+        assert d.encode(b) == 1
+        assert d.encode(a) == 0
+        assert len(d) == 2
+        assert d.terms_interned == 2
+        assert d.hits == 1  # only the re-encode of a
+
+    def test_decode_roundtrip_insertion_order(self):
+        d = TermDictionary()
+        terms = [_iri(f"t{i}") for i in range(10)]
+        ids = [d.encode(t) for t in terms]
+        assert ids == list(range(10))
+        assert d.decode_many(ids) == terms
+        for t, i in zip(terms, ids):
+            assert d.decode(i) == t
+
+    def test_lookup_never_interns(self):
+        d = TermDictionary()
+        assert d.lookup(_iri("missing")) is None
+        assert len(d) == 0
+        tid = d.encode(_iri("present"))
+        assert d.lookup(_iri("present")) == tid
+        assert _iri("present") in d
+        assert _iri("missing") not in d
+
+    def test_equal_terms_share_one_id(self):
+        d = TermDictionary()
+        assert d.encode(IRI("http://x/a")) == d.encode(IRI("http://x/a"))
+        assert d.encode(Literal("5")) != d.encode(
+            Literal("5", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))
+        )
+
+
+class TestStoreModesEquivalent:
+    """The dictionary-keyed store is observably identical to the
+    term-keyed ablation — match streams, counts, and statistics."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_triples, max_size=15), _patterns)
+    def test_match_terms_identical_stream(self, triples, pattern):
+        with_dict = TripleStore(triples, use_dictionary=True)
+        without = TripleStore(triples, use_dictionary=False)
+        assert list(with_dict.match_terms(pattern)) == list(without.match_terms(pattern))
+        assert with_dict.count(pattern) == without.count(pattern)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_triples, max_size=15))
+    def test_statistics_identical(self, triples):
+        with_dict = TripleStore(triples, use_dictionary=True)
+        without = TripleStore(triples, use_dictionary=False)
+        assert len(with_dict) == len(without)
+        assert with_dict.predicates() == without.predicates()
+        assert with_dict.subjects() == without.subjects()
+        assert with_dict.objects() == without.objects()
+        for p in without.predicates():
+            assert with_dict.predicate_count(p) == without.predicate_count(p)
+            assert with_dict.distinct_subject_count(p) == without.distinct_subject_count(p)
+            assert with_dict.distinct_object_count(p) == without.distinct_object_count(p)
+            assert with_dict.subjects(p) == without.subjects(p)
+            assert with_dict.objects(p) == without.objects(p)
+        assert set(with_dict.triples()) == set(without.triples())
+
+    def test_ground_query_for_unknown_term_is_empty(self):
+        store = TripleStore([Triple(_iri("s"), _iri("p"), _iri("o"))])
+        ghost = _iri("never-interned")
+        assert list(store.match_terms(TriplePattern(ghost, Variable("p"), Variable("o")))) == []
+        assert store.count(TriplePattern(ghost, Variable("p"), Variable("o"))) == 0
+        assert store.predicate_count(ghost) == 0
+        assert Triple(ghost, ghost, ghost) not in store
+        # looking up unknown terms must not grow the intern table
+        assert ghost not in store.dictionary
+
+
+class TestEvaluatorDifferential:
+    """use_dictionary=True and =False produce identical ResultSets —
+    the same rows in the same deterministic order."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(_triples, max_size=15),
+        st.lists(_patterns, min_size=1, max_size=3),
+    )
+    def test_bgp_select_identical_rows_and_order(self, triples, patterns):
+        query = Query(form="SELECT", where=GroupPattern(elements=list(patterns)))
+        results = []
+        for use_dictionary in (True, False):
+            store = TripleStore(triples, use_dictionary=use_dictionary)
+            evaluator = Evaluator(store, use_dictionary=use_dictionary)
+            results.append(evaluator.select(query))
+        with_dict, without = results
+        assert with_dict.variables == without.variables
+        assert with_dict.rows == without.rows  # order included
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(_triples, max_size=15),
+        st.lists(_patterns, min_size=1, max_size=2),
+    )
+    def test_evaluator_knob_alone_is_equivalent(self, triples, patterns):
+        """Same dictionary-keyed store, ID executor on vs off."""
+        store = TripleStore(triples, use_dictionary=True)
+        query = Query(form="SELECT", where=GroupPattern(elements=list(patterns)))
+        with_ids = Evaluator(store, use_dictionary=True).select(query)
+        term_path = Evaluator(store, use_dictionary=False).select(query)
+        assert with_ids.variables == term_path.variables
+        assert with_ids.rows == term_path.rows
+
+    def test_general_path_with_filter_uses_id_bgp(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), Literal(str(i), datatype=None))
+            for i in range(6)
+        ]
+        store = TripleStore(triples)
+        query_text = (
+            'SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . FILTER(?o != "3") }'
+        )
+        query = parse_query(query_text)
+        with_dict = Evaluator(store, use_dictionary=True).select(query)
+        without = Evaluator(store, use_dictionary=False).select(query)
+        assert with_dict.rows == without.rows
+        assert len(with_dict.rows) == 5
+
+
+class TestRemoveAndInvalidation:
+    def test_remove_keeps_predicate_statistics(self):
+        s0, s1, p, o = _iri("s0"), _iri("s1"), _iri("p"), _iri("o")
+        store = TripleStore([
+            Triple(s0, p, o),
+            Triple(s1, p, o),
+            Triple(s0, p, _iri("o2")),
+        ])
+        assert store.predicate_count(p) == 3
+        assert store.distinct_subject_count(p) == 2
+        assert store.remove(Triple(s0, p, _iri("o2")))
+        assert store.predicate_count(p) == 2
+        assert store.distinct_subject_count(p) == 2
+        assert store.remove(Triple(s0, p, o))
+        assert store.predicate_count(p) == 1
+        assert store.distinct_subject_count(p) == 1
+        assert store.subjects(p) == {s1}
+        assert store.remove(Triple(s1, p, o))
+        assert store.predicate_count(p) == 0
+        assert store.predicates() == set()
+        assert len(store) == 0
+        # the intern table never evicts: IDs stay stable across removals
+        assert p in store.dictionary
+
+    def test_remove_unknown_term_is_noop(self):
+        store = TripleStore([Triple(_iri("s"), _iri("p"), _iri("o"))])
+        version = store.version
+        assert not store.remove(Triple(_iri("ghost"), _iri("p"), _iri("o")))
+        assert store.version == version
+        assert len(store) == 1
+
+    def test_interning_does_not_bump_version(self):
+        store = TripleStore([Triple(_iri("s"), _iri("p"), _iri("o"))])
+        version = store.version
+        # queries intern their constants but must not invalidate plans
+        list(store.match_terms(
+            TriplePattern(Variable("s"), _iri("p"), Variable("o"))
+        ))
+        store.count(TriplePattern(Variable("s"), _iri("p2"), Variable("o")))
+        assert store.version == version
+
+    def test_version_invalidates_cached_plan_after_remove(self):
+        s, p, o = _iri("s"), _iri("p"), _iri("o")
+        store = TripleStore([Triple(s, p, o), Triple(s, p, _iri("o2"))])
+        evaluator = Evaluator(store)
+        query = parse_query("SELECT ?o WHERE { <http://ex/s> <http://ex/p> ?o }")
+        assert len(evaluator.select(query)) == 2
+        built = evaluator.stats.plans_built
+        evaluator.select(query)
+        assert evaluator.stats.plans_built == built  # cache hit
+        assert store.remove(Triple(s, p, _iri("o2")))
+        assert len(evaluator.select(query)) == 1
+        assert evaluator.stats.plans_built == built + 1  # version miss -> replan
+
+    def test_add_remove_add_roundtrip(self):
+        s, p, o = _iri("s"), _iri("p"), _iri("o")
+        store = TripleStore()
+        assert store.add(Triple(s, p, o))
+        assert not store.add(Triple(s, p, o))
+        assert store.remove(Triple(s, p, o))
+        assert store.add(Triple(s, p, o))
+        assert list(store.match_terms(TriplePattern(s, p, Variable("x")))) == [(s, p, o)]
+
+
+class TestJoinKernel:
+    def _results(self, n):
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        left = ResultSet((x, y), [(_iri(f"k{i % 7}"), _iri(f"v{i}")) for i in range(n)])
+        right = ResultSet(
+            (y, z),
+            [(_iri(f"v{i}"), _iri(f"w{i}")) for i in range(0, n, 2)]
+            + [(None, _iri("wild"))],
+        )
+        return left, right
+
+    def test_kernel_bit_identical_to_term_mode(self):
+        left, right = self._results(3 * _ID_KERNEL_MIN_ROWS)
+        on = ExecutionContext(LOCAL_CLUSTER, Region("local"), use_dictionary=True)
+        off = ExecutionContext(LOCAL_CLUSTER, Region("local"), use_dictionary=False)
+        for op in (hash_join, left_outer_join):
+            a = op(left, right, on)
+            b = op(left, right, off)
+            assert a.variables == b.variables
+            assert a.rows == b.rows  # order included
+        assert on.metrics.join_terms_interned > 0
+        assert on.metrics.join_dictionary_hits > 0
+        assert off.metrics.join_terms_interned == 0
+
+    def test_small_joins_skip_the_kernel(self):
+        left, right = self._results(4)
+        context = ExecutionContext(LOCAL_CLUSTER, Region("local"))
+        result = hash_join(left, right, context)
+        assert context.join_dictionary is None
+        assert context.metrics.join_terms_interned == 0
+        # 2 keyed matches + 4 matches against the wildcard (None) row
+        assert len(result) == 6
+
+    def test_context_free_join_matches(self):
+        left, right = self._results(3 * _ID_KERNEL_MIN_ROWS)
+        context = ExecutionContext(LOCAL_CLUSTER, Region("local"))
+        assert hash_join(left, right).rows == hash_join(left, right, context).rows
+
+
+class TestBindingTracker:
+    def test_id_tracker_matches_term_tracker(self):
+        x, y = Variable("x"), Variable("y")
+        r1 = ResultSet((x, y), [(_iri(f"a{i % 4}"), _iri(f"b{i}")) for i in range(10)])
+        r2 = ResultSet((x,), [(_iri(f"a{i}"),) for i in range(3)])
+        term_tracker = BindingTracker()
+        id_tracker = BindingTracker(TermDictionary())
+        for tracker in (term_tracker, id_tracker):
+            tracker.add(r1)
+            tracker.add(r2)
+        decoded = {
+            v: {id_tracker.dictionary.decode(i) for i in ids}
+            for v, ids in id_tracker.bindings.items()
+        }
+        assert decoded == term_tracker.bindings
+        assert all(
+            isinstance(i, int)
+            for ids in id_tracker.bindings.values()
+            for i in ids
+        )
+
+
+class TestStatsPlumbing:
+    def test_evaluator_stats_count_dictionary_traffic(self):
+        store = TripleStore(
+            [Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(8)]
+        )
+        evaluator = Evaluator(store)
+        query = parse_query("SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }")
+        evaluator.select(query)
+        assert evaluator.stats.dictionary_hits > 0
+        assert evaluator.stats.decode_seconds >= 0.0
+        # fresh query constant interned during evaluation
+        before = evaluator.stats.terms_interned
+        ghost = parse_query("SELECT ?s WHERE { ?s <http://ex/brand-new> ?o }")
+        evaluator.select(ghost)
+        assert evaluator.stats.terms_interned > before
+
+    def test_endpoint_compute_includes_dictionary_counters(self):
+        endpoint = LocalEndpoint.from_triples(
+            "e0",
+            [Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(8)],
+        )
+        response = endpoint.execute("SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }")
+        assert response.compute.get("dictionary_hits", 0) > 0
+
+    def test_term_mode_endpoint_reports_no_dictionary_traffic(self):
+        endpoint = LocalEndpoint.from_triples(
+            "e0",
+            [Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(8)],
+            use_dictionary=False,
+        )
+        assert endpoint.store.dictionary is None
+        response = endpoint.execute("SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }")
+        assert "dictionary_hits" not in response.compute
+        assert "terms_interned" not in response.compute
