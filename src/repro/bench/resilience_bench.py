@@ -18,6 +18,17 @@ against Bio2RDF) and records what each mitigation buys:
   fails, cutting the virtual time burned on it.
 - **replica** — the down endpoint has a registered standby replica;
   rerouting recovers the *full* answer and the run reports complete.
+- **straggler** — one endpoint answers but 10x slower
+  (``latency_spike_rate=1.0``).  Without hedging the whole query waits
+  on the slow lane; with hedged requests every call that exceeds the
+  hedge threshold races a speculative copy on the standby replica and
+  the virtual makespan drops by >= 2x, with ``hedges_won`` recording
+  the races the replica won.
+- **deadline** — one endpoint stalled effectively forever, under a
+  hard per-query deadline.  Without a replica the engine returns
+  whatever it has as ``PARTIAL`` *within* the budget (plus at most one
+  request timeout); with a replica and hedging it recovers the full
+  answer, still inside the budget.
 
 ``BENCH_resilience.json`` records every scenario row; ``--check``
 asserts the invariants above.
@@ -43,6 +54,15 @@ REPLICA_ENDPOINT = "university1-replica"
 
 #: transient-failure rates for the flaky sweep
 FLAKY_RATES = (0.05, 0.15)
+
+#: added latency of the straggler endpoint (roughly 10x a healthy call)
+STRAGGLER_SPIKE_SECONDS = 0.25
+#: hedge as soon as a request runs this far past the usual latency
+HEDGE_THRESHOLD_SECONDS = 0.02
+#: "stalled forever" relative to any reasonable query budget
+STALL_SECONDS = 1e6
+#: per-query budget for the deadline scenarios
+DEADLINE_SECONDS = 2.0
 
 
 def _build_federation(
@@ -79,14 +99,17 @@ def _run_one(
     partial_results: bool,
     breaker: bool,
     max_retries: int = 2,
+    deadline_seconds: Optional[float] = None,
+    **engine_kwargs,
 ) -> Dict[str, object]:
     engine = LusailEngine(
         federation,
         partial_results=partial_results,
         breaker=breaker,
         max_retries=max_retries,
+        **engine_kwargs,
     )
-    outcome = engine.execute(query_text)
+    outcome = engine.execute(query_text, deadline_seconds=deadline_seconds)
     metrics = outcome.metrics
     row: Dict[str, object] = {
         "status": outcome.status,
@@ -101,6 +124,10 @@ def _run_one(
         "breaker_opens": metrics.breaker_opens,
         "breaker_fast_fails": metrics.breaker_fast_fails,
         "subqueries_degraded": metrics.subqueries_degraded,
+        "timeouts": metrics.timeouts,
+        "deadline_exceeded": metrics.deadline_exceeded,
+        "hedges_launched": metrics.hedges_launched,
+        "hedges_won": metrics.hedges_won,
     }
     if outcome.completeness is not None:
         row["completeness"] = outcome.completeness.to_dict()
@@ -179,6 +206,59 @@ def run_resilience(
                 query_text, partial_results=True, breaker=True,
             ),
         })
+        # Straggler: one endpoint ~10x slower; hedging races the replica.
+        # (Replica present in both runs so the federations are identical;
+        # the spike is not a failure, so it never triggers a reroute.)
+        straggler = {
+            DOWN_ENDPOINT: FaultProfile(
+                latency_spike_rate=1.0,
+                latency_spike_seconds=STRAGGLER_SPIKE_SECONDS,
+            )
+        }
+        scenarios.append({
+            "query": name, "scenario": "straggler-nohedge",
+            "failure_rate": None, "breaker": True, "partial": False,
+            **_run_one(
+                _build_federation(generator, straggler, with_replica=True),
+                query_text, partial_results=False, breaker=True,
+            ),
+        })
+        scenarios.append({
+            "query": name, "scenario": "straggler-hedge",
+            "failure_rate": None, "breaker": True, "partial": False,
+            **_run_one(
+                _build_federation(generator, straggler, with_replica=True),
+                query_text, partial_results=False, breaker=True,
+                hedge_requests=True,
+                hedge_threshold_seconds=HEDGE_THRESHOLD_SECONDS,
+            ),
+        })
+        # Deadline: one endpoint stalled forever under a hard budget.
+        stall = {
+            DOWN_ENDPOINT: FaultProfile(
+                latency_spike_rate=1.0, latency_spike_seconds=STALL_SECONDS,
+            )
+        }
+        scenarios.append({
+            "query": name, "scenario": "deadline-partial",
+            "failure_rate": None, "breaker": True, "partial": True,
+            **_run_one(
+                _build_federation(generator, stall), query_text,
+                partial_results=True, breaker=True,
+                deadline_seconds=DEADLINE_SECONDS,
+            ),
+        })
+        scenarios.append({
+            "query": name, "scenario": "deadline-hedge",
+            "failure_rate": None, "breaker": True, "partial": True,
+            **_run_one(
+                _build_federation(generator, stall, with_replica=True),
+                query_text, partial_results=True, breaker=True,
+                deadline_seconds=DEADLINE_SECONDS,
+                hedge_requests=True,
+                hedge_threshold_seconds=HEDGE_THRESHOLD_SECONDS,
+            ),
+        })
     return {
         "benchmark": "resilience",
         "universities": universities,
@@ -211,7 +291,14 @@ def check(
       report naming the dead endpoint;
     - the breaker converts retry storms into fast fails without
       changing the answer, and never makes the run slower;
-    - a standby replica recovers the full answer (``OK``, complete).
+    - a standby replica recovers the full answer (``OK``, complete);
+    - against a 10x straggler, hedged requests recover the exact
+      fault-free answer at least 2x faster in virtual time, with
+      ``hedges_won >= 1``;
+    - a stalled endpoint under a deadline comes back ``PARTIAL`` with a
+      subset of the fault-free rows *within* ``deadline + one request
+      timeout``; with a replica and hedging, the full answer comes back
+      inside the same bound.
     """
     payload = run_resilience(universities=universities, queries=queries)
     scenarios = payload["scenarios"]
@@ -294,6 +381,64 @@ def check(
                 f"{query} outage-replica: reroute not reported "
                 f"({replica['completeness']})"
             )
+        nohedge = next(_rows_of(scenarios, query, "straggler-nohedge"))
+        hedged = next(_rows_of(scenarios, query, "straggler-hedge"))
+        if hedged["status"] != "OK" or hedged["rows"] != baseline["rows"]:
+            raise AssertionError(
+                f"{query} straggler-hedge: hedging changed the answer "
+                f"({hedged['status']})"
+            )
+        if hedged["hedges_won"] < 1:
+            raise AssertionError(
+                f"{query} straggler-hedge: the replica never won a race "
+                f"({hedged['hedges_launched']} launched)"
+            )
+        speedup = nohedge["virtual_seconds"] / hedged["virtual_seconds"]
+        if speedup < 2.0:
+            raise AssertionError(
+                f"{query} straggler: hedging cut the makespan only "
+                f"{speedup:.2f}x ({nohedge['virtual_seconds']}s -> "
+                f"{hedged['virtual_seconds']}s), expected >= 2x"
+            )
+        # One lane-start-clamped request may legitimately finish past the
+        # deadline; engine-side compute (joins, decoding) adds a little
+        # more on top, hence the small slack.
+        budget_bound = DEADLINE_SECONDS * 1.25 + 0.25
+        partial = next(_rows_of(scenarios, query, "deadline-partial"))
+        if partial["status"] != "PARTIAL":
+            raise AssertionError(
+                f"{query} deadline-partial: expected PARTIAL, got "
+                f"{partial['status']}"
+            )
+        if not set(map(tuple, partial["rows"])) <= set(
+            map(tuple, baseline["rows"])
+        ):
+            raise AssertionError(
+                f"{query} deadline-partial: produced rows outside the "
+                "fault-free answer"
+            )
+        if partial["virtual_seconds"] > budget_bound:
+            raise AssertionError(
+                f"{query} deadline-partial: a stalled endpoint blew the "
+                f"budget ({partial['virtual_seconds']}s > "
+                f"{budget_bound}s)"
+            )
+        rescued = next(_rows_of(scenarios, query, "deadline-hedge"))
+        if rescued["status"] != "OK" or rescued["rows"] != baseline["rows"]:
+            raise AssertionError(
+                f"{query} deadline-hedge: hedging did not recover the "
+                f"full answer within the deadline ({rescued['status']})"
+            )
+        if rescued["hedges_won"] < 1:
+            raise AssertionError(
+                f"{query} deadline-hedge: no hedge won against the "
+                "stalled primary"
+            )
+        if rescued["virtual_seconds"] > budget_bound:
+            raise AssertionError(
+                f"{query} deadline-hedge: blew the budget "
+                f"({rescued['virtual_seconds']}s > {budget_bound}s)"
+            )
     payload["check"] = "ok"
     return payload
 
@@ -320,12 +465,20 @@ def format_report(payload: Dict[str, object]) -> str:
             if row["failure_rate"] not in (None, 0.0) else ""
         )
         rows = "-" if row["rows"] is None else len(row["rows"])
+        extras = ""
+        if row.get("hedges_launched"):
+            extras += (f", {row['hedges_won']}/{row['hedges_launched']} "
+                       "hedges won")
+        if row.get("timeouts"):
+            extras += f", {row['timeouts']} timeouts"
+        if row.get("deadline_exceeded"):
+            extras += f", {row['deadline_exceeded']} deadline events"
         lines.append(
             f"  {row['query']} {row['scenario']}{rate} ({knobs}): "
             f"{row['status']}, {rows} rows, "
             f"{row['virtual_seconds']:.3f}s virtual, "
             f"{row['requests']} req "
             f"({row['requests_failed']} failed, {row['retries']} retries, "
-            f"{row['breaker_fast_fails']} fast-fails)"
+            f"{row['breaker_fast_fails']} fast-fails{extras})"
         )
     return "\n".join(lines)

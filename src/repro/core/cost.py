@@ -36,6 +36,12 @@ from .subquery import Subquery
 #: supported settings for the delay threshold (Figure 13)
 DELAY_THRESHOLDS = ("mu", "mu+sigma", "mu+2sigma", "outliers")
 
+#: cardinality assumed for a pattern whose COUNT probe was skipped
+#: because the analysis budget ran dry — pessimistic on purpose, so the
+#: unprobed subquery classifies as delayed (evaluated bound, the cheap
+#: way to be wrong about a huge relation)
+WORST_CASE_CARDINALITY = 1_000_000_000
+
 
 def chauvenet_keep_mask(values: Sequence[float]) -> List[bool]:
     """Chauvenet's criterion: flag values a sample of this size should not
@@ -85,6 +91,32 @@ class CardinalityEstimator:
         self.count_cache = count_cache if count_cache is not None else CountCache()
         #: probes dispatched by :meth:`prefetch` but not yet awaited
         self._inflight: Dict[Tuple[str, str], ResponseFuture] = {}
+        #: one deadline trace/metric per estimator, however many probes
+        #: the dry analysis budget ends up skipping
+        self._budget_noted = False
+
+    # -- analysis budget -------------------------------------------------
+
+    def _out_of_time(self) -> bool:
+        """Whether the analysis slice of the query deadline ran dry."""
+        context = self.handler.context
+        budget = getattr(context, "analysis_deadline", None)
+        return budget is not None and budget.expired(
+            context.metrics.virtual_seconds
+        )
+
+    def _note_budget_exhausted(self, stage: str) -> None:
+        if self._budget_noted:
+            return
+        self._budget_noted = True
+        context = self.handler.context
+        context.metrics.deadline_exceeded += 1
+        context.trace_event(
+            "deadline",
+            stage=stage,
+            expires_at=context.analysis_deadline.expires_at,
+            fallback="worst-case cardinality",
+        )
 
     # -- probes ----------------------------------------------------------
 
@@ -118,6 +150,9 @@ class CardinalityEstimator:
         later :meth:`pattern_cardinalities` call never consumes are
         settled by :meth:`drain`.  Returns the number dispatched.
         """
+        if self._out_of_time():
+            self._note_budget_exhausted("count_probes")
+            return 0
         dispatched = 0
         for pattern in dict.fromkeys(patterns):
             pushable = [
@@ -147,6 +182,12 @@ class CardinalityEstimator:
         issued requests are always accounted before analysis ends."""
         while self._inflight:
             cache_key, future = self._inflight.popitem()
+            if self._out_of_time():
+                # Abandon the rest: the handler's close() drain settles
+                # the futures, and the skipped answers are never cached.
+                self._note_budget_exhausted("count_probes")
+                self._inflight.clear()
+                break
             response, error = self.handler.settle(future)
             # A failed probe (partial mode) is simply not cached — the
             # estimate degrades, the query does not abort.
@@ -173,6 +214,13 @@ class CardinalityEstimator:
                 continue
             future = self._inflight.pop((endpoint_id, key), None)
             if future is not None:
+                if self._out_of_time():
+                    # Out of analysis budget: abandon the probe (close()
+                    # drains the future) and assume the worst.  Never
+                    # cached — the next query probes for real.
+                    self._note_budget_exhausted("count_probes")
+                    counts[endpoint_id] = WORST_CASE_CARDINALITY
+                    continue
                 response, error = self.handler.settle(future)
                 if error is None:
                     count = self._parse_count(response)
@@ -184,6 +232,11 @@ class CardinalityEstimator:
                     counts[endpoint_id] = 0
             else:
                 missing.append(endpoint_id)
+        if missing and self._out_of_time():
+            self._note_budget_exhausted("count_probes")
+            for endpoint_id in missing:
+                counts[endpoint_id] = WORST_CASE_CARDINALITY
+            return counts
         if missing:
             group = GroupPattern(elements=[pattern], filters=list(pushable))
             text = serialize_query(count_query(group))

@@ -22,6 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..endpoint.errors import FederationError
 from ..endpoint.metrics import CompletenessReport, ExecutionContext, Metrics
 from ..federation.cache import AskCache, CheckCache, CountCache
+from ..federation.deadline import (
+    DEFAULT_REQUEST_TIMEOUT_FRACTION,
+    AdmissionController,
+    Deadline,
+    LatencyTracker,
+)
 from ..federation.federation import Federation
 from ..federation.request_handler import ElasticRequestHandler
 from ..federation.source_selection import SourceSelector
@@ -109,6 +115,13 @@ class LusailEngine:
         breaker_threshold: int = 3,
         breaker_cooldown_seconds: float = 1.0,
         use_dictionary: bool = True,
+        request_timeout_seconds: Optional[float] = None,
+        adaptive_timeouts: bool = True,
+        timeout_multiplier: float = 4.0,
+        hedge_requests: bool = False,
+        hedge_threshold_seconds: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -139,6 +152,26 @@ class LusailEngine:
         #: interned IDs (ablation knob mirroring ``pipeline``; endpoint
         #: evaluators have their own knob on LocalEndpoint/TripleStore)
         self.use_dictionary = use_dictionary
+        #: static per-request timeout; with a deadline but no explicit
+        #: value, one request may spend at most a fixed fraction of the
+        #: query budget (DEFAULT_REQUEST_TIMEOUT_FRACTION)
+        self.request_timeout_seconds = request_timeout_seconds
+        #: derive per-request timeouts from each endpoint's tracked
+        #: p95 × ``timeout_multiplier`` once its latency history warms up
+        self.adaptive_timeouts = adaptive_timeouts
+        self.timeout_multiplier = timeout_multiplier
+        #: race slow requests against registered replicas (tail-at-scale
+        #: hedging); ``hedge_threshold_seconds`` is the static trigger
+        self.hedge_requests = hedge_requests
+        self.hedge_threshold_seconds = hedge_threshold_seconds
+        #: request-level load shedding bound (see ElasticRequestHandler)
+        self.max_inflight = max_inflight
+        #: optional engine-level admission controller: execute() returns
+        #: a shed ``RE`` result instead of running when it is at capacity
+        self.admission = admission
+        #: per-endpoint latency quantiles, shared across this engine's
+        #: queries so adaptive timeouts and hedging warm up once
+        self.latency_tracker = LatencyTracker()
         self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
         self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
         #: COUNT-probe cache shared across this engine's queries — the
@@ -156,19 +189,69 @@ class LusailEngine:
         max_intermediate_rows: int = 5_000_000,
         real_time_limit: float = None,
         trace: bool = False,
+        deadline_seconds: Optional[float] = None,
     ) -> QueryResult:
         """Run a federated query; never raises for per-query failures.
 
         With ``trace=True`` the result carries a :class:`QueryTrace` of
         the execution narrative (see :func:`repro.core.trace.render_trace`).
+
+        ``deadline_seconds`` sets a hard virtual-time budget: the
+        request handler clamps every request to what remains, analysis
+        phases degrade conservatively once their slice runs dry, and
+        out-of-time subqueries surface as ``PARTIAL`` through the
+        completeness report — so a deadline run always implies
+        partial-results semantics (a budget that aborted instead of
+        degrading would be pointless).
         """
+        if self.admission is not None and not self.admission.try_admit():
+            metrics = Metrics()
+            metrics.sheds += 1
+            return QueryResult(
+                status="RE",
+                result=None,
+                metrics=metrics,
+                error=(
+                    "query rejected: admission controller at capacity "
+                    f"({self.admission.max_concurrent} queries in flight)"
+                ),
+                completeness=CompletenessReport(),
+            )
+        try:
+            return self._execute_admitted(
+                query_text,
+                timeout_seconds=timeout_seconds,
+                max_intermediate_rows=max_intermediate_rows,
+                real_time_limit=real_time_limit,
+                trace=trace,
+                deadline_seconds=deadline_seconds,
+            )
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _execute_admitted(
+        self,
+        query_text: str,
+        timeout_seconds: float,
+        max_intermediate_rows: int,
+        real_time_limit: Optional[float],
+        trace: bool,
+        deadline_seconds: Optional[float],
+    ) -> QueryResult:
+        deadline = None
+        partial_results = self.partial_results
+        if deadline_seconds is not None:
+            deadline = Deadline(deadline_seconds)
+            partial_results = True
         context = self.federation.make_context(
             timeout_seconds=timeout_seconds,
             max_intermediate_rows=max_intermediate_rows,
             join_threads=self.join_threads,
             real_time_limit=real_time_limit,
-            partial_results=self.partial_results,
+            partial_results=partial_results,
             use_dictionary=self.use_dictionary,
+            deadline=deadline,
         )
         if trace:
             context.trace = QueryTrace()
@@ -226,13 +309,31 @@ class LusailEngine:
                 trace=context.trace,
                 completeness=context.completeness,
             )
+        finally:
+            # The returned QueryResult holds this same Metrics object,
+            # so the per-endpoint latency view lands on every path.
+            context.metrics.endpoint_latency = self.latency_tracker.snapshot()
 
     def _make_handler(self, context: ExecutionContext) -> ElasticRequestHandler:
+        request_timeout = self.request_timeout_seconds
+        if request_timeout is None and context.deadline is not None:
+            request_timeout = (
+                context.deadline.budget_seconds
+                * DEFAULT_REQUEST_TIMEOUT_FRACTION
+            )
         return ElasticRequestHandler(
             self.federation, context, self.pool_size,
             use_threads=self.use_threads, max_retries=self.max_retries,
             breaker_threshold=self.breaker_threshold if self.breaker else None,
             breaker_cooldown_seconds=self.breaker_cooldown_seconds,
+            latency_tracker=self.latency_tracker,
+            request_timeout_seconds=request_timeout,
+            adaptive_timeout_multiplier=(
+                self.timeout_multiplier if self.adaptive_timeouts else None
+            ),
+            hedge=self.hedge_requests,
+            hedge_threshold_seconds=self.hedge_threshold_seconds,
+            max_inflight=self.max_inflight,
         )
 
     def explain(self, query_text: str) -> List[Subquery]:

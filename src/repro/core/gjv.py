@@ -182,12 +182,28 @@ class GJVDetector:
         return self._submit_checks(check_queries, report)
 
     def collect(self, wave: "CheckWave") -> GJVReport:
-        """Await the check wave and fold the answers into the report."""
+        """Await the check wave and fold the answers into the report.
+
+        With an analysis deadline, checks whose answers have not been
+        consumed by the time the slice runs dry are skipped: the
+        variable is conservatively assumed global (always sound — it
+        only forbids the pair from sharing a subquery) and the in-flight
+        futures are left for the handler's close() drain.
+        """
         report = wave.report
         if not wave.pending:
             return report
         report.check_queries_sent += len(wave.futures)
+        context = self.handler.context
+        budget = context.analysis_deadline
+        skipped = 0
         for (check, endpoint_id), future in zip(wave.pending, wave.futures):
+            if budget is not None and budget.expired(
+                context.metrics.virtual_seconds
+            ):
+                report.add(check.variable, check.outer, check.inner)
+                skipped += 1
+                continue
             response, error = self.handler.settle(future)
             if error is not None:
                 # Partial mode: without an answer, locality cannot be
@@ -203,6 +219,14 @@ class GJVDetector:
                 )
             if has_witness:
                 report.add(check.variable, check.outer, check.inner)
+        if skipped:
+            context.metrics.deadline_exceeded += 1
+            context.trace_event(
+                "deadline",
+                stage="gjv_checks",
+                skipped=skipped,
+                expires_at=budget.expires_at,
+            )
         return report
 
     # ------------------------------------------------------------------

@@ -223,6 +223,27 @@ class SubqueryEvaluator:
         # into the same wave — neither can tighten the other's bindings.
         remaining = list(delayed)
         while remaining:
+            deadline = self.context.deadline
+            if deadline is not None and deadline.expired(
+                self.context.metrics.virtual_seconds
+            ):
+                # Out of budget: the remaining delayed subqueries are
+                # skipped, each contributing an empty relation (an empty
+                # set is a subset of any true answer), and the result
+                # degrades to PARTIAL via the completeness report.
+                for subquery in remaining:
+                    relations[subquery.label] = ResultSet(
+                        tuple(subquery.effective_projection())
+                    )
+                    self._mark_degraded(subquery.label, "(deadline)")
+                self.context.metrics.deadline_exceeded += 1
+                self.context.trace_event(
+                    "deadline",
+                    stage="sape",
+                    skipped=[sq.label for sq in remaining],
+                    expires_at=deadline.expires_at,
+                )
+                break
             if self.pipeline:
                 wave = self._independent_wave(remaining, tracker.bindings)
             else:

@@ -128,6 +128,63 @@ def _render_breaker_close(event: TraceEvent) -> str:
             f"(half-open probe succeeded)")
 
 
+@_renders("timeout")
+def _render_timeout(event: TraceEvent) -> str:
+    reason = event.detail.get("reason", "timeout")
+    what = ("query deadline" if reason == "deadline"
+            else "per-request timeout")
+    return (f"{what} CUT a {event.detail.get('request_kind', 'request')} at "
+            f"{event.detail['endpoint']}: allowed "
+            f"{event.detail['limit_seconds']:.3f}s of "
+            f"{event.detail['cost_seconds']:.3f}s")
+
+
+@_renders("deadline")
+def _render_deadline(event: TraceEvent) -> str:
+    stage = event.detail.get("stage", "execution")
+    expires = event.detail.get("expires_at")
+    suffix = f" (budget ran out at t={expires:.3f}s)" if expires is not None else ""
+    if stage == "submit":
+        return (f"deadline exceeded at submit: refused a new "
+                f"{event.detail.get('request_kind', 'request')} to "
+                f"{event.detail['endpoint']}{suffix}")
+    if stage == "gjv_checks":
+        return (f"analysis budget dry: skipped {event.detail['skipped']} "
+                f"GJV check answer(s), variables conservatively "
+                f"global{suffix}")
+    if stage == "count_probes":
+        return (f"analysis budget dry: skipped COUNT probes, assuming "
+                f"{event.detail.get('fallback', 'worst-case cardinality')}"
+                f"{suffix}")
+    if stage == "sape":
+        skipped = ", ".join(event.detail.get("skipped", ())) or "none"
+        return (f"deadline exceeded during SAPE: skipped delayed "
+                f"subquery(ies) {skipped}, degrading to PARTIAL{suffix}")
+    return f"deadline exceeded during {stage}{suffix}"
+
+
+@_renders("hedge")
+def _render_hedge(event: TraceEvent) -> str:
+    if event.detail.get("failed"):
+        return (f"hedged {event.detail.get('request_kind', 'request')} to "
+                f"{event.detail['replica']} FAILED; the slow primary "
+                f"{event.detail['endpoint']} stands")
+    outcome = "WON" if event.detail.get("won") else "lost"
+    return (f"hedged {event.detail.get('request_kind', 'request')}: "
+            f"{event.detail['endpoint']} exceeded its p95, replica "
+            f"{event.detail['replica']} {outcome} "
+            f"(primary {event.detail['primary_cost']:.3f}s vs hedged "
+            f"{event.detail['hedged_cost']:.3f}s)")
+
+
+@_renders("shed")
+def _render_shed(event: TraceEvent) -> str:
+    return (f"load shed: refused a "
+            f"{event.detail.get('request_kind', 'request')} to "
+            f"{event.detail['endpoint']} ({event.detail['pending']} "
+            f"in flight, limit {event.detail['limit']})")
+
+
 @_renders("subquery_degraded")
 def _render_subquery_degraded(event: TraceEvent) -> str:
     return (f"subquery {event.detail['label']} DEGRADED: dropped the "

@@ -7,7 +7,9 @@ from .errors import (
     EndpointUnavailableError,
     FederationError,
     MemoryLimitError,
+    QueryRejectedError,
     QueryTimeoutError,
+    RequestTimeoutError,
 )
 from .faults import FaultInjector, FaultProfile, OutageWindow
 from .local import LocalEndpoint
@@ -43,8 +45,10 @@ __all__ = [
     "MemoryLimitError",
     "Metrics",
     "NetworkModel",
+    "QueryRejectedError",
     "QueryTimeoutError",
     "Region",
+    "RequestTimeoutError",
     "SPARQLEndpoint",
     "WIDE_AREA",
 ]

@@ -66,6 +66,50 @@ class CircuitBreakerOpenError(EndpointUnavailableError):
         self.open_until = open_until
 
 
+class RequestTimeoutError(EndpointUnavailableError):
+    """A single request exceeded its (possibly adaptive) timeout, or the
+    query's deadline cut it off mid-flight.
+
+    The request handler raises this at *scheduling* time: the client
+    stopped waiting after ``timeout_seconds``, so only that much is
+    charged to the clock and lane — the endpoint may well still be
+    grinding on the answer nobody will read.  Sharing the
+    :class:`EndpointUnavailableError` base means partial-results
+    handling degrades (and replicas are tried) instead of aborting.
+    ``deadline`` distinguishes the query budget binding (no health
+    blame for the endpoint) from a per-request timeout (an endpoint
+    health signal that feeds the circuit breaker).
+    """
+
+    def __init__(self, endpoint_id: str, timeout_seconds: float,
+                 deadline: bool = False):
+        cause = "query deadline" if deadline else "request timeout"
+        FederationError.__init__(
+            self,
+            f"request to endpoint {endpoint_id!r} cancelled after "
+            f"{timeout_seconds:.3f}s ({cause})",
+        )
+        self.endpoint_id = endpoint_id
+        self.timeout_seconds = timeout_seconds
+        self.deadline = deadline
+
+
+class QueryRejectedError(EndpointUnavailableError):
+    """Admission control shed this work (queue full / over capacity).
+
+    Raised without contacting anything: either the request handler's
+    bounded in-flight queue was full, or the engine-level
+    :class:`~repro.federation.deadline.AdmissionController` refused the
+    whole query.  Load shedding is free by construction — nothing was
+    sent, nothing is charged.
+    """
+
+    def __init__(self, scope: str, reason: str):
+        FederationError.__init__(self, f"rejected {scope!r}: {reason}")
+        self.endpoint_id = scope
+        self.reason = reason
+
+
 class EndpointRateLimitError(FederationError):
     """A (simulated) public endpoint refused further requests.
 

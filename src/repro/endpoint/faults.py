@@ -57,7 +57,11 @@ class FaultProfile:
 
     ``latency_spike_rate`` / ``latency_spike_seconds`` — fraction of
     requests answered ``latency_spike_seconds`` slower than the network
-    model predicts (an overloaded server, a GC pause).
+    model predicts (an overloaded server, a GC pause).  A rate of 1.0
+    makes a deterministic straggler; ``slow_queries`` restricts the
+    spikes to requests whose query text contains that substring (e.g.
+    ``"COUNT"`` to slow only the cost model's probes), which the
+    deadline benches use to target one phase deterministically.
 
     ``requests_per_query`` — politeness limit: more requests than this
     within one query window raises :class:`EndpointRateLimitError`.
@@ -68,13 +72,16 @@ class FaultProfile:
     outage_windows: Tuple[OutageWindow, ...] = ()
     latency_spike_rate: float = 0.0
     latency_spike_seconds: float = 0.25
+    #: substring filter: latency spikes only hit matching query texts
+    #: (``None`` = every request is eligible)
+    slow_queries: Optional[str] = None
     requests_per_query: Optional[int] = None
 
     def __post_init__(self):
-        if not 0.0 <= self.failure_rate < 1.0:
-            raise ValueError("failure_rate must be in [0, 1)")
-        if not 0.0 <= self.latency_spike_rate < 1.0:
-            raise ValueError("latency_spike_rate must be in [0, 1)")
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if not 0.0 <= self.latency_spike_rate <= 1.0:
+            raise ValueError("latency_spike_rate must be in [0, 1]")
 
     @staticmethod
     def always_down() -> "FaultProfile":
@@ -134,9 +141,16 @@ class FaultInjector:
             profile.seed, self.endpoint_id, "fail", query_text, occurrence
         ) < profile.failure_rate:
             raise EndpointUnavailableError(self.endpoint_id)
-        if profile.latency_spike_rate and _draw(
-            profile.seed, self.endpoint_id, "spike", query_text, occurrence
-        ) < profile.latency_spike_rate:
+        if (
+            profile.latency_spike_rate
+            and (
+                profile.slow_queries is None
+                or profile.slow_queries in query_text
+            )
+            and _draw(
+                profile.seed, self.endpoint_id, "spike", query_text, occurrence
+            ) < profile.latency_spike_rate
+        ):
             return profile.latency_spike_seconds
         return 0.0
 

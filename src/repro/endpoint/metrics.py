@@ -116,6 +116,22 @@ class Metrics:
     breaker_fast_fails: int = 0
     #: subqueries that lost an endpoint contribution in partial mode
     subqueries_degraded: int = 0
+    #: requests cancelled at their (adaptive) per-request timeout
+    timeouts: int = 0
+    #: requests whose remaining query budget cut them off (deadline
+    #: binding is the *query's* fault, so no breaker blame accrues)
+    deadline_exceeded: int = 0
+    #: speculative replica requests launched past the hedging trigger
+    hedges_launched: int = 0
+    #: hedged requests where the replica answered first
+    hedges_won: int = 0
+    #: requests (or whole queries) shed by admission control
+    sheds: int = 0
+    #: in-flight requests abandoned — hedge losers plus futures drained
+    #: unresolved at close(); their endpoints did the work for nothing
+    requests_cancelled: int = 0
+    #: endpoint id -> {count, p50, p95, p99} from the latency tracker
+    endpoint_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: terms interned into the federator's join dictionary (the ID kernel
     #: in :mod:`repro.core.joins` encodes result cells once per term)
     join_terms_interned: int = 0
@@ -157,11 +173,22 @@ class Metrics:
             "breaker_opens": self.breaker_opens,
             "breaker_fast_fails": self.breaker_fast_fails,
             "subqueries_degraded": self.subqueries_degraded,
+            "timeouts": self.timeouts,
+            "deadline_exceeded": self.deadline_exceeded,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "sheds": self.sheds,
+            "requests_cancelled": self.requests_cancelled,
             "join_terms_interned": self.join_terms_interned,
             "join_dictionary_hits": self.join_dictionary_hits,
             "join_decode_seconds": self.join_decode_seconds,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
+            **{
+                f"latency:{endpoint}:{stat}": value
+                for endpoint, stats in self.endpoint_latency.items()
+                for stat, value in stats.items()
+            },
         }
 
 
@@ -179,6 +206,7 @@ class ExecutionContext:
         real_time_limit: Optional[float] = None,
         partial_results: bool = False,
         use_dictionary: bool = True,
+        deadline=None,
     ):
         self.network = network
         self.client_region = client_region
@@ -198,6 +226,17 @@ class ExecutionContext:
         #: degrade instead of aborting when an endpoint stays down past
         #: its retry budget (see ElasticRequestHandler.settle)
         self.partial_results = partial_results
+        #: optional :class:`~repro.federation.deadline.Deadline` — the
+        #: query's virtual-time budget, enforced by the request handler
+        #: (every request's chargeable time is clamped to what remains)
+        self.deadline = deadline
+        #: phase slice of the deadline covering source selection and
+        #: analysis (GJV checks, COUNT probes); once it runs dry those
+        #: phases degrade conservatively instead of spending more budget
+        self.analysis_deadline = (
+            None if deadline is None
+            else deadline.child(deadline.analysis_fraction)
+        )
         #: honest accounting of what partial mode dropped
         self.completeness = CompletenessReport()
         #: run the federator's result joins on interned IDs (ablation

@@ -1,6 +1,7 @@
 """Federation plumbing: endpoint registry, ERH, source selection, caches."""
 
 from .cache import AskCache, CheckCache, CountCache, canonical_pattern_key
+from .deadline import AdmissionController, Deadline, LatencyTracker
 from .federation import DEFAULT_CLIENT_REGION, Federation
 from .request_handler import (
     ElasticRequestHandler,
@@ -11,11 +12,14 @@ from .request_handler import (
 from .source_selection import SourceSelector, ask_query_text
 
 __all__ = [
+    "AdmissionController",
     "AskCache",
     "CheckCache",
     "CountCache",
     "DEFAULT_CLIENT_REGION",
+    "Deadline",
     "ElasticRequestHandler",
+    "LatencyTracker",
     "Federation",
     "Request",
     "Response",

@@ -98,8 +98,15 @@ class Federation:
         real_time_limit: float = None,
         partial_results: bool = False,
         use_dictionary: bool = True,
+        deadline=None,
     ) -> ExecutionContext:
-        """Fresh virtual clock and budgets for one query execution."""
+        """Fresh virtual clock and budgets for one query execution.
+
+        ``deadline`` is an optional
+        :class:`~repro.federation.deadline.Deadline` — the query's hard
+        virtual-time budget, threaded through the context to the
+        request handler and every phase that checks it.
+        """
         self.reset_request_windows()
         return ExecutionContext(
             network=self.network,
@@ -110,6 +117,7 @@ class Federation:
             real_time_limit=real_time_limit,
             partial_results=partial_results,
             use_dictionary=use_dictionary,
+            deadline=deadline,
         )
 
     def reset_request_windows(self) -> None:

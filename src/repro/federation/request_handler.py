@@ -26,6 +26,28 @@ Serial execution (``execute``) still charges the full round trip per
 request — this is what a FedX-style bound-join loop pays, which is
 exactly the effect the paper measures against.
 
+**Deadline-aware execution.**  When the context carries a
+:class:`~repro.federation.deadline.Deadline`, request time is bounded
+three ways, all applied at *scheduling* time so both execution modes
+agree bit for bit:
+
+- **adaptive timeouts** — each request's chargeable time is capped at
+  the endpoint's tracked p95 × ``adaptive_timeout_multiplier`` (clamped
+  between ``timeout_floor_seconds`` and the configured default, which
+  also serves until the endpoint's latency history warms up); blowing
+  the cap raises :class:`RequestTimeoutError` and feeds the breaker;
+- **hedged requests** — a response slower than the endpoint's p95 (or
+  the static ``hedge_threshold_seconds``, whichever is smaller) is
+  raced against its registered replica; the first answer wins and the
+  loser is cancel-accounted (tail-at-scale hedging);
+- **deadline clamps** — whatever remains of the query budget at a
+  request's *lane start* bounds its charge, so the virtual completion
+  time provably never exceeds ``deadline + one request timeout``;
+  requests submitted past expiry fail fast for free.
+
+``max_inflight`` adds load shedding: submissions beyond the bounded
+in-flight queue fail fast with :class:`QueryRejectedError`.
+
 With ``use_threads=True`` submissions additionally run on a real
 :class:`~concurrent.futures.ThreadPoolExecutor` (the paper's setup);
 futures are *scheduled* in submission order regardless of real
@@ -49,9 +71,12 @@ from ..endpoint.errors import (
     CircuitBreakerOpenError,
     EndpointRateLimitError,
     EndpointUnavailableError,
+    QueryRejectedError,
+    RequestTimeoutError,
 )
 from ..endpoint.metrics import ExecutionContext
 from ..sparql.results import ResultSet
+from .deadline import LatencyTracker
 from .federation import Federation
 
 
@@ -116,7 +141,7 @@ class ResponseFuture:
     __slots__ = (
         "_handler", "request", "_submit_clock", "_thread_future",
         "_performed", "_submit_error", "_response", "_exception",
-        "_finish", "_scheduled",
+        "_finish", "_scheduled", "_timeout",
     )
 
     def __init__(self, handler: "ElasticRequestHandler", request: Request,
@@ -131,6 +156,9 @@ class ResponseFuture:
         self._exception: Optional[BaseException] = None
         self._finish = 0.0
         self._scheduled = False
+        #: per-request timeout frozen at submission (adaptive when the
+        #: endpoint's latency history is warm); None = unbounded
+        self._timeout: Optional[float] = None
 
     def done(self) -> bool:
         """Whether this request has been scheduled (resolved)."""
@@ -153,6 +181,14 @@ class ElasticRequestHandler:
         retry_backoff_seconds: float = 0.25,
         breaker_threshold: Optional[int] = None,
         breaker_cooldown_seconds: float = 1.0,
+        latency_tracker: Optional[LatencyTracker] = None,
+        request_timeout_seconds: Optional[float] = None,
+        adaptive_timeout_multiplier: Optional[float] = 4.0,
+        timeout_floor_seconds: float = 0.05,
+        timeout_warmup: int = 8,
+        hedge: bool = False,
+        hedge_threshold_seconds: Optional[float] = None,
+        max_inflight: Optional[int] = None,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -160,6 +196,32 @@ class ElasticRequestHandler:
         self.context = context
         self.pool_size = pool_size
         self.use_threads = use_threads
+        #: per-endpoint streaming latency quantiles; shared by the engine
+        #: across queries so adaptive timeouts warm up once
+        self.latency = (
+            latency_tracker if latency_tracker is not None else LatencyTracker()
+        )
+        #: static per-request timeout — the cold-start default and the
+        #: ceiling the adaptive timeout is clamped to; None = unbounded
+        self.request_timeout_seconds = request_timeout_seconds
+        #: k in the adaptive timeout p95 × k; None disables adaptation
+        self.adaptive_timeout_multiplier = adaptive_timeout_multiplier
+        self.timeout_floor_seconds = timeout_floor_seconds
+        #: observations an endpoint needs before its p95 is trusted
+        self.timeout_warmup = max(1, timeout_warmup)
+        #: race slow requests against the endpoint's registered replica
+        self.hedge = hedge
+        #: static hedging trigger; the effective trigger is the smaller
+        #: of this and the endpoint's warm p95 (a steady straggler's own
+        #: p95 is high — the floor keeps hedging armed against it)
+        self.hedge_threshold_seconds = hedge_threshold_seconds
+        #: bound on submitted-but-unresolved requests; beyond it new
+        #: submissions are shed with QueryRejectedError (admission
+        #: control at the request level); None = unbounded
+        self.max_inflight = max_inflight
+        #: futures drained unresolved by close() — work abandoned
+        #: mid-flight whose answers nobody read
+        self.cancelled = 0
         #: transient EndpointUnavailableError retries per request; each
         #: failed attempt charges a round trip plus an exponential
         #: backoff with deterministic jitter
@@ -197,8 +259,14 @@ class ElasticRequestHandler:
         # silently under-counting; their errors are swallowed
         # (_schedule_next parks exceptions on the future, it never
         # raises) and the virtual clock is left where the query ended.
+        # Each one counts as cancelled: the endpoint did the work, the
+        # query never read the answer.
+        abandoned = len(self._pending)
         while self._pending:
             self._schedule_next()
+        if abandoned:
+            self.cancelled += abandoned
+            self.context.metrics.requests_cancelled += abandoned
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -322,7 +390,15 @@ class ElasticRequestHandler:
         if not self._pending:
             metrics.scheduler_waves += 1
         future = ResponseFuture(self, request, metrics.virtual_seconds)
-        if self._breaker_rejects(request, future):
+        future._timeout = self._timeout_for(request.endpoint_id)
+        # Fast-fail gates, cheapest first: load shedding, the query
+        # deadline, then the breaker.  All three park an error on the
+        # future without contacting the endpoint or the thread pool.
+        if (
+            self._shed_rejects(request, future)
+            or self._deadline_rejects(request, future)
+            or self._breaker_rejects(request, future)
+        ):
             self._pending.append(future)
             if len(self._pending) > metrics.inflight_high_water:
                 metrics.inflight_high_water = len(self._pending)
@@ -343,6 +419,99 @@ class ElasticRequestHandler:
 
     def submit_all(self, requests: Sequence[Request]) -> List[ResponseFuture]:
         return [self.submit(request) for request in requests]
+
+    # -- deadlines, timeouts, shedding ------------------------------------
+
+    def _timeout_for(self, endpoint_id: str) -> Optional[float]:
+        """This endpoint's per-request timeout at the current instant.
+
+        With a warm latency history the timeout adapts to p95 × k,
+        clamped between the floor and the static default; a cold
+        endpoint falls back to the static default.  No default means
+        no timeout at all (the pre-deadline behaviour).
+        """
+        ceiling = self.request_timeout_seconds
+        if ceiling is None:
+            return None
+        multiplier = self.adaptive_timeout_multiplier
+        if (
+            multiplier is not None
+            and self.latency.count(endpoint_id) >= self.timeout_warmup
+        ):
+            p95 = self.latency.quantile(endpoint_id, 0.95)
+            if p95 is not None:
+                return min(
+                    max(p95 * multiplier, self.timeout_floor_seconds), ceiling
+                )
+        return ceiling
+
+    def _shed_rejects(self, request: Request, future: ResponseFuture) -> bool:
+        """Load shedding: bound the in-flight queue, reject the rest."""
+        if self.max_inflight is None or len(self._pending) < self.max_inflight:
+            return False
+        future._submit_error = QueryRejectedError(
+            request.endpoint_id,
+            f"in-flight queue full ({len(self._pending)} pending, "
+            f"limit {self.max_inflight})",
+        )
+        self.context.metrics.sheds += 1
+        self.context.trace_event(
+            "shed",
+            endpoint=request.endpoint_id,
+            request_kind=request.kind,
+            pending=len(self._pending),
+            limit=self.max_inflight,
+        )
+        return True
+
+    def _deadline_rejects(self, request: Request,
+                          future: ResponseFuture) -> bool:
+        """A submission past the query deadline fails fast for free."""
+        deadline = self.context.deadline
+        if deadline is None:
+            return False
+        now = self.context.metrics.virtual_seconds
+        if not deadline.expired(now):
+            return False
+        future._submit_error = RequestTimeoutError(
+            request.endpoint_id, 0.0, deadline=True
+        )
+        self.context.metrics.deadline_exceeded += 1
+        self.context.trace_event(
+            "deadline",
+            stage="submit",
+            endpoint=request.endpoint_id,
+            request_kind=request.kind,
+            expires_at=deadline.expires_at,
+        )
+        return True
+
+    def _lane_start(self, future: ResponseFuture, endpoint_id: str) -> float:
+        """When this request would start, were it scheduled right now
+        (same arithmetic as :meth:`_schedule_lane`, without mutating)."""
+        start = max(
+            future._submit_clock, self._lane_free.get(endpoint_id, 0.0)
+        )
+        if len(self._worker_free) >= self.pool_size:
+            start = max(start, self._worker_free[0])
+        return start
+
+    def _clamp_failure_cost(self, future: ResponseFuture, endpoint_id: str,
+                            cost: float) -> float:
+        """Cap a failed request's chargeable time: the client stopped
+        waiting at its timeout / at the deadline, even if the retries
+        would have ground on longer."""
+        timeout = future._timeout
+        if timeout is not None and cost > timeout:
+            cost = timeout
+            self.context.metrics.timeouts += 1
+        deadline = self.context.deadline
+        if deadline is not None:
+            budget = deadline.remaining(self._lane_start(future, endpoint_id))
+            if cost > budget:
+                cost = budget
+                self.context.metrics.deadline_exceeded += 1
+        return cost
 
     # -- circuit breaker ---------------------------------------------------
 
@@ -463,6 +632,10 @@ class ElasticRequestHandler:
                 raise
             if isinstance(error, CircuitBreakerOpenError):
                 kind = "breaker_open"
+            elif isinstance(error, QueryRejectedError):
+                kind = "shed"
+            elif isinstance(error, RequestTimeoutError):
+                kind = "deadline" if error.deadline else "timeout"
             elif isinstance(error, EndpointRateLimitError):
                 kind = "rate_limited"
             else:
@@ -523,11 +696,15 @@ class ElasticRequestHandler:
         except Exception as error:
             # Honest failure accounting: the retries really happened, so
             # their round trips and backoffs hold lane time and charge
-            # the clock like any other work — only breaker fast-fails
-            # are free (nothing was sent).  The error itself surfaces at
-            # result()/settle().
-            if not isinstance(error, CircuitBreakerOpenError):
+            # the clock like any other work — only fast-fails (breaker
+            # open, shed, submitted past the deadline) are free, because
+            # nothing was sent.  The error surfaces at result()/settle().
+            fast_fail = isinstance(
+                error, (CircuitBreakerOpenError, QueryRejectedError)
+            ) or getattr(error, "deadline", False)
+            if not fast_fail:
                 cost = getattr(error, "virtual_cost", 0.0)
+                cost = self._clamp_failure_cost(future, endpoint_id, cost)
                 attempts = getattr(error, "failed_attempts", 0)
                 self._account_retries(
                     endpoint_id,
@@ -557,10 +734,176 @@ class ElasticRequestHandler:
                 bytes_sent * response.failed_attempts,
                 exhausted=False,
             )
-        self._note_success(endpoint_id)
-        future._response = response
-        future._finish = self._schedule_lane(
-            future, endpoint_id, response.cost_seconds
+        response = self._maybe_hedge(future, endpoint_id, response)
+        self._finish_success(future, endpoint_id, response)
+
+    # -- hedged requests ---------------------------------------------------
+
+    def _hedge_trigger(self, endpoint_id: str) -> Optional[float]:
+        """Latency past which a request is worth racing against the
+        endpoint's replica: the smaller of the warm p95 and the static
+        threshold (a steady straggler's own p95 is high — the static
+        floor keeps hedging armed against it)."""
+        candidates = []
+        if self.hedge_threshold_seconds is not None:
+            candidates.append(self.hedge_threshold_seconds)
+        if self.latency.count(endpoint_id) >= self.timeout_warmup:
+            p95 = self.latency.quantile(endpoint_id, 0.95)
+            if p95 is not None:
+                candidates.append(p95)
+        return min(candidates) if candidates else None
+
+    def _charge_hedge_lane(self, endpoint_id: str, launched_at: float,
+                           cost_seconds: float) -> None:
+        """Hold replica lane time for a hedge.  Hedges are speculative
+        duplicates riding on spare capacity, so they occupy their
+        endpoint's lane but not a pool worker slot."""
+        if cost_seconds <= 0:
+            return
+        begin = max(launched_at, self._lane_free.get(endpoint_id, 0.0))
+        self._lane_free[endpoint_id] = begin + cost_seconds
+        lanes = self.context.metrics.lane_busy_seconds
+        lanes[endpoint_id] = lanes.get(endpoint_id, 0.0) + cost_seconds
+
+    def _maybe_hedge(self, future: ResponseFuture, endpoint_id: str,
+                     response: Response) -> Response:
+        """Race a slow response against the endpoint's replica.
+
+        The primary's cost is known at scheduling time, so the hedge
+        models a client that launched the duplicate once the trigger
+        elapsed and took whichever answer landed first.  The loser is
+        cancel-accounted: its lane time is held only up to the moment
+        the winner answered, and ``requests_cancelled`` counts it.
+        The hedge is performed on the orchestrating thread in both
+        execution modes, keeping them bit-identical.
+        """
+        if not self.hedge:
+            return response
+        replica_id = self.federation.replica_of(endpoint_id)
+        if replica_id is None:
+            return response
+        trigger = self._hedge_trigger(endpoint_id)
+        if trigger is None or response.cost_seconds <= trigger:
+            return response
+        metrics = self.context.metrics
+        metrics.hedges_launched += 1
+        request = future.request
+        hedge_request = Request(replica_id, request.query_text, request.kind)
+        launched_at = self._lane_start(future, endpoint_id) + trigger
+        perform = self._perform_locked if self.use_threads else self._perform
+        try:
+            hedge_response, hedge_sent, hedge_received = perform(hedge_request)
+        except Exception as error:
+            # The replica failed too — the primary answer stands; the
+            # replica's attempts and lane time are still accounted.
+            self._account_retries(
+                replica_id,
+                request.kind,
+                getattr(error, "failed_attempts", 0),
+                getattr(error, "bytes_sent_total", 0),
+                exhausted=True,
+            )
+            self._charge_hedge_lane(
+                replica_id, launched_at, getattr(error, "virtual_cost", 0.0)
+            )
+            self.context.trace_event(
+                "hedge",
+                endpoint=endpoint_id,
+                replica=replica_id,
+                request_kind=request.kind,
+                won=False,
+                failed=True,
+                primary_cost=response.cost_seconds,
+            )
+            return response
+        self._record(hedge_response, hedge_sent, hedge_received)
+        hedged_cost = trigger + hedge_response.cost_seconds
+        won = hedged_cost < response.cost_seconds
+        metrics.requests_cancelled += 1  # whichever lost was abandoned
+        if won:
+            metrics.hedges_won += 1
+            self.latency.observe(replica_id, hedge_response.cost_seconds)
+            self._charge_hedge_lane(
+                replica_id, launched_at, hedge_response.cost_seconds
+            )
+            winner = Response(
+                request=request,
+                value=hedge_response.value,
+                cost_seconds=hedged_cost,
+                compute=hedge_response.compute,
+                failed_attempts=response.failed_attempts,
+            )
+        else:
+            # The primary answered first: the replica worked only from
+            # the hedge launch until that moment, then was cancelled.
+            replica_busy = min(
+                hedge_response.cost_seconds,
+                max(0.0, response.cost_seconds - trigger),
+            )
+            self.latency.observe(replica_id, replica_busy)
+            self._charge_hedge_lane(replica_id, launched_at, replica_busy)
+            winner = response
+        self.context.trace_event(
+            "hedge",
+            endpoint=endpoint_id,
+            replica=replica_id,
+            request_kind=request.kind,
+            won=won,
+            primary_cost=response.cost_seconds,
+            hedged_cost=hedged_cost,
+        )
+        return winner
+
+    def _finish_success(self, future: ResponseFuture, endpoint_id: str,
+                        response: Response) -> None:
+        """Schedule an answered request, applying the timeout and the
+        deadline clamp.  A clamped request becomes a failure: the client
+        cancelled it after ``allowed`` seconds and only that much is
+        charged — which is what bounds the query's completion time by
+        ``deadline + one request timeout``."""
+        cost = response.cost_seconds
+        allowed = cost
+        reason = None
+        timeout = future._timeout
+        if timeout is not None and allowed > timeout:
+            allowed = timeout
+            reason = "timeout"
+        deadline = self.context.deadline
+        if deadline is not None:
+            budget = deadline.remaining(self._lane_start(future, endpoint_id))
+            if allowed > budget:
+                allowed = budget
+                reason = "deadline"
+        # The tracker sees what a client would measure: true latency for
+        # answers it read, the censored cancellation point otherwise.
+        self.latency.observe(endpoint_id, allowed)
+        if reason is None:
+            self._note_success(endpoint_id)
+            future._response = response
+            future._finish = self._schedule_lane(future, endpoint_id, cost)
+            future._scheduled = True
+            return
+        metrics = self.context.metrics
+        metrics.requests_failed += 1
+        if reason == "timeout":
+            metrics.timeouts += 1
+        else:
+            metrics.deadline_exceeded += 1
+        future._finish = self._schedule_lane(future, endpoint_id, allowed)
+        if reason == "timeout":
+            # Blowing the per-request budget is an endpoint health
+            # signal; the deadline binding is the query's own fault.
+            self._note_failure(endpoint_id, at=future._finish)
+        self.context.trace_event(
+            "timeout",
+            endpoint=endpoint_id,
+            request_kind=future.request.kind,
+            limit_seconds=allowed,
+            cost_seconds=cost,
+            reason=reason,
+        )
+        future._exception = RequestTimeoutError(
+            endpoint_id, allowed, deadline=(reason == "deadline")
         )
         future._scheduled = True
 

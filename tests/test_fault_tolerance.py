@@ -189,6 +189,9 @@ class TestFailureAccounting:
         assert metrics.virtual_seconds > 0.0
         assert metrics.lane_busy_seconds.get("ep2", 0.0) > 0.0
         assert metrics.bytes_sent == 3 * len(ASK_TEXT)
+        # Settled before close(): nothing was abandoned mid-flight.
+        assert handler.cancelled == 0
+        assert metrics.requests_cancelled == 0
 
     def test_backoff_is_exponential(self):
         def exhausted_cost(max_retries):
@@ -241,6 +244,13 @@ class TestFailureAccounting:
         assert metrics.requests == 1  # the ep1 success
         assert metrics.requests_failed == 2  # both ep2 attempts
         assert not handler._pending
+        # Both futures were abandoned mid-flight: the drain must count
+        # them as cancelled, once, and close() must stay idempotent.
+        assert handler.cancelled == 2
+        assert metrics.requests_cancelled == 2
+        handler.close()
+        assert handler.cancelled == 2
+        assert metrics.requests_cancelled == 2
 
     def test_rate_limit_error_is_charged(self):
         federation = _faulty_paper_federation(
