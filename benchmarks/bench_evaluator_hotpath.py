@@ -4,7 +4,9 @@ Shape asserted: on multi-pattern LUBM-style BGPs (>= 5 patterns) the
 planned/batched executor is >= 3x faster than the seed per-binding
 recursive join (ISSUE 1 acceptance), the dictionary-encoded ID kernels
 are >= 1.5x faster again than the planned term path (ISSUE 4
-acceptance), all paths return identical rows, and neither planned path
+acceptance), the columnar batch kernels are >= 2x faster again than the
+dict path at study scale (ISSUE 6 acceptance, numpy builds only, with a
+subject-shard scaling curve), all paths return identical rows, and neither planned path
 issues per-binding ``store.count`` ordering probes.  The payload is also
 written to ``BENCH_evaluator.json`` at the repo root to extend the perf
 trajectory.
@@ -15,6 +17,7 @@ active.
 """
 
 from repro.bench.evaluator_bench import (
+    MIN_COLUMNAR_SPEEDUP,
     MIN_DICT_SPEEDUP,
     check,
     format_report,
@@ -37,6 +40,15 @@ def bench_evaluator_hotpath(benchmark, record_table):
         assert row["dictionary_hits"] >= 1
     assert payload["min_speedup"] >= MIN_SPEEDUP
     assert payload["min_dict_speedup"] >= MIN_DICT_SPEEDUP
+    columnar = payload.get("columnar")
+    if columnar is not None and _columnar_vectorized():
+        assert columnar["min_columnar_speedup"] >= MIN_COLUMNAR_SPEEDUP
+
+
+def _columnar_vectorized() -> bool:
+    from repro.store.columnar import ColumnarStore
+
+    return ColumnarStore.vectorized
 
 
 def main(argv=None) -> int:
@@ -61,6 +73,18 @@ def main(argv=None) -> int:
         print(
             f"FAIL: min dict speedup {payload['min_dict_speedup']}x "
             f"< {MIN_DICT_SPEEDUP}x"
+        )
+        return 1
+    columnar = payload.get("columnar")
+    if (
+        not args.check
+        and columnar is not None
+        and _columnar_vectorized()
+        and columnar["min_columnar_speedup"] < MIN_COLUMNAR_SPEEDUP
+    ):
+        print(
+            f"FAIL: min columnar speedup "
+            f"{columnar['min_columnar_speedup']}x < {MIN_COLUMNAR_SPEEDUP}x"
         )
         return 1
     return 0

@@ -78,6 +78,11 @@ def main(argv=None) -> int:
             ["benchmark", "system", "preprocessing_s"],
             title="Preprocessing cost (Section 5.1)",
         )),
+        "load": lambda: print(format_table(
+            experiments.load_costs(),
+            ["store", "method", "triples", "load_s"],
+            title="Store load time: per-add vs bulk add_all",
+        )),
         "fig8": lambda: _print_runs(
             experiments.fig8_qfed(timeout_seconds=args.timeout),
             "Figure 8: QFed, local cluster",

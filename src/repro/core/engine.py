@@ -115,6 +115,7 @@ class LusailEngine:
         breaker_threshold: int = 3,
         breaker_cooldown_seconds: float = 1.0,
         use_dictionary: bool = True,
+        vectorized_joins: bool = True,
         request_timeout_seconds: Optional[float] = None,
         adaptive_timeouts: bool = True,
         timeout_multiplier: float = 4.0,
@@ -152,6 +153,9 @@ class LusailEngine:
         #: interned IDs (ablation knob mirroring ``pipeline``; endpoint
         #: evaluators have their own knob on LocalEndpoint/TripleStore)
         self.use_dictionary = use_dictionary
+        #: run fully-bound global joins as batched numpy kernels when the
+        #: columnar backend's numpy is available (ablation knob)
+        self.vectorized_joins = vectorized_joins
         #: static per-request timeout; with a deadline but no explicit
         #: value, one request may spend at most a fixed fraction of the
         #: query budget (DEFAULT_REQUEST_TIMEOUT_FRACTION)
@@ -251,6 +255,7 @@ class LusailEngine:
             real_time_limit=real_time_limit,
             partial_results=partial_results,
             use_dictionary=self.use_dictionary,
+            vectorized_joins=self.vectorized_joins,
             deadline=deadline,
         )
         if trace:

@@ -117,6 +117,168 @@ def _encode_rows(rows: Sequence[Row], dictionary: TermDictionary) -> List[tuple]
     ]
 
 
+# ----------------------------------------------------------------------
+# Vectorized regime (numpy): both key sides fully bound
+# ----------------------------------------------------------------------
+#
+# When every shared-variable cell is bound on both sides, SPARQL
+# compatibility collapses to key equality, so the join becomes a batch
+# problem: pack the (<= 2) key columns into one int64 per row, stable-
+# sort the build side, range-probe it with one searchsorted pair, and
+# materialize the output with gathers.  A ``None`` in any key cell (an
+# OPTIONAL-produced wildcard) or > 2 shared variables falls back to the
+# per-row kernel, which handles the full wildcard semantics.
+
+
+def _np_module():
+    """The columnar backend's numpy handle (honours test stubbing)."""
+    from ..store import columnar
+
+    return columnar._np
+
+
+def _vectorized_enabled(context: Optional[ExecutionContext]) -> bool:
+    return context is None or context.vectorized_joins
+
+
+def _encode_matrix(rows, width: int, dictionary: TermDictionary, np):
+    """Term rows -> an ``(n, width)`` int64 matrix, ``None`` -> -1."""
+    encode = dictionary.encode
+    flat: List[int] = []
+    append = flat.append
+    for row in rows:
+        for cell in row:
+            append(-1 if cell is None else encode(cell))
+    return np.array(flat, dtype=np.int64).reshape(len(rows), width)
+
+
+def _pack_keys(arr, key_indexes, np):
+    """One int64 key per row, or ``None`` when a wildcard key appears."""
+    keys = arr[:, key_indexes[0]]
+    if len(keys) and int(keys.min()) < 0:
+        return None
+    if len(key_indexes) == 2:
+        second = arr[:, key_indexes[1]]
+        if len(second) and int(second.min()) < 0:
+            return None
+        if len(keys) and (
+            int(keys.max()) >= (1 << 31) or int(second.max()) >= (1 << 31)
+        ):  # pragma: no cover - needs 2^31 interned terms
+            return None
+        keys = (keys << 31) | second
+    return keys
+
+
+def _decode_columns(cols, n: int, dictionary: TermDictionary, np) -> List[Row]:
+    """ID columns -> term rows; each distinct ID decodes exactly once."""
+    decode = dictionary.decode
+    decoded = []
+    for col in cols:
+        uniq, inverse = np.unique(col, return_inverse=True)
+        lut = [None if tid < 0 else decode(tid) for tid in uniq.tolist()]
+        decoded.append([lut[j] for j in inverse.tolist()])
+    if not decoded:
+        return [()] * n
+    return list(zip(*decoded))
+
+
+def _hash_join_vectorized(
+    left: ResultSet,
+    right: ResultSet,
+    shared_pairs: List[Tuple[int, int]],
+    right_extra: List[int],
+    dictionary: TermDictionary,
+    np,
+) -> Optional[List[Row]]:
+    """Batched inner join; ``None`` when wildcards force the row kernel.
+
+    Output order matches the per-row kernel exactly: probe-major, and
+    build rows within a key bucket in their input (insertion) order.
+    """
+    left_arr = _encode_matrix(left.rows, len(left.variables), dictionary, np)
+    right_arr = _encode_matrix(
+        right.rows, len(right.variables), dictionary, np
+    )
+    build_is_left = len(left.rows) <= len(right.rows)
+    if build_is_left:
+        build_arr, probe_arr = left_arr, right_arr
+        build_keys = [li for li, _ in shared_pairs]
+        probe_keys = [ri for _, ri in shared_pairs]
+    else:
+        build_arr, probe_arr = right_arr, left_arr
+        build_keys = [ri for _, ri in shared_pairs]
+        probe_keys = [li for li, _ in shared_pairs]
+    bk = _pack_keys(build_arr, build_keys, np)
+    pk = _pack_keys(probe_arr, probe_keys, np)
+    if bk is None or pk is None:
+        return None
+    order = np.argsort(bk, kind="stable")
+    sorted_keys = bk[order]
+    lo = np.searchsorted(sorted_keys, pk, side="left")
+    hi = np.searchsorted(sorted_keys, pk, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total:
+        offsets = np.cumsum(counts) - counts
+        expand = np.repeat(lo, counts) + (
+            np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        )
+        build_idx = order[expand]
+        probe_idx = np.repeat(
+            np.arange(len(pk), dtype=np.int64), counts
+        )
+    else:
+        build_idx = probe_idx = np.empty(0, dtype=np.int64)
+    left_idx, right_idx = (
+        (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
+    )
+    out_cols = [left_arr[:, j][left_idx] for j in range(left_arr.shape[1])]
+    out_cols += [right_arr[:, j][right_idx] for j in right_extra]
+    decode_started = time.perf_counter()
+    rows = _decode_columns(out_cols, total, dictionary, np)
+    return rows, time.perf_counter() - decode_started
+
+
+def _left_outer_vectorized(
+    left: ResultSet,
+    right: ResultSet,
+    shared_pairs: List[Tuple[int, int]],
+    right_extra: List[int],
+    dictionary: TermDictionary,
+    np,
+) -> Optional[List[Row]]:
+    """Batched OPTIONAL; unmatched left rows pad right columns with -1."""
+    left_arr = _encode_matrix(left.rows, len(left.variables), dictionary, np)
+    right_arr = _encode_matrix(
+        right.rows, len(right.variables), dictionary, np
+    )
+    lk = _pack_keys(left_arr, [li for li, _ in shared_pairs], np)
+    rk = _pack_keys(right_arr, [ri for _, ri in shared_pairs], np)
+    if lk is None or rk is None:
+        return None
+    order = np.argsort(rk, kind="stable")
+    sorted_keys = rk[order]
+    lo = np.searchsorted(sorted_keys, lk, side="left")
+    hi = np.searchsorted(sorted_keys, lk, side="right")
+    counts = hi - lo
+    out_counts = np.maximum(counts, 1)  # unmatched rows emit one padding row
+    total = int(out_counts.sum())
+    offsets = np.cumsum(out_counts) - out_counts
+    pos = np.arange(total, dtype=np.int64) - np.repeat(offsets, out_counts)
+    matched = np.repeat(counts > 0, out_counts)
+    right_sorted = np.repeat(lo, out_counts) + pos
+    safe = np.where(matched, right_sorted, 0)
+    right_idx = order[safe]
+    left_idx = np.repeat(np.arange(len(lk), dtype=np.int64), out_counts)
+    out_cols = [left_arr[:, j][left_idx] for j in range(left_arr.shape[1])]
+    for j in right_extra:
+        gathered = right_arr[:, j][right_idx]
+        out_cols.append(np.where(matched, gathered, -1))
+    decode_started = time.perf_counter()
+    rows = _decode_columns(out_cols, total, dictionary, np)
+    return rows, time.perf_counter() - decode_started
+
+
 def _decode_rows(rows: List[tuple], dictionary: TermDictionary) -> List[Row]:
     """ID rows -> term rows, at result materialization."""
     decode = dictionary.decode
@@ -162,6 +324,27 @@ def hash_join(
     header, right_extra, shared_pairs = _merge_headers(left, right)
     dictionary = _kernel_dictionary(context, len(left.rows) + len(right.rows))
     before = _kernel_begin(context, dictionary)
+    if (
+        dictionary is not None
+        and shared_pairs
+        and len(shared_pairs) <= 2
+        and left.rows
+        and right.rows
+        and _vectorized_enabled(context)
+    ):
+        np = _np_module()
+        if np is not None:
+            vectorized = _hash_join_vectorized(
+                left, right, shared_pairs, right_extra, dictionary, np
+            )
+            if vectorized is not None:
+                vec_rows, decode_seconds = vectorized
+                _kernel_end(context, dictionary, before, decode_seconds)
+                if context is not None:
+                    context.metrics.join_vectorized_batches += 1
+                result = ResultSet(header, vec_rows)
+                _account(context, left, right, result)
+                return result
     if dictionary is None:
         left_rows, right_rows = left.rows, right.rows
     else:
@@ -230,6 +413,27 @@ def left_outer_join(
     header, right_extra, shared_pairs = _merge_headers(left, right)
     dictionary = _kernel_dictionary(context, len(left.rows) + len(right.rows))
     before = _kernel_begin(context, dictionary)
+    if (
+        dictionary is not None
+        and shared_pairs
+        and len(shared_pairs) <= 2
+        and left.rows
+        and right.rows
+        and _vectorized_enabled(context)
+    ):
+        np = _np_module()
+        if np is not None:
+            vectorized = _left_outer_vectorized(
+                left, right, shared_pairs, right_extra, dictionary, np
+            )
+            if vectorized is not None:
+                vec_rows, decode_seconds = vectorized
+                _kernel_end(context, dictionary, before, decode_seconds)
+                if context is not None:
+                    context.metrics.join_vectorized_batches += 1
+                result = ResultSet(header, vec_rows)
+                _account(context, left, right, result)
+                return result
     if dictionary is None:
         left_rows, right_rows = left.rows, right.rows
     else:

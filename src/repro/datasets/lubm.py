@@ -173,6 +173,8 @@ class LubmGenerator:
         network: NetworkModel = LOCAL_CLUSTER,
         regions: Dict[int, Region] = None,
         use_dictionary: bool = True,
+        use_columnar: bool = False,
+        shards: int = 1,
     ) -> Federation:
         """One endpoint per university."""
         endpoints = []
@@ -183,6 +185,8 @@ class LubmGenerator:
                 self.generate_university(index),
                 region=region,
                 use_dictionary=use_dictionary,
+                use_columnar=use_columnar,
+                shards=shards,
             ))
         return Federation(endpoints, network=network)
 

@@ -68,11 +68,18 @@ class LocalEndpoint:
         triples: Iterable[Triple],
         region: Region = _DEFAULT_REGION,
         use_dictionary: bool = True,
+        use_columnar: bool = False,
+        shards: int = 1,
         **kwargs,
     ) -> "LocalEndpoint":
         return cls(
             endpoint_id,
-            TripleStore(triples, use_dictionary=use_dictionary),
+            TripleStore(
+                triples,
+                use_dictionary=use_dictionary,
+                use_columnar=use_columnar,
+                shards=shards,
+            ),
             region,
             use_dictionary=use_dictionary,
             **kwargs,

@@ -139,6 +139,8 @@ class Metrics:
     join_dictionary_hits: int = 0
     #: wall time decoding joined ID rows back to terms
     join_decode_seconds: float = 0.0
+    #: joins answered by the batched numpy kernel instead of per-row loops
+    join_vectorized_batches: int = 0
 
     def lane_utilization(self) -> float:
         """Mean busy fraction of the endpoint lanes over the query's
@@ -182,6 +184,7 @@ class Metrics:
             "join_terms_interned": self.join_terms_interned,
             "join_dictionary_hits": self.join_dictionary_hits,
             "join_decode_seconds": self.join_decode_seconds,
+            "join_vectorized_batches": self.join_vectorized_batches,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
             **{
@@ -206,6 +209,7 @@ class ExecutionContext:
         real_time_limit: Optional[float] = None,
         partial_results: bool = False,
         use_dictionary: bool = True,
+        vectorized_joins: bool = True,
         deadline=None,
     ):
         self.network = network
@@ -242,6 +246,10 @@ class ExecutionContext:
         #: run the federator's result joins on interned IDs (ablation
         #: knob mirroring the endpoint evaluators' ``use_dictionary``)
         self.use_dictionary = use_dictionary
+        #: let fully-bound ID-kernel joins run as one numpy batch (packed
+        #: keys + sort/searchsorted) instead of per-row hashing; ablation
+        #: knob for the vectorized regime, off -> per-row kernel only
+        self.vectorized_joins = vectorized_joins
         #: lazily-created intern table shared by every join of this query,
         #: so terms flowing through multiple joins encode exactly once
         self.join_dictionary = None

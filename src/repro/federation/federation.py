@@ -98,6 +98,7 @@ class Federation:
         real_time_limit: float = None,
         partial_results: bool = False,
         use_dictionary: bool = True,
+        vectorized_joins: bool = True,
         deadline=None,
     ) -> ExecutionContext:
         """Fresh virtual clock and budgets for one query execution.
@@ -117,6 +118,7 @@ class Federation:
             real_time_limit=real_time_limit,
             partial_results=partial_results,
             use_dictionary=use_dictionary,
+            vectorized_joins=vectorized_joins,
             deadline=deadline,
         )
 

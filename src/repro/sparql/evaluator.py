@@ -153,16 +153,46 @@ class Evaluator:
         ):
             return None
         plan = self.plan_for(list(patterns), frozenset())
+        header = query.projected_variables()
+        slot_of = {v: i for i, v in enumerate(plan.slot_vars)}
+        projection = [slot_of.get(v) for v in header]
+        decode = self.store.dictionary.decode
+        columnar = self.store.columnar
+        if columnar is not None and columnar.vectorized:
+            # Solutions stay columnar through every stage; each projected
+            # column decodes in one pass at the very end.
+            from ..store.columnar import _np
+
+            block = plan.execute_blocks(self.store, self.stats, self.batch_size)
+            decode_started = time.perf_counter()
+            decoded_cols = []
+            for s in projection:
+                if s is None:
+                    decoded_cols.append([None] * block.n)
+                else:
+                    # decode each distinct ID once, then gather — columns
+                    # repeat a few thousand terms across millions of rows
+                    col = block.cols[s]
+                    uniq, inverse = _np.unique(col, return_inverse=True)
+                    lut = [
+                        None if tid < 0 else decode(tid)
+                        for tid in uniq.tolist()
+                    ]
+                    decoded_cols.append(
+                        [lut[j] for j in inverse.tolist()]
+                    )
+            if decoded_cols:
+                rows = list(zip(*decoded_cols))
+            else:
+                rows = [()] * block.n
+            self.stats.decode_seconds += time.perf_counter() - decode_started
+            return ResultSet(tuple(header), rows)
         id_rows = list(
             plan.execute_ids(
                 self.store, [[None] * len(plan.slot_vars)], self.stats, self.batch_size
             )
         )
-        header = query.projected_variables()
         decode_started = time.perf_counter()
-        slot_of = {v: i for i, v in enumerate(plan.slot_vars)}
-        projection = [slot_of.get(v) for v in header]
-        decode = self.store.dictionary.decode
         rows = [
             tuple(
                 [

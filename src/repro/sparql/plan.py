@@ -68,11 +68,15 @@ class EvaluatorStats:
     #: time spent decoding interned IDs back to terms at result
     #: materialization (the select fast path's ID→term boundary)
     decode_seconds: float = 0.0
+    #: batches executed through the columnar vectorized block kernel
+    #: (zero on nested-dict stores — the ablation's observable)
+    columnar_blocks: int = 0
 
     _FIELDS = (
         "plans_built", "plan_cache_hits", "patterns_evaluated", "batches",
         "intermediate_rows", "count_probes", "terms_interned",
         "dictionary_hits", "plan_seconds", "exec_seconds", "decode_seconds",
+        "columnar_blocks",
     )
 
     def snapshot(self) -> Dict[str, float]:
@@ -289,6 +293,45 @@ class BGPPlan:
         if stats is None:
             return stream
         return _count_rows(stream, stats)
+
+    def execute_blocks(
+        self,
+        store,
+        stats: EvaluatorStats = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        """Whole-pipeline columnar execution; returns the final ``Block``.
+
+        Solutions stay in column form from the seed row to the last
+        pattern — no per-row lists exist anywhere.  Each stage's input is
+        re-chunked at ``batch_size`` rows before hitting the vectorized
+        kernel, which reproduces exactly the group boundaries (and hence
+        the output order) of the row pipeline in :meth:`execute_ids`.
+        Requires a columnar store with numpy available; pure-BGP SELECTs
+        are the caller (decode happens per column at materialization).
+        """
+        from ..store.columnar import Block
+
+        columnar = store.columnar
+        if stats is not None:
+            stats.patterns_evaluated += len(self.order)
+        n_slots = len(self.slot_vars)
+        block = Block.from_rows([[None] * n_slots], n_slots)
+        for stage in self.id_stages(store.dictionary):
+            parts = []
+            for start in range(0, block.n, batch_size):
+                sub = block.slice(start, min(start + batch_size, block.n))
+                if stats is not None:
+                    stats.batches += 1
+                    stats.intermediate_rows += sub.n
+                    stats.columnar_blocks += 1
+                parts.append(columnar.extend_block(stage, sub))
+            block = Block.concat(parts, n_slots)
+            if not block.n:
+                break
+        if stats is not None:
+            stats.intermediate_rows += block.n
+        return block
 
 
 def _count_rows(stream: Iterator, stats: EvaluatorStats) -> Iterator:

@@ -25,7 +25,11 @@ class ResultSet:
     ):
         self.variables: Tuple[Variable, ...] = tuple(variables)
         self.rows: List[Tuple[Optional[GroundTerm], ...]] = (
-            [] if rows is None else [tuple(row) for row in rows]
+            []
+            if rows is None
+            else [
+                row if type(row) is tuple else tuple(row) for row in rows
+            ]
         )
         width = len(self.variables)
         for row in self.rows:

@@ -1,0 +1,1154 @@
+"""Columnar ID-triple storage: sorted-run indexes over subject shards.
+
+The nested-dict :class:`~repro.store.triplestore.TripleStore` indexes pay
+three dict nodes per triple and walk them row-at-a-time.  This module
+keeps the same *logical* contract — SPO/POS/OSP enumeration in exactly
+the nested-dict insertion order, tombstoned ``remove``, O(1) counts —
+but stores ID triples once, in append-only parallel columns
+(``array('q')`` S/P/O), and answers every wildcard probe with a binary
+search into a sorted *run* per index.
+
+**Order equivalence.**  Nested-dict enumeration order is hierarchical
+first-appearance order: subjects in order of first appearance *as a
+subject*, predicates within a subject in order of first appearance *for
+that subject*, leaves in insertion order — and a key whose sub-dict
+empties out is deleted, so re-adding it moves it to the end.  Sorting by
+term ID cannot reproduce this (a term first seen as an object gets a
+small ID but may appear late as a subject), so each index run is sorted
+by a packed pair of **ranks**: six rank tables assign a monotone rank to
+every live subject / predicate / object / (s,p) / (p,o) / (o,s) key at
+first appearance and *retire* it when its live triple count reaches
+zero.  A run entry's key is ``(rank1 << 32) | rank2`` with the row's
+global insertion position as the stable tiebreak — which makes run order
+*identical* to the nested-dict walk, including remove()/re-add
+semantics.  The same tables double as O(1) count statistics.
+
+**Mutation lifecycle.**  ``add`` appends to the columns and to a
+per-shard pending list (composite keys are computed at add time — ranks
+are stable for a row's lifetime); ``remove`` flips a live byte.  Runs
+are refreshed lazily: every read surface calls :meth:`flush`, which
+merges the pending block into each run (one ``searchsorted`` + insert
+per run — a *single* sort/merge per batch, which is what makes bulk
+loads cheap) and drops tombstoned entries, so probes never need a
+liveness mask.  When dead rows pile past half a shard's column, the
+shard compacts: columns are rebuilt and run permutations remapped.
+
+**Sharding.**  Columns and runs are partitioned by subject-ID range
+(block-striped, :data:`_STRIPE_BITS`-sized stripes so consecutive IDs
+spread).  Subject-bound probes touch one shard; predicate/object-bound
+probes fan out across all shards and merge by (composite, gpos) — the
+fan-out is what :meth:`extend_block` hands to a thread pool when more
+than one core is available, and what the shard-scaling benchmark
+measures per shard via :attr:`ColumnarStore.shard_profile`.
+
+**numpy.**  The vectorized batch kernel (:meth:`extend_block`) requires
+numpy and is auto-detected; without numpy the store still works — the
+same runs are probed with ``bisect`` by the generic row kernel in
+``TripleStore.extend_id_rows`` — it is only the batch vectorization
+that switches off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from bisect import bisect_left
+from heapq import merge as _heapq_merge
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # optional vector backend; pure-array fallback everywhere below
+    import numpy as _np
+except ImportError:  # pragma: no cover - covered by the numpy-absent CI job
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: consecutive subject IDs per stripe of the block-striped partitioning
+_STRIPE_BITS = 10
+#: composite run keys pack two ranks: ``(rank1 << _RANK_SHIFT) | rank2``
+#: (rank counters are assumed to stay below 2**31 — one rank per distinct
+#: key first-appearance, far beyond any workload in this repository)
+_RANK_SHIFT = 32
+#: compaction triggers when dead rows exceed this *and* half the column
+_COMPACT_MIN_DEAD = 256
+
+# packed-triple membership layout: s<<42 | p<<21 | o, valid while every
+# interned ID stays below 2^21 (the packed set is dropped past that)
+_PACK_SHIFT1 = 21
+_PACK_SHIFT2 = 42
+_PACK_MAX = 1 << _PACK_SHIFT1
+
+_SPO, _POS, _OSP = 0, 1, 2
+
+
+def _np_col(arr) -> "object":
+    """Zero-copy int64 view of an ``array('q')`` column."""
+    return _np.frombuffer(arr, dtype=_np.int64)
+
+
+class Block:
+    """A batch of slot-mapped ID rows in columnar form.
+
+    ``cols[j]`` holds slot *j* for every row; ``-1`` encodes an unbound
+    slot (term IDs are non-negative).  Columns are numpy int64 arrays
+    when numpy is available, plain lists otherwise.
+    """
+
+    __slots__ = ("n", "cols")
+
+    def __init__(self, n: int, cols: Sequence):
+        self.n = n
+        self.cols = list(cols)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence, n_slots: int) -> "Block":
+        n = len(rows)
+        if _np is not None:
+            cols = [
+                _np.fromiter(
+                    (-1 if row[j] is None else row[j] for row in rows),
+                    dtype=_np.int64,
+                    count=n,
+                )
+                for j in range(n_slots)
+            ]
+        else:
+            cols = [
+                [-1 if row[j] is None else row[j] for row in rows]
+                for j in range(n_slots)
+            ]
+        return cls(n, cols)
+
+    def to_rows(self) -> List[List[Optional[int]]]:
+        if not self.cols:
+            return [[] for _ in range(self.n)]
+        lists = [
+            col.tolist() if _np is not None and hasattr(col, "tolist") else col
+            for col in self.cols
+        ]
+        return [
+            [None if value < 0 else value for value in row]
+            for row in zip(*lists)
+        ]
+
+    def slice(self, start: int, stop: int) -> "Block":
+        return Block(stop - start, [col[start:stop] for col in self.cols])
+
+    @classmethod
+    def concat(cls, blocks: Sequence["Block"], n_slots: int) -> "Block":
+        parts = [b for b in blocks if b.n]
+        if not parts:
+            empty = _np.empty(0, dtype=_np.int64) if _np is not None else []
+            return cls(0, [empty[:] if _np is None else empty for _ in range(n_slots)])
+        if len(parts) == 1:
+            return parts[0]
+        n = sum(b.n for b in parts)
+        cols = [
+            _np.concatenate([b.cols[j] for b in parts]) for j in range(n_slots)
+        ]
+        return cls(n, cols)
+
+
+class _Shard:
+    """One subject-range partition: columns plus three sorted runs."""
+
+    __slots__ = (
+        "s", "p", "o", "gpos", "live", "dead",
+        "pending", "removed", "dirty", "runs",
+    )
+
+    def __init__(self) -> None:
+        self.s = array("q")
+        self.p = array("q")
+        self.o = array("q")
+        #: global insertion position per row (cross-shard order tiebreak)
+        self.gpos = array("q")
+        self.live = bytearray()
+        self.dead = 0
+        #: rows appended since the last flush:
+        #: ``(local_row, comp_spo, comp_pos, comp_osp)``
+        self.pending: List[Tuple[int, int, int, int]] = []
+        self.removed = False
+        self.dirty = False
+        #: per index, ``(comp, perm)``: composite keys sorted ascending and
+        #: the local row index carrying each key (both int64 sequences)
+        self.runs = [self._empty_run(), self._empty_run(), self._empty_run()]
+
+    @staticmethod
+    def _empty_run():
+        if _np is not None:
+            return (_np.empty(0, dtype=_np.int64), _np.empty(0, dtype=_np.int64))
+        return (array("q"), array("q"))
+
+
+class ColumnarStore:
+    """ID-level columnar triple storage behind :class:`TripleStore`.
+
+    All keys are interned term IDs (the owning store's dictionary is the
+    encode/decode boundary).  Enumeration surfaces yield triples in the
+    canonical nested-dict order; see the module docstring.
+    """
+
+    #: whether the vectorized block kernel is available
+    vectorized = HAVE_NUMPY
+
+    def __init__(self, shards: int = 1, parallel: Optional[bool] = None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = int(shards)
+        self._shards = [_Shard() for _ in range(self.shards)]
+        #: (s, p, o) -> (shard, local row) for every live triple
+        self._set: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        #: packed ``s<<42 | p<<21 | o`` mirror of ``_set``'s keys for
+        #: vectorized membership; disabled once any ID reaches 2^21
+        self._pset: Optional[set] = set()
+        #: sorted snapshot of ``_pset`` for batched searchsorted probes;
+        #: invalidated on every mutation, rebuilt lazily per read epoch
+        self._packed_arr = None
+        self._size = 0
+        self._next_gpos = 0
+        # rank tables: key -> [rank, live triple count]; monotone counters
+        self._rs: Dict[int, List[int]] = {}
+        self._rp: Dict[int, List[int]] = {}
+        self._ro: Dict[int, List[int]] = {}
+        self._rsp: Dict[Tuple[int, int], List[int]] = {}
+        self._rpo: Dict[Tuple[int, int], List[int]] = {}
+        self._ros: Dict[Tuple[int, int], List[int]] = {}
+        self._cs = self._cp = self._co = 0
+        self._csp = self._cpo = self._cos = 0
+        #: distinct live (s, p) / (p, o) pair counts per predicate
+        self._p_subj: Dict[int, int] = {}
+        self._p_obj: Dict[int, int] = {}
+        if parallel is None:
+            parallel = self.shards > 1 and (os.cpu_count() or 1) > 1
+        #: run cross-shard probe fan-out on a thread pool
+        self.parallel = bool(parallel) and self.shards > 1
+        self._pool = None
+        #: bench hook — set to ``{}`` to accumulate per-shard probe busy
+        #: seconds (the shard-scaling study's simulated-makespan input)
+        self.shard_profile: Optional[Dict[int, float]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _shard_of(self, s: int) -> int:
+        return (s >> _STRIPE_BITS) % self.shards
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        key3 = (s, p, o)
+        if key3 in self._set:
+            return False
+        e = self._rs.get(s)
+        if e is None:
+            self._rs[s] = e = [self._cs, 0]
+            self._cs += 1
+        e[1] += 1
+        rs = e[0]
+        e = self._rp.get(p)
+        if e is None:
+            self._rp[p] = e = [self._cp, 0]
+            self._cp += 1
+        e[1] += 1
+        rp = e[0]
+        e = self._ro.get(o)
+        if e is None:
+            self._ro[o] = e = [self._co, 0]
+            self._co += 1
+        e[1] += 1
+        ro = e[0]
+        e = self._rsp.get((s, p))
+        if e is None:
+            self._rsp[(s, p)] = e = [self._csp, 0]
+            self._csp += 1
+            self._p_subj[p] = self._p_subj.get(p, 0) + 1
+        e[1] += 1
+        rsp = e[0]
+        e = self._rpo.get((p, o))
+        if e is None:
+            self._rpo[(p, o)] = e = [self._cpo, 0]
+            self._cpo += 1
+            self._p_obj[p] = self._p_obj.get(p, 0) + 1
+        e[1] += 1
+        rpo = e[0]
+        e = self._ros.get((o, s))
+        if e is None:
+            self._ros[(o, s)] = e = [self._cos, 0]
+            self._cos += 1
+        e[1] += 1
+        ros = e[0]
+        sid = self._shard_of(s)
+        shard = self._shards[sid]
+        local = len(shard.s)
+        shard.s.append(s)
+        shard.p.append(p)
+        shard.o.append(o)
+        shard.gpos.append(self._next_gpos)
+        self._next_gpos += 1
+        shard.live.append(1)
+        shard.pending.append((
+            local,
+            (rs << _RANK_SHIFT) | rsp,
+            (rp << _RANK_SHIFT) | rpo,
+            (ro << _RANK_SHIFT) | ros,
+        ))
+        shard.dirty = True
+        self._set[key3] = (sid, local)
+        pset = self._pset
+        if pset is not None:
+            if s < _PACK_MAX and p < _PACK_MAX and o < _PACK_MAX:
+                pset.add((s << _PACK_SHIFT2) | (p << _PACK_SHIFT1) | o)
+            else:  # pragma: no cover - needs >2^21 interned terms
+                self._pset = None
+        self._packed_arr = None
+        self._size += 1
+        return True
+
+    def add_many(self, rows: Iterable[Tuple[int, int, int]]) -> int:
+        """Bulk append: :meth:`add` with its hot state hoisted to locals.
+
+        Same bookkeeping, one run rebuild at the next read; the win is
+        purely the per-row attribute traffic the tight loop avoids.
+        """
+        live_set = self._set
+        pset = self._pset
+        rs_t, rp_t, ro_t = self._rs, self._rp, self._ro
+        rsp_t, rpo_t, ros_t = self._rsp, self._rpo, self._ros
+        p_subj, p_obj = self._p_subj, self._p_obj
+        shards = self._shards
+        n_shards = self.shards
+        gpos = self._next_gpos
+        inserted = 0
+        for row in rows:
+            if row in live_set:
+                continue
+            s, p, o = row
+            e = rs_t.get(s)
+            if e is None:
+                rs_t[s] = e = [self._cs, 0]
+                self._cs += 1
+            e[1] += 1
+            rs = e[0]
+            e = rp_t.get(p)
+            if e is None:
+                rp_t[p] = e = [self._cp, 0]
+                self._cp += 1
+            e[1] += 1
+            rp = e[0]
+            e = ro_t.get(o)
+            if e is None:
+                ro_t[o] = e = [self._co, 0]
+                self._co += 1
+            e[1] += 1
+            ro = e[0]
+            e = rsp_t.get((s, p))
+            if e is None:
+                rsp_t[(s, p)] = e = [self._csp, 0]
+                self._csp += 1
+                p_subj[p] = p_subj.get(p, 0) + 1
+            e[1] += 1
+            rsp = e[0]
+            e = rpo_t.get((p, o))
+            if e is None:
+                rpo_t[(p, o)] = e = [self._cpo, 0]
+                self._cpo += 1
+                p_obj[p] = p_obj.get(p, 0) + 1
+            e[1] += 1
+            rpo = e[0]
+            e = ros_t.get((o, s))
+            if e is None:
+                ros_t[(o, s)] = e = [self._cos, 0]
+                self._cos += 1
+            e[1] += 1
+            ros = e[0]
+            sid = (s >> _STRIPE_BITS) % n_shards
+            shard = shards[sid]
+            local = len(shard.s)
+            shard.s.append(s)
+            shard.p.append(p)
+            shard.o.append(o)
+            shard.gpos.append(gpos)
+            gpos += 1
+            shard.live.append(1)
+            shard.pending.append((
+                local,
+                (rs << _RANK_SHIFT) | rsp,
+                (rp << _RANK_SHIFT) | rpo,
+                (ro << _RANK_SHIFT) | ros,
+            ))
+            shard.dirty = True
+            live_set[row] = (sid, local)
+            if pset is not None:
+                if s < _PACK_MAX and p < _PACK_MAX and o < _PACK_MAX:
+                    pset.add(
+                        (s << _PACK_SHIFT2) | (p << _PACK_SHIFT1) | o
+                    )
+                else:  # pragma: no cover - needs >2^21 interned terms
+                    self._pset = pset = None
+            inserted += 1
+        self._next_gpos = gpos
+        if inserted:
+            self._packed_arr = None
+            self._size += inserted
+        return inserted
+
+    @staticmethod
+    def _decref(table: Dict, key) -> bool:
+        """Drop one live reference; True when the rank retires."""
+        entry = table[key]
+        entry[1] -= 1
+        if entry[1]:
+            return False
+        del table[key]
+        return True
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        loc = self._set.pop((s, p, o), None)
+        if loc is None:
+            return False
+        sid, local = loc
+        if self._pset is not None:
+            self._pset.discard(
+                (s << _PACK_SHIFT2) | (p << _PACK_SHIFT1) | o
+            )
+            self._packed_arr = None
+        shard = self._shards[sid]
+        shard.live[local] = 0
+        shard.dead += 1
+        shard.removed = True
+        shard.dirty = True
+        self._size -= 1
+        self._decref(self._rs, s)
+        self._decref(self._rp, p)
+        self._decref(self._ro, o)
+        if self._decref(self._rsp, (s, p)):
+            remaining = self._p_subj[p] - 1
+            if remaining:
+                self._p_subj[p] = remaining
+            else:
+                del self._p_subj[p]
+        if self._decref(self._rpo, (p, o)):
+            remaining = self._p_obj[p] - 1
+            if remaining:
+                self._p_obj[p] = remaining
+            else:
+                del self._p_obj[p]
+        self._decref(self._ros, (o, s))
+        return True
+
+    # ------------------------------------------------------------------
+    # Flush / compaction
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Fold pending rows and tombstones into every run (idempotent)."""
+        for sid, shard in enumerate(self._shards):
+            if shard.dirty:
+                self._flush_shard(sid, shard)
+
+    def _flush_shard(self, sid: int, shard: _Shard) -> None:
+        live = shard.live
+        fresh = (
+            [row for row in shard.pending if live[row[0]]]
+            if shard.removed
+            else shard.pending
+        )
+        for idx in (_SPO, _POS, _OSP):
+            comp, perm = shard.runs[idx]
+            if shard.removed and len(perm):
+                if _np is not None:
+                    live_np = _np.frombuffer(live, dtype=_np.uint8)
+                    keep = live_np[perm] != 0
+                    if not keep.all():
+                        comp = comp[keep]
+                        perm = perm[keep]
+                else:
+                    kept_c = array("q")
+                    kept_p = array("q")
+                    for c, r in zip(comp, perm):
+                        if live[r]:
+                            kept_c.append(c)
+                            kept_p.append(r)
+                    comp, perm = kept_c, kept_p
+            if fresh:
+                # Stable sort of the new block: equal composites keep
+                # local-row (== insertion) order, which is the canonical
+                # third-level tiebreak.
+                new = sorted(
+                    ((row[1 + idx], row[0]) for row in fresh),
+                    key=lambda item: item[0],
+                )
+                if _np is not None:
+                    new_comp = _np.fromiter(
+                        (c for c, _ in new), dtype=_np.int64, count=len(new)
+                    )
+                    new_perm = _np.fromiter(
+                        (r for _, r in new), dtype=_np.int64, count=len(new)
+                    )
+                    if len(comp):
+                        # side='right' keeps old-before-new on equal keys
+                        at = _np.searchsorted(comp, new_comp, side="right")
+                        comp = _np.insert(comp, at, new_comp)
+                        perm = _np.insert(perm, at, new_perm)
+                    else:
+                        comp, perm = new_comp, new_perm
+                else:
+                    merged_c = array("q")
+                    merged_p = array("q")
+                    i = j = 0
+                    n_old, n_new = len(comp), len(new)
+                    while i < n_old and j < n_new:
+                        if comp[i] <= new[j][0]:
+                            merged_c.append(comp[i])
+                            merged_p.append(perm[i])
+                            i += 1
+                        else:
+                            merged_c.append(new[j][0])
+                            merged_p.append(new[j][1])
+                            j += 1
+                    while i < n_old:
+                        merged_c.append(comp[i])
+                        merged_p.append(perm[i])
+                        i += 1
+                    while j < n_new:
+                        merged_c.append(new[j][0])
+                        merged_p.append(new[j][1])
+                        j += 1
+                    comp, perm = merged_c, merged_p
+            shard.runs[idx] = (comp, perm)
+        shard.pending = []
+        shard.removed = False
+        shard.dirty = False
+        if shard.dead > _COMPACT_MIN_DEAD and shard.dead * 2 > len(shard.s):
+            self._compact_shard(sid, shard)
+
+    def _compact_shard(self, sid: int, shard: _Shard) -> None:
+        """Rebuild columns without dead rows; remap run permutations."""
+        if _np is not None:
+            live_np = _np.frombuffer(shard.live, dtype=_np.uint8)
+            keep = live_np != 0
+            remap = _np.cumsum(keep, dtype=_np.int64) - 1
+            new_cols = []
+            for arr in (shard.s, shard.p, shard.o, shard.gpos):
+                kept = _np_col(arr)[keep]
+                fresh = array("q")
+                fresh.frombytes(kept.tobytes())
+                new_cols.append(fresh)
+            shard.s, shard.p, shard.o, shard.gpos = new_cols
+            for idx in (_SPO, _POS, _OSP):
+                comp, perm = shard.runs[idx]
+                shard.runs[idx] = (comp, remap[perm])
+        else:
+            remap_list = []
+            next_row = 0
+            for flag in shard.live:
+                remap_list.append(next_row)
+                if flag:
+                    next_row += 1
+            new_cols = []
+            for arr in (shard.s, shard.p, shard.o, shard.gpos):
+                fresh = array("q")
+                for value, flag in zip(arr, shard.live):
+                    if flag:
+                        fresh.append(value)
+                new_cols.append(fresh)
+            shard.s, shard.p, shard.o, shard.gpos = new_cols
+            for idx in (_SPO, _POS, _OSP):
+                comp, perm = shard.runs[idx]
+                shard.runs[idx] = (comp, array("q", (remap_list[r] for r in perm)))
+        shard.live = bytearray(b"\x01" * len(shard.s))
+        shard.dead = 0
+        # relocate the membership index for this shard's surviving rows
+        s_list, p_list, o_list = (
+            shard.s.tolist(), shard.p.tolist(), shard.o.tolist()
+        )
+        live_set = self._set
+        for row, triple in enumerate(zip(s_list, p_list, o_list)):
+            live_set[triple] = (sid, row)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        return (s, p, o) in self._set
+
+    def _range_for(self, s, p, o):
+        """``(index, lo, hi, shard)`` for a wildcard probe, or ``None``
+        when provably empty.  ``lo is None`` means full scan; ``shard is
+        None`` means all shards.  Case priority mirrors the nested-dict
+        ``_match_raw`` walk exactly, which fixes enumeration order."""
+        if s is not None:
+            sid = self._shard_of(s)
+            if p is not None:
+                e1 = self._rs.get(s)
+                e2 = self._rsp.get((s, p))
+                if e1 is None or e2 is None:
+                    return None
+                lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                return (_SPO, lo, lo + 1, sid)
+            if o is not None:
+                e1 = self._ro.get(o)
+                e2 = self._ros.get((o, s))
+                if e1 is None or e2 is None:
+                    return None
+                lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                return (_OSP, lo, lo + 1, sid)
+            e1 = self._rs.get(s)
+            if e1 is None:
+                return None
+            return (_SPO, e1[0] << _RANK_SHIFT, (e1[0] + 1) << _RANK_SHIFT, sid)
+        if p is not None:
+            if o is not None:
+                e1 = self._rp.get(p)
+                e2 = self._rpo.get((p, o))
+                if e1 is None or e2 is None:
+                    return None
+                lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                return (_POS, lo, lo + 1, None)
+            e1 = self._rp.get(p)
+            if e1 is None:
+                return None
+            return (_POS, e1[0] << _RANK_SHIFT, (e1[0] + 1) << _RANK_SHIFT, None)
+        if o is not None:
+            e1 = self._ro.get(o)
+            if e1 is None:
+                return None
+            return (_OSP, e1[0] << _RANK_SHIFT, (e1[0] + 1) << _RANK_SHIFT, None)
+        return (_SPO, None, None, None)
+
+    @staticmethod
+    def _bounds(comp, lo, hi) -> Tuple[int, int]:
+        if lo is None:
+            return 0, len(comp)
+        if _np is not None and isinstance(comp, _np.ndarray):
+            return (
+                int(_np.searchsorted(comp, lo, side="left")),
+                int(_np.searchsorted(comp, hi, side="left")),
+            )
+        return bisect_left(comp, lo), bisect_left(comp, hi)
+
+    def _scan_shard(self, shard: _Shard, idx: int, lo, hi):
+        comp, perm = shard.runs[idx]
+        a, b = self._bounds(comp, lo, hi)
+        s_col, p_col, o_col = shard.s, shard.p, shard.o
+        for i in range(a, b):
+            row = perm[i]
+            yield (s_col[row], p_col[row], o_col[row])
+
+    def _scan_shard_keyed(self, shard: _Shard, idx: int, lo, hi):
+        comp, perm = shard.runs[idx]
+        a, b = self._bounds(comp, lo, hi)
+        s_col, p_col, o_col, gpos = shard.s, shard.p, shard.o, shard.gpos
+        for i in range(a, b):
+            row = perm[i]
+            yield (
+                (comp[i], gpos[row]),
+                (s_col[row], p_col[row], o_col[row]),
+            )
+
+    def match_ids(self, s, p, o) -> Iterator[Tuple[int, int, int]]:
+        """Yield live ID triples matching the (None = wildcard) probe, in
+        canonical nested-dict enumeration order."""
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self._set:
+                yield (s, p, o)
+            return
+        self.flush()
+        rng = self._range_for(s, p, o)
+        if rng is None:
+            return
+        idx, lo, hi, sid = rng
+        if sid is not None:
+            yield from self._scan_shard(self._shards[sid], idx, lo, hi)
+            return
+        if self.shards == 1:
+            yield from self._scan_shard(self._shards[0], idx, lo, hi)
+            return
+        parts = [
+            self._scan_shard_keyed(shard, idx, lo, hi) for shard in self._shards
+        ]
+        for _, triple in _heapq_merge(*parts, key=lambda item: item[0]):
+            yield triple
+
+    # ------------------------------------------------------------------
+    # Vectorized batch kernel
+    # ------------------------------------------------------------------
+
+    def _get_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = min(self.shards, max(2, os.cpu_count() or 1))
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="columnar-shard"
+            )
+        return self._pool
+
+    def extend_block(self, stage: tuple, block: Block) -> Block:
+        """Vectorized stage kernel: extend a block against one pattern.
+
+        Semantics and output order are bit-identical to
+        :meth:`TripleStore.extend_id_rows` on the same stage: rows group
+        by their key-slot values in first-appearance order, each group
+        probes once, and output is group-major / member-major /
+        extension-minor.  The probe, payload gather, equality checks, and
+        output materialization all run on column slices.
+        """
+        if _np is None:  # pragma: no cover - callers gate on .vectorized
+            raise RuntimeError("extend_block requires numpy")
+        consts, bound_positions, key_slots, free, checks = stage
+        self.flush()
+        n = block.n
+        cols = block.cols
+        n_slots = len(cols)
+        empty = _np.empty(0, dtype=_np.int64)
+        if n == 0:
+            return Block(0, [empty for _ in range(n_slots)])
+        # --- group rows by key-slot values, first-appearance order -----
+        if not key_slots:
+            n_groups = 1
+            key_vals: List[List[int]] = []
+            member_concat = _np.arange(n, dtype=_np.int64)
+            member_lens = _np.array([n], dtype=_np.int64)
+        else:
+            # group IDs follow first-appearance order; a stable argsort
+            # then lays members out group-major.  Interned IDs are dense
+            # and non-negative, so up to two key slots pack into one
+            # int64 and the whole assignment runs as vector ops.
+            packed = None
+            if len(key_slots) <= 2:
+                packed = cols[key_slots[0]]
+                if len(key_slots) == 2:
+                    other = cols[key_slots[1]]
+                    if (
+                        int(packed.max()) < (1 << 31)
+                        and int(other.max()) < (1 << 31)
+                    ):
+                        packed = (packed << 31) | other
+                    else:  # pragma: no cover - >2^31 interned terms
+                        packed = None
+            if packed is not None:
+                uniq, first_seen, inverse = _np.unique(
+                    packed, return_index=True, return_inverse=True
+                )
+                appearance = _np.argsort(first_seen, kind="stable")
+                rank = _np.empty(len(uniq), dtype=_np.int64)
+                rank[appearance] = _np.arange(len(uniq), dtype=_np.int64)
+                gid_rows = rank[inverse]
+                ordered = uniq[appearance]
+                if len(key_slots) == 1:
+                    key_vals = [ordered.tolist()]
+                else:
+                    key_vals = [
+                        (ordered >> 31).tolist(),
+                        (ordered & 0x7FFFFFFF).tolist(),
+                    ]
+            else:
+                gid_of: Dict[object, int] = {}
+                gids: List[int] = []
+                key_lists = [cols[ks].tolist() for ks in key_slots]
+                for k in zip(*key_lists):
+                    gid = gid_of.get(k)
+                    if gid is None:
+                        gid = len(gid_of)
+                        gid_of[k] = gid
+                    gids.append(gid)
+                keys = list(gid_of.keys())
+                key_vals = [
+                    [k[i] for k in keys] for i in range(len(key_slots))
+                ]
+                gid_rows = _np.array(gids, dtype=_np.int64)
+            n_groups = len(key_vals[0])
+            member_concat = _np.argsort(gid_rows, kind="stable")
+            member_lens = _np.bincount(gid_rows, minlength=n_groups)
+        # --- membership stage: keep rows whose triple exists ------------
+        if not free:
+            if not key_slots:
+                # fully ground pattern: one check gates the whole block
+                if (consts[0], consts[1], consts[2]) in self._set:
+                    return Block(n, list(cols))
+                return Block(0, [empty for _ in range(n_slots)])
+            pset = self._pset
+            if pset is not None and all(
+                c is None or c < _PACK_MAX for c in consts
+            ):
+                # pack each row's (s, p, o) into one int64 and test
+                # against the packed set — no per-row tuple churn
+                # (key columns always hold store IDs, so they fit)
+                vals: List[object] = list(consts)
+                for pos, ki in bound_positions:
+                    vals[pos] = cols[key_slots[ki]]
+                packed_rows = (
+                    (vals[0] << _PACK_SHIFT2) | (vals[1] << _PACK_SHIFT1)
+                ) | vals[2]
+                arr = self._packed_arr
+                if arr is None:
+                    arr = _np.fromiter(
+                        pset, dtype=_np.int64, count=len(pset)
+                    )
+                    arr.sort()
+                    self._packed_arr = arr
+                if len(arr):
+                    slot = _np.searchsorted(arr, packed_rows)
+                    slot[slot == len(arr)] = 0
+                    keep_rows = arr[slot] == packed_rows
+                else:
+                    keep_rows = _np.zeros(n, dtype=bool)
+                member_idx = member_concat[keep_rows[member_concat]]
+            else:  # pragma: no cover - exercised only past 2^21 terms
+                keep = _np.zeros(n_groups, dtype=bool)
+                contains = self._set.__contains__
+                for gi in range(n_groups):
+                    query = list(consts)
+                    for pos, ki in bound_positions:
+                        query[pos] = key_vals[ki][gi]
+                    if contains((query[0], query[1], query[2])):
+                        keep[gi] = True
+                member_idx = member_concat[_np.repeat(keep, member_lens)]
+            if not len(member_idx):
+                return Block(0, [empty for _ in range(n_slots)])
+            return Block(len(member_idx), [col[member_idx] for col in cols])
+        payload_positions = sorted(
+            {pos for pos, _ in free}
+            | {pos for pair in checks for pos in pair}
+        )
+        # The probe's bound shape (hence the index, the rank tables
+        # consulted, and the fan-out kind) is identical for every group —
+        # only the rank values differ.  Dispatch on the shape once, then
+        # run one tight loop over groups that does nothing but the rank
+        # lookups, and bucket groups by target shard so each shard is
+        # probed with ONE vectorized searchsorted over its group bounds.
+        srcs: List[object] = list(consts)
+        for pos, ki in bound_positions:
+            srcs[pos] = key_vals[ki]
+        s_src, p_src, o_src = srcs
+        s_list = isinstance(s_src, list)
+        p_list = isinstance(p_src, list)
+        o_list = isinstance(o_src, list)
+        n_shards = self.shards
+        shard_gis: List[List[int]] = [[] for _ in range(n_shards)]
+        shard_los: List[List[int]] = [[] for _ in range(n_shards)]
+        shard_his: List[List[int]] = [[] for _ in range(n_shards)]
+        fan_out = False
+        if s_src is not None:
+            # subject known: every group targets exactly one shard
+            rs_get = self._rs.get
+            if p_src is not None:
+                probe_index = _SPO
+                rsp_get = self._rsp.get
+                for gi in range(n_groups):
+                    sv = s_src[gi] if s_list else s_src
+                    e1 = rs_get(sv)
+                    if e1 is None:
+                        continue
+                    e2 = rsp_get((sv, p_src[gi] if p_list else p_src))
+                    if e2 is None:
+                        continue
+                    lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                    target = (sv >> _STRIPE_BITS) % n_shards
+                    shard_gis[target].append(gi)
+                    shard_los[target].append(lo)
+                    shard_his[target].append(lo + 1)
+            elif o_src is not None:
+                probe_index = _OSP
+                ro_get = self._ro.get
+                ros_get = self._ros.get
+                for gi in range(n_groups):
+                    sv = s_src[gi] if s_list else s_src
+                    ov = o_src[gi] if o_list else o_src
+                    e1 = ro_get(ov)
+                    if e1 is None:
+                        continue
+                    e2 = ros_get((ov, sv))
+                    if e2 is None:
+                        continue
+                    lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                    target = (sv >> _STRIPE_BITS) % n_shards
+                    shard_gis[target].append(gi)
+                    shard_los[target].append(lo)
+                    shard_his[target].append(lo + 1)
+            else:
+                probe_index = _SPO
+                for gi in range(n_groups):
+                    sv = s_src[gi] if s_list else s_src
+                    e1 = rs_get(sv)
+                    if e1 is None:
+                        continue
+                    rank0 = e1[0]
+                    target = (sv >> _STRIPE_BITS) % n_shards
+                    shard_gis[target].append(gi)
+                    shard_los[target].append(rank0 << _RANK_SHIFT)
+                    shard_his[target].append((rank0 + 1) << _RANK_SHIFT)
+        else:
+            # subject unknown: every group fans out to all shards; build
+            # one descriptor list and share it across the shard slots
+            fan_out = n_shards > 1
+            gis: List[int] = []
+            los: List[Optional[int]] = []
+            his: List[Optional[int]] = []
+            if p_src is not None:
+                probe_index = _POS
+                rp_get = self._rp.get
+                if o_src is not None:
+                    rpo_get = self._rpo.get
+                    for gi in range(n_groups):
+                        pv = p_src[gi] if p_list else p_src
+                        ov = o_src[gi] if o_list else o_src
+                        e1 = rp_get(pv)
+                        if e1 is None:
+                            continue
+                        e2 = rpo_get((pv, ov))
+                        if e2 is None:
+                            continue
+                        lo = (e1[0] << _RANK_SHIFT) | e2[0]
+                        gis.append(gi)
+                        los.append(lo)
+                        his.append(lo + 1)
+                else:
+                    for gi in range(n_groups):
+                        pv = p_src[gi] if p_list else p_src
+                        e1 = rp_get(pv)
+                        if e1 is None:
+                            continue
+                        rank0 = e1[0]
+                        gis.append(gi)
+                        los.append(rank0 << _RANK_SHIFT)
+                        his.append((rank0 + 1) << _RANK_SHIFT)
+            elif o_src is not None:
+                probe_index = _OSP
+                ro_get = self._ro.get
+                for gi in range(n_groups):
+                    ov = o_src[gi] if o_list else o_src
+                    e1 = ro_get(ov)
+                    if e1 is None:
+                        continue
+                    rank0 = e1[0]
+                    gis.append(gi)
+                    los.append(rank0 << _RANK_SHIFT)
+                    his.append((rank0 + 1) << _RANK_SHIFT)
+            else:
+                probe_index = _SPO
+                gis = list(range(n_groups))
+                los = [None] * n_groups
+                his = [None] * n_groups
+            if gis:
+                for target in range(n_shards):
+                    shard_gis[target] = gis
+                    shard_los[target] = los
+                    shard_his[target] = his
+        profile = self.shard_profile
+        want_order_keys = fan_out
+
+        def run_shard(sid: int):
+            """Probe one shard for all of its groups in one batch."""
+            gis = shard_gis[sid]
+            if not gis:
+                return None
+            shard = self._shards[sid]
+            started = time.perf_counter() if profile is not None else 0.0
+            comp, perm = shard.runs[probe_index]
+            result = None
+            if len(comp):
+                if shard_los[sid][0] is None:  # full scan
+                    bounds_a = _np.zeros(len(gis), dtype=_np.int64)
+                    bounds_b = _np.full(len(gis), len(comp), dtype=_np.int64)
+                else:
+                    bounds_a = _np.searchsorted(
+                        comp, _np.array(shard_los[sid], dtype=_np.int64)
+                    )
+                    bounds_b = _np.searchsorted(
+                        comp, _np.array(shard_his[sid], dtype=_np.int64)
+                    )
+                counts = bounds_b - bounds_a
+                total = int(counts.sum())
+                if total:
+                    # expand [a, b) ranges to run positions in one shot
+                    offsets = _np.cumsum(counts) - counts
+                    pos = _np.repeat(bounds_a, counts) + (
+                        _np.arange(total, dtype=_np.int64)
+                        - _np.repeat(offsets, counts)
+                    )
+                    rows = perm[pos] if isinstance(perm, _np.ndarray) else (
+                        _np.frombuffer(perm, dtype=_np.int64)[pos]
+                    )
+                    gid_part = _np.repeat(
+                        _np.array(gis, dtype=_np.int64), counts
+                    )
+                    payload = {}
+                    for position in payload_positions:
+                        col = (shard.s, shard.p, shard.o)[position]
+                        payload[position] = _np_col(col)[rows]
+                    if want_order_keys:
+                        result = (
+                            gid_part,
+                            comp[pos],
+                            _np_col(shard.gpos)[rows],
+                            payload,
+                        )
+                    else:
+                        result = (gid_part, None, None, payload)
+            if profile is not None:
+                profile[sid] = profile.get(sid, 0.0) + (
+                    time.perf_counter() - started
+                )
+            return result
+
+        active = [sid for sid in range(self.shards) if shard_gis[sid]]
+        if self.parallel and len(active) > 1:
+            parts = [r for r in self._get_pool().map(run_shard, active) if r]
+        else:
+            parts = [r for r in map(run_shard, active) if r]
+        if not parts:
+            return Block(0, [empty for _ in range(n_slots)])
+        # --- global extension order: group-major, then (comp, gpos) -----
+        if len(parts) == 1:
+            # a single shard emits groups in ascending gi and run order
+            # within each group — already canonical, no sort needed
+            gid_all, _, _, payload_parts = parts[0]
+            payload_all = payload_parts
+        else:
+            gid_all = _np.concatenate([part[0] for part in parts])
+            if fan_out:
+                # every shard saw every group: interleave each group's
+                # extensions across shards in (composite, gpos) order
+                comp_all = _np.concatenate([part[1] for part in parts])
+                gpos_all = _np.concatenate([part[2] for part in parts])
+                order = _np.lexsort((gpos_all, comp_all, gid_all))
+            else:
+                # disjoint groups per shard: a stable gather by gid
+                # keeps each group's single-shard run order intact
+                order = _np.argsort(gid_all, kind="stable")
+            gid_all = gid_all[order]
+            payload_all = {
+                position: _np.concatenate(
+                    [part[3][position] for part in parts]
+                )[order]
+                for position in payload_positions
+            }
+        if checks:
+            mask = None
+            for pos_a, pos_b in checks:
+                eq = payload_all[pos_a] == payload_all[pos_b]
+                mask = eq if mask is None else (mask & eq)
+            if not mask.all():
+                gid_all = gid_all[mask]
+                payload_all = {
+                    position: values[mask]
+                    for position, values in payload_all.items()
+                }
+        if not len(gid_all):
+            return Block(0, [empty for _ in range(n_slots)])
+        # --- materialize: member-major within each group -----------------
+        ext_counts = _np.bincount(gid_all, minlength=n_groups)
+        ext_offsets = _np.cumsum(ext_counts) - ext_counts
+        #: extensions each member row fans out to
+        per_member = _np.repeat(ext_counts, member_lens)
+        member_idx = _np.repeat(member_concat, per_member)
+        out_n = len(member_idx)
+        if not out_n:
+            return Block(0, [empty for _ in range(n_slots)])
+        # per output row, its extension's position in the payload arrays
+        block_starts = _np.repeat(ext_offsets, member_lens)
+        block_offsets = _np.cumsum(per_member) - per_member
+        ext_idx = _np.repeat(block_starts, per_member) + (
+            _np.arange(out_n, dtype=_np.int64)
+            - _np.repeat(block_offsets, per_member)
+        )
+        free_values = {
+            slot: payload_all[pos][ext_idx] for pos, slot in free
+        }
+        out_cols = []
+        for j in range(n_slots):
+            values = free_values.get(j)
+            if values is None:
+                out_cols.append(cols[j][member_idx])
+            else:
+                out_cols.append(values)
+        return Block(out_n, out_cols)
+
+    # ------------------------------------------------------------------
+    # Statistics (all O(1) unless noted)
+    # ------------------------------------------------------------------
+
+    def subject_count(self, s: int) -> int:
+        entry = self._rs.get(s)
+        return entry[1] if entry else 0
+
+    def predicate_count(self, p: int) -> int:
+        entry = self._rp.get(p)
+        return entry[1] if entry else 0
+
+    def object_count(self, o: int) -> int:
+        entry = self._ro.get(o)
+        return entry[1] if entry else 0
+
+    def pair_sp_count(self, s: int, p: int) -> int:
+        entry = self._rsp.get((s, p))
+        return entry[1] if entry else 0
+
+    def pair_po_count(self, p: int, o: int) -> int:
+        entry = self._rpo.get((p, o))
+        return entry[1] if entry else 0
+
+    def pair_so_count(self, s: int, o: int) -> int:
+        entry = self._ros.get((o, s))
+        return entry[1] if entry else 0
+
+    def distinct_subjects(self) -> int:
+        return len(self._rs)
+
+    def distinct_predicates(self) -> int:
+        return len(self._rp)
+
+    def distinct_objects(self) -> int:
+        return len(self._ro)
+
+    def distinct_subject_count(self, p: int) -> int:
+        return self._p_subj.get(p, 0)
+
+    def distinct_object_count(self, p: int) -> int:
+        return self._p_obj.get(p, 0)
+
+    def subject_ids(self):
+        return self._rs.keys()
+
+    def predicate_ids(self):
+        return self._rp.keys()
+
+    def object_ids(self):
+        return self._ro.keys()
+
+    def subject_ids_for(self, p: int):
+        """Distinct subject IDs of one predicate (scans that POS range)."""
+        return {s for s, _, _ in self.match_ids(None, p, None)}
+
+    def object_ids_for(self, p: int):
+        return {o for _, _, o in self.match_ids(None, p, None)}
+
+    def object_counts(self, p: int) -> Dict[int, int]:
+        """Triple count per distinct object of ``p``, in the canonical
+        (first-appearance) object order — one POS range scan, no decode."""
+        self.flush()
+        rng = self._range_for(None, p, None)
+        if rng is None:
+            return {}
+        idx, lo, hi, _sid = rng
+        counts: Dict[int, int] = {}
+        for shard in self._shards:
+            comp, perm = shard.runs[idx]
+            a, b = self._bounds(comp, lo, hi)
+            if a == b:
+                continue
+            o_col = shard.o
+            for i in range(a, b):
+                o = o_col[perm[i]]
+                counts[o] = counts.get(o, 0) + 1
+        rpo = self._rpo
+        return dict(
+            sorted(counts.items(), key=lambda item: rpo[(p, item[0])][0])
+        )

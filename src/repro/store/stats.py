@@ -46,12 +46,10 @@ class VoidDescription:
                 distinct_subjects=store.distinct_subject_count(predicate),
                 distinct_objects=store.distinct_object_count(predicate),
             )
-        from ..rdf.triple import TriplePattern
-        from ..rdf.term import Variable
-
-        type_pattern = TriplePattern(Variable("s"), RDF_TYPE, Variable("c"))
-        for _s, _p, cls_term in store.match_terms(type_pattern):
-            description.classes[cls_term] = description.classes.get(cls_term, 0) + 1
+        # count-only accessor: instance totals per class come straight
+        # from the store's per-predicate object statistics, without
+        # streaming (and decoding) every rdf:type triple
+        description.classes.update(store.object_counts(RDF_TYPE))
         return description
 
 

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from ..rdf.dictionary import TermDictionary
 from ..rdf.term import GroundTerm, Variable
 from ..rdf.triple import Triple, TriplePattern
+from .columnar import Block, ColumnarStore
 
 #: index key: a dense term ID (dictionary mode) or the term itself
 #: (``use_dictionary=False``); all three index levels are dicts, so
@@ -76,11 +77,23 @@ class TripleStore:
         triples: Optional[Iterable[Triple]] = None,
         use_dictionary: bool = True,
         dictionary: Optional[TermDictionary] = None,
+        use_columnar: bool = False,
+        shards: int = 1,
+        parallel: Optional[bool] = None,
     ):
         #: the intern table, or ``None`` for the term-keyed ablation mode
         self.dictionary: Optional[TermDictionary] = (
             (dictionary if dictionary is not None else TermDictionary())
             if use_dictionary
+            else None
+        )
+        if use_columnar and self.dictionary is None:
+            raise ValueError("use_columnar=True requires use_dictionary=True")
+        #: columnar ID backend (sorted runs over subject shards), or
+        #: ``None`` for the nested-dict indexes below
+        self.columnar: Optional[ColumnarStore] = (
+            ColumnarStore(shards=shards, parallel=parallel)
+            if use_columnar
             else None
         )
         self._spo: _Index = {}
@@ -122,6 +135,13 @@ class TripleStore:
         d = self.dictionary
         if d is not None:
             s, p, o = d.encode(s), d.encode(p), d.encode(o)
+        col = self.columnar
+        if col is not None:
+            if col.add(s, p, o):
+                self._size += 1
+                self._version += 1
+                return True
+            return False
         existing = self._spo.get(s, {}).get(p)
         if existing is not None and o in existing:
             return False
@@ -136,7 +156,22 @@ class TripleStore:
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; return the number actually inserted."""
+        """Add many triples; return the number actually inserted.
+
+        Columnar stores take the bulk path: every term interns through
+        one tight loop and the sorted runs are rebuilt once for the whole
+        batch (at the next read) instead of per triple.
+        """
+        col = self.columnar
+        if col is not None:
+            encode = self.dictionary.encode
+            inserted = col.add_many(
+                (encode(t.subject), encode(t.predicate), encode(t.object))
+                for t in triples
+            )
+            self._size += inserted
+            self._version += inserted
+            return inserted
         inserted = 0
         for triple in triples:
             if self.add(triple):
@@ -154,6 +189,13 @@ class TripleStore:
         p = self._key(triple.predicate)
         o = self._key(triple.object)
         if s is _ABSENT or p is _ABSENT or o is _ABSENT:
+            return False
+        col = self.columnar
+        if col is not None:
+            if col.remove(s, p, o):
+                self._size -= 1
+                self._version += 1
+                return True
             return False
         existing = self._spo.get(s, {}).get(p)
         if existing is None or o not in existing:
@@ -198,14 +240,33 @@ class TripleStore:
         o = self._key(triple.object)
         if p is _ABSENT or o is _ABSENT:
             return False
+        return self._contains_ids(s, p, o)
+
+    def _contains_ids(self, s, p, o) -> bool:
+        """Membership on raw index keys (dispatches to the backend)."""
+        col = self.columnar
+        if col is not None:
+            return col.contains(s, p, o)
         objects = self._spo.get(s, {}).get(p)
         return objects is not None and o in objects
+
+    def _raw_stream(self, s, p, o) -> Iterator[Tuple[object, object, object]]:
+        """Raw-key wildcard matching (dispatches to the backend)."""
+        col = self.columnar
+        if col is not None:
+            return col.match_ids(s, p, o)
+        return self._match_raw(s, p, o)
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
 
     def triples(self) -> Iterator[Triple]:
         d = self.dictionary
+        if self.columnar is not None:
+            dec = d.decode
+            for s, p, o in self.columnar.match_ids(None, None, None):
+                yield Triple(dec(s), dec(p), dec(o))
+            return
         if d is None:
             for s, by_predicate in self._spo.items():
                 for p, objects in by_predicate.items():
@@ -239,7 +300,7 @@ class TripleStore:
         o = None if isinstance(pattern.object, Variable) else self._key(pattern.object)
         if s is _ABSENT or p is _ABSENT or o is _ABSENT:
             return iter(())
-        stream = self._match_raw(s, p, o)
+        stream = self._raw_stream(s, p, o)
         constraints = _equality_constraints(pattern)
         if constraints:
             # Keys are equal iff the terms are, so constraints apply pre-decode.
@@ -343,8 +404,7 @@ class TripleStore:
             k0, k1, k2 = self._key(base[0]), self._key(base[1]), self._key(base[2])
             if k0 is _ABSENT or k1 is _ABSENT or k2 is _ABSENT:
                 return
-            objects = self._spo.get(k0, {}).get(k1)
-            if objects is not None and k2 in objects:
+            if self._contains_ids(k0, k1, k2):
                 yield from bindings
             return
         #: per position: index into ``pattern_vars`` or None for ground
@@ -382,11 +442,10 @@ class TripleStore:
             ]
             if not free:
                 # Fully bound for this group: membership test only.
-                objects = self._spo.get(query[0], {}).get(query[1])
-                if objects is not None and query[2] in objects:
+                if self._contains_ids(query[0], query[1], query[2]):
                     yield from members
                 continue
-            stream = self._match_raw(query[0], query[1], query[2])
+            stream = self._raw_stream(query[0], query[1], query[2])
             if len(free) > 1:
                 # Repeated free variables force equality constraints.
                 first_pos: Dict[Variable, int] = {}
@@ -471,7 +530,26 @@ class TripleStore:
         3-element list copy.  Rows are lists of interned IDs; output
         rows are fresh lists (inputs never mutated); everything in the
         loop hashes machine integers — no terms, dicts, or Triples.
+
+        On a columnar store with numpy available, the whole batch runs
+        through the vectorized :meth:`ColumnarStore.extend_block` kernel
+        (identical semantics, rows and order); otherwise the generic
+        per-group loop below probes whichever backend is active.
         """
+        col = self.columnar
+        if col is not None and col.vectorized:
+            rows = rows if isinstance(rows, list) else list(rows)
+            if not rows:
+                return iter(())
+            block = Block.from_rows(rows, len(rows[0]))
+            return iter(col.extend_block(stage, block).to_rows())
+        return self._extend_id_rows_generic(stage, rows)
+
+    def _extend_id_rows_generic(
+        self,
+        stage: tuple,
+        rows: Iterable[List[Optional[int]]],
+    ) -> Iterator[List[Optional[int]]]:
         consts, bound_positions, key_slots, free, checks = stage
         groups: Dict[object, list]
         if not key_slots:
@@ -509,11 +587,10 @@ class TripleStore:
                     query[pos] = key[ki]
             if not free:
                 # Fully bound for this group: membership test only.
-                objects = self._spo.get(query[0], {}).get(query[1])
-                if objects is not None and query[2] in objects:
+                if self._contains_ids(query[0], query[1], query[2]):
                     yield from members
                 continue
-            stream = self._match_raw(query[0], query[1], query[2])
+            stream = self._raw_stream(query[0], query[1], query[2])
             if checks:
                 stream = (
                     t for t in stream
@@ -564,6 +641,25 @@ class TripleStore:
             return self._size
         if not s_var and not p_var and not o_var:
             return 1 if Triple(pattern.subject, pattern.predicate, pattern.object) in self else 0
+        col = self.columnar
+        if col is not None:
+            # every bound shape answers from the rank tables in O(1)
+            ks = None if s_var else self._key(pattern.subject)
+            kp = None if p_var else self._key(pattern.predicate)
+            ko = None if o_var else self._key(pattern.object)
+            if ks is _ABSENT or kp is _ABSENT or ko is _ABSENT:
+                return 0
+            if s_var and o_var:
+                return col.predicate_count(kp)
+            if p_var and o_var:
+                return col.subject_count(ks)
+            if s_var and p_var:
+                return col.object_count(ko)
+            if s_var:
+                return col.pair_po_count(kp, ko)
+            if o_var:
+                return col.pair_sp_count(ks, kp)
+            return col.pair_so_count(ks, ko)
         if s_var and o_var:  # only predicate bound
             return self._predicate_counts.get(self._key(pattern.predicate), 0)
         if p_var and o_var:  # only subject bound
@@ -600,42 +696,116 @@ class TripleStore:
         return {dec(k) for k in keys}
 
     def predicates(self) -> Set[GroundTerm]:
+        if self.columnar is not None:
+            return self._decode_keys(self.columnar.predicate_ids())
         return self._decode_keys(self._predicate_counts)
 
     def predicate_count(self, predicate: GroundTerm) -> int:
-        return self._predicate_counts.get(self._key(predicate), 0)
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return 0
+        if self.columnar is not None:
+            return self.columnar.predicate_count(key)
+        return self._predicate_counts.get(key, 0)
 
     def subjects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
+        col = self.columnar
         if predicate is None:
+            if col is not None:
+                return self._decode_keys(col.subject_ids())
             return self._decode_keys(self._spo)
-        return self._decode_keys(self._pred_subjects.get(self._key(predicate), ()))
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return set()
+        if col is not None:
+            return self._decode_keys(col.subject_ids_for(key))
+        return self._decode_keys(self._pred_subjects.get(key, ()))
 
     def objects(self, predicate: Optional[GroundTerm] = None) -> Set[GroundTerm]:
+        col = self.columnar
         if predicate is None:
+            if col is not None:
+                return self._decode_keys(col.object_ids())
             return self._decode_keys(self._osp)
-        return self._decode_keys(self._pos.get(self._key(predicate), ()))
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return set()
+        if col is not None:
+            return self._decode_keys(col.object_ids_for(key))
+        return self._decode_keys(self._pos.get(key, ()))
+
+    def object_counts(self, predicate: GroundTerm) -> Dict[GroundTerm, int]:
+        """Triple count per distinct object of ``predicate``.
+
+        Each distinct object decodes exactly once — the count-only path
+        VOID-style statistics builders should use instead of
+        materializing and decoding every matching triple.
+        """
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return {}
+        d = self.dictionary
+        if self.columnar is not None:
+            dec = d.decode
+            return {
+                dec(o): count
+                for o, count in self.columnar.object_counts(key).items()
+            }
+        by_object = self._pos.get(key)
+        if not by_object:
+            return {}
+        if d is None:
+            return {o: len(subs) for o, subs in by_object.items()}
+        dec = d.decode
+        return {dec(o): len(subs) for o, subs in by_object.items()}
 
     def subject_predicate_count(self, subject: GroundTerm, predicate: GroundTerm) -> int:
         """Exact triple count for a ground (subject, predicate) pair, O(1)."""
-        return len(self._spo.get(self._key(subject), {}).get(self._key(predicate), ()))
+        ks, kp = self._key(subject), self._key(predicate)
+        if ks is _ABSENT or kp is _ABSENT:
+            return 0
+        if self.columnar is not None:
+            return self.columnar.pair_sp_count(ks, kp)
+        return len(self._spo.get(ks, {}).get(kp, ()))
 
     def predicate_object_count(self, predicate: GroundTerm, object: GroundTerm) -> int:
         """Exact triple count for a ground (predicate, object) pair, O(1)."""
-        return len(self._pos.get(self._key(predicate), {}).get(self._key(object), ()))
+        kp, ko = self._key(predicate), self._key(object)
+        if kp is _ABSENT or ko is _ABSENT:
+            return 0
+        if self.columnar is not None:
+            return self.columnar.pair_po_count(kp, ko)
+        return len(self._pos.get(kp, {}).get(ko, ()))
 
     def distinct_subject_count(self, predicate: GroundTerm) -> int:
-        return len(self._pred_subjects.get(self._key(predicate), ()))
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return 0
+        if self.columnar is not None:
+            return self.columnar.distinct_subject_count(key)
+        return len(self._pred_subjects.get(key, ()))
 
     def distinct_object_count(self, predicate: GroundTerm) -> int:
-        return len(self._pos.get(self._key(predicate), ()))
+        key = self._key(predicate)
+        if key is _ABSENT:
+            return 0
+        if self.columnar is not None:
+            return self.columnar.distinct_object_count(key)
+        return len(self._pos.get(key, ()))
 
     def distinct_subjects_total(self) -> int:
+        if self.columnar is not None:
+            return self.columnar.distinct_subjects()
         return len(self._spo)
 
     def distinct_objects_total(self) -> int:
+        if self.columnar is not None:
+            return self.columnar.distinct_objects()
         return len(self._osp)
 
     def distinct_predicates_total(self) -> int:
+        if self.columnar is not None:
+            return self.columnar.distinct_predicates()
         return len(self._predicate_counts)
 
 

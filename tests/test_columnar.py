@@ -1,0 +1,385 @@
+"""Columnar-backend tests: the sorted-run column store is observably
+identical to the nested-dict modes (match streams, counts, statistics,
+and full evaluator runs — rows *and* order), under sharding, with and
+without numpy, and across remove()/compaction cycles.  Also covers the
+vectorized global-join kernel's equivalence with the per-row kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joins import hash_join, left_outer_join
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint, Region
+from repro.endpoint.metrics import ExecutionContext
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
+from repro.sparql import Evaluator, parse_query
+from repro.sparql.ast import GroupPattern, Query
+from repro.sparql.results import ResultSet
+from repro.store import TripleStore
+from repro.store import columnar as columnar_module
+from repro.store.columnar import ColumnarStore
+from repro.store.stats import VoidDescription
+
+_TERMS = [IRI(f"http://x/t{i}") for i in range(5)] + [Literal("lit")]
+_VARIABLES = [Variable(name) for name in ("a", "b", "c")]
+
+_triples = st.builds(
+    Triple,
+    st.sampled_from(_TERMS),
+    st.sampled_from(_TERMS),
+    st.sampled_from(_TERMS),
+)
+_pattern_terms = st.one_of(st.sampled_from(_TERMS), st.sampled_from(_VARIABLES))
+_patterns = st.builds(TriplePattern, _pattern_terms, _pattern_terms, _pattern_terms)
+
+
+def _iri(name):
+    return IRI("http://ex/" + name)
+
+
+#: every store mode under test: (use_dictionary, use_columnar, shards)
+_MODES = [
+    (False, False, 1),   # seed: term-keyed nested dicts
+    (True, False, 1),    # dictionary-keyed nested dicts
+    (True, True, 1),     # columnar, single shard
+    (True, True, 3),     # columnar, subject-sharded
+]
+
+
+def _stores(triples):
+    return [
+        TripleStore(
+            triples, use_dictionary=d, use_columnar=c, shards=s
+        )
+        for d, c, s in _MODES
+    ]
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Simulate a numpy-free interpreter: the columnar store must fall
+    back to pure-``array`` storage and per-row execution."""
+    monkeypatch.setattr(columnar_module, "_np", None)
+    monkeypatch.setattr(ColumnarStore, "vectorized", False)
+
+
+class TestConstruction:
+    def test_columnar_requires_dictionary(self):
+        with pytest.raises(ValueError):
+            TripleStore([], use_dictionary=False, use_columnar=True)
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ColumnarStore(shards=0)
+
+    def test_sharding_partitions_by_subject(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(64)
+        ]
+        store = TripleStore(triples, use_columnar=True, shards=4)
+        col = store.columnar
+        assert len(col._shards) == 4
+        assert sum(len(shard.s) - shard.dead for shard in col._shards) == 64
+        # every occurrence of one subject lands in one shard
+        sid = store.dictionary.lookup(_iri("s0"))
+        assert col.contains(
+            sid,
+            store.dictionary.lookup(_iri("p")),
+            store.dictionary.lookup(_iri("o0")),
+        )
+
+
+class TestStoreModesEquivalent:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(_triples, max_size=15), _patterns)
+    def test_match_terms_identical_stream(self, triples, pattern):
+        reference, *others = _stores(triples)
+        expected = list(reference.match_terms(pattern))
+        expected_count = reference.count(pattern)
+        for store in others:
+            assert list(store.match_terms(pattern)) == expected
+            assert store.count(pattern) == expected_count
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_triples, max_size=15))
+    def test_statistics_identical(self, triples):
+        reference, *others = _stores(triples)
+        for store in others:
+            assert len(store) == len(reference)
+            assert store.predicates() == reference.predicates()
+            assert store.subjects() == reference.subjects()
+            assert store.objects() == reference.objects()
+            for p in reference.predicates():
+                assert store.predicate_count(p) == reference.predicate_count(p)
+                assert (
+                    store.distinct_subject_count(p)
+                    == reference.distinct_subject_count(p)
+                )
+                assert (
+                    store.distinct_object_count(p)
+                    == reference.distinct_object_count(p)
+                )
+                assert store.subjects(p) == reference.subjects(p)
+                assert store.objects(p) == reference.objects(p)
+            assert set(store.triples()) == set(reference.triples())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_triples, max_size=15))
+    def test_void_description_identical(self, triples):
+        reference, *others = _stores(triples)
+        expected = VoidDescription.from_store(reference)
+        for store in others:
+            description = VoidDescription.from_store(store)
+            assert description.total_triples == expected.total_triples
+            assert description.predicate_stats == expected.predicate_stats
+            assert description.classes == expected.classes
+
+
+class TestEvaluatorDifferential:
+    """All four store modes produce identical ResultSets — the same
+    rows in the same deterministic order."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(_triples, max_size=15),
+        st.lists(_patterns, min_size=1, max_size=3),
+    )
+    def test_bgp_select_identical_rows_and_order(self, triples, patterns):
+        query = Query(form="SELECT", where=GroupPattern(elements=list(patterns)))
+        results = []
+        for (d, c, s), store in zip(_MODES, _stores(triples)):
+            results.append(Evaluator(store, use_dictionary=d).select(query))
+        reference, *others = results
+        for result in others:
+            assert result.variables == reference.variables
+            assert result.rows == reference.rows  # order included
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(_triples, max_size=12),
+        st.lists(_patterns, min_size=1, max_size=2),
+    )
+    def test_numpy_free_columnar_is_equivalent(self, triples, patterns):
+        query = Query(form="SELECT", where=GroupPattern(elements=list(patterns)))
+        reference_store = TripleStore(triples, use_dictionary=True)
+        reference = Evaluator(reference_store).select(query)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(columnar_module, "_np", None)
+            mp.setattr(ColumnarStore, "vectorized", False)
+            for shards in (1, 3):
+                store = TripleStore(triples, use_columnar=True, shards=shards)
+                result = Evaluator(store).select(query)
+                assert result.variables == reference.variables
+                assert result.rows == reference.rows
+
+    def test_fast_path_counts_columnar_blocks(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i % 7}"))
+            for i in range(40)
+        ]
+        store = TripleStore(triples, use_columnar=True)
+        evaluator = Evaluator(store)
+        query = parse_query("SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . }")
+        result = evaluator.select(query)
+        assert len(result) == 40
+        if store.columnar.vectorized:
+            assert evaluator.stats.columnar_blocks > 0
+
+    def test_general_path_with_filter(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), Literal(str(i)))
+            for i in range(6)
+        ]
+        query = parse_query(
+            'SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . FILTER(?o != "3") }'
+        )
+        reference = Evaluator(TripleStore(triples)).select(query)
+        for shards in (1, 2):
+            store = TripleStore(triples, use_columnar=True, shards=shards)
+            result = Evaluator(store).select(query)
+            assert result.rows == reference.rows
+            assert len(result.rows) == 5
+
+
+class TestRemoveAndCompaction:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(_triples, min_size=1, max_size=15),
+        st.data(),
+    )
+    def test_remove_then_query_matches_dict_store(self, triples, data):
+        """Interleaved removes leave the columnar store identical to a
+        dict store that saw the same mutation sequence."""
+        reference = TripleStore(triples, use_dictionary=True)
+        stores = [
+            TripleStore(triples, use_columnar=True, shards=s) for s in (1, 3)
+        ]
+        victims = data.draw(
+            st.lists(st.sampled_from(triples), max_size=5)
+        )
+        for victim in victims:
+            expected = reference.remove(victim)
+            for store in stores:
+                assert store.remove(victim) == expected
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        expected_rows = list(reference.match_terms(pattern))
+        for store in stores:
+            assert len(store) == len(reference)
+            assert list(store.match_terms(pattern)) == expected_rows
+
+    def test_add_remove_add_roundtrip(self):
+        t = Triple(_iri("s"), _iri("p"), _iri("o"))
+        store = TripleStore([], use_columnar=True)
+        assert store.add(t)
+        assert not store.add(t)
+        assert store.remove(t)
+        assert not store.remove(t)
+        assert store.add(t)
+        assert list(store.triples()) == [t]
+
+    def test_deferred_compaction_reclaims_tombstones(self):
+        n = 600
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(n)
+        ]
+        store = TripleStore(triples, use_columnar=True)
+        col = store.columnar
+        # drop two thirds: past the deferred-compaction dead threshold
+        for i in range(n):
+            if i % 3 != 0:
+                assert store.remove(triples[i])
+        survivors = {triples[i] for i in range(0, n, 3)}
+        assert len(store) == len(survivors)
+        # force the deferred flush/compaction and re-verify every read
+        col.flush()
+        assert sum(shard.dead for shard in col._shards) == 0
+        assert set(store.triples()) == survivors
+        assert store.count(
+            TriplePattern(Variable("s"), _iri("p"), Variable("o"))
+        ) == len(survivors)
+
+    def test_version_bumps_invalidate_cached_plans(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), _iri("o")) for i in range(8)
+        ]
+        store = TripleStore(triples, use_columnar=True)
+        evaluator = Evaluator(store)
+        query = parse_query("SELECT ?s WHERE { ?s <http://ex/p> <http://ex/o> . }")
+        assert len(evaluator.select(query)) == 8
+        version = store.version
+        extra = Triple(_iri("s-new"), _iri("p"), _iri("o"))
+        store.add(extra)
+        assert store.version > version
+        assert len(evaluator.select(query)) == 9
+        store.remove(extra)
+        assert len(evaluator.select(query)) == 8
+
+    def test_interning_does_not_bump_version(self):
+        store = TripleStore([], use_columnar=True)
+        version = store.version
+        store.dictionary.encode(_iri("interned-only"))
+        assert store.version == version
+
+
+class TestAddAll:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_triples, max_size=20))
+    def test_add_all_equals_per_add(self, triples):
+        bulk = TripleStore(use_columnar=True, shards=2)
+        inserted = bulk.add_all(triples)
+        one_by_one = TripleStore(use_columnar=True, shards=2)
+        expected = sum(one_by_one.add(t) for t in triples)
+        assert inserted == expected
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert list(bulk.match_terms(pattern)) == list(
+            one_by_one.match_terms(pattern)
+        )
+
+    def test_add_all_reports_inserted_count(self):
+        t = Triple(_iri("s"), _iri("p"), _iri("o"))
+        store = TripleStore(use_columnar=True)
+        assert store.add_all([t, t]) == 1
+        assert len(store) == 1
+
+
+class TestVectorizedJoins:
+    """The batched join kernel is bit-identical to the per-row kernel
+    (rows *and* order) and falls back on wildcards."""
+
+    def _result_sets(self, seed, n_left, n_right, domain, none_prob=0.0):
+        import random
+
+        rng = random.Random(seed)
+
+        def rows(names, n):
+            out = []
+            for _ in range(n):
+                out.append(tuple(
+                    None
+                    if none_prob and rng.random() < none_prob
+                    else IRI(f"http://x/{rng.randrange(domain)}")
+                    for _ in names
+                ))
+            return out
+
+        left_names = ("a", "b")
+        right_names = ("b", "c")
+        return (
+            ResultSet(tuple(Variable(v) for v in left_names),
+                      rows(left_names, n_left)),
+            ResultSet(tuple(Variable(v) for v in right_names),
+                      rows(right_names, n_right)),
+        )
+
+    def _context(self, vectorized):
+        return ExecutionContext(
+            LOCAL_CLUSTER, Region("local"), vectorized_joins=vectorized
+        )
+
+    @pytest.mark.parametrize("op", [hash_join, left_outer_join])
+    @pytest.mark.parametrize("seed,n_left,n_right,domain", [
+        (1, 200, 300, 40),
+        (2, 500, 100, 8),    # heavy fan-out, build side = right
+        (3, 40, 700, 25),    # build side = left
+    ])
+    def test_vectorized_matches_per_row(self, op, seed, n_left, n_right, domain):
+        left, right = self._result_sets(seed, n_left, n_right, domain)
+        vec_context = self._context(True)
+        vectorized = op(left, right, context=vec_context)
+        per_row = op(left, right, context=self._context(False))
+        assert vectorized.variables == per_row.variables
+        assert vectorized.rows == per_row.rows
+        assert vec_context.metrics.join_vectorized_batches == 1
+
+    @pytest.mark.parametrize("op", [hash_join, left_outer_join])
+    def test_wildcard_keys_fall_back(self, op):
+        left, right = self._result_sets(5, 120, 120, 20, none_prob=0.15)
+        vec_context = self._context(True)
+        vectorized = op(left, right, context=vec_context)
+        per_row = op(left, right, context=self._context(False))
+        assert vectorized.rows == per_row.rows
+        assert vec_context.metrics.join_vectorized_batches == 0
+
+    def test_numpy_free_joins_match(self, no_numpy):
+        left, right = self._result_sets(7, 150, 200, 30)
+        context = self._context(True)
+        result = hash_join(left, right, context=context)
+        reference = hash_join(left, right, context=self._context(False))
+        assert result.rows == reference.rows
+        assert context.metrics.join_vectorized_batches == 0
+
+
+class TestEndpointPlumbing:
+    def test_local_endpoint_columnar_knobs(self):
+        triples = [
+            Triple(_iri(f"s{i}"), _iri("p"), _iri(f"o{i}")) for i in range(10)
+        ]
+        endpoint = LocalEndpoint.from_triples(
+            "e0", triples, use_columnar=True, shards=2
+        )
+        assert endpoint.store.columnar is not None
+        assert endpoint.store.columnar.shards == 2
+        response = endpoint.execute(
+            "SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . }"
+        )
+        assert len(response.value) == 10

@@ -72,8 +72,15 @@ def test_evaluator_matches_reference(triples, patterns):
 
 
 def _rows_multiset(result):
-    """A SELECT result as a sorted multiset of row tuples."""
-    return sorted(tuple(row) for row in result.rows)
+    """A SELECT result as a sorted multiset of row tuples.
+
+    OPTIONAL can leave cells unbound (``None``), and ``None`` does not
+    order against terms — sort by repr so mixed rows stay sortable.
+    """
+    return sorted(
+        (tuple(row) for row in result.rows),
+        key=lambda row: tuple("" if cell is None else repr(cell) for cell in row),
+    )
 
 
 @settings(max_examples=120, deadline=None)
