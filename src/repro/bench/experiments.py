@@ -32,7 +32,7 @@ from ..endpoint.network import (
     Region,
     WIDE_AREA,
 )
-from .harness import QueryRun, SYSTEMS, build_engines, run_query, run_suite
+from .harness import QueryRun, SYSTEMS, run_query, run_suite
 
 #: default virtual-time budget: the paper uses one hour
 DEFAULT_TIMEOUT = 3600.0

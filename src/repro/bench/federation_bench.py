@@ -48,6 +48,8 @@ DEFAULT_OUTPUT = "BENCH_federation.json"
 MIN_DIRECTORY_SPEEDUP = 1.25
 #: pipelining may never slow a query down by more than this factor
 MAX_REGRESSION = 1.02
+#: pass 2 of the repeated workload must use at most 1/10 of the requests
+MIN_REPEAT_REQUEST_DROP = 10
 
 _UNIVERSITY_REGIONS = [
     Region("east-us"), Region("west-us"), Region("south-central-us"),
@@ -330,6 +332,99 @@ def _columnar_ablation(
     return ablation
 
 
+def _repeated_workload(
+    lubm_universities: int,
+    directory_universities: int,
+    lubm_queries: Sequence[str],
+) -> Dict[str, object]:
+    """Two passes over the whole workload on warm engines (ISSUE 7).
+
+    Pass 1 runs every query cold; pass 2 repeats the identical workload
+    on the same engines, so the federation-wide result cache answers the
+    subqueries without touching the endpoints.  A ``result_cache=False``
+    ablation replays both passes and must return bit-identical (sorted)
+    rows — the cache may only remove requests, never change answers.
+    """
+    regions = _lubm_regions(lubm_universities)
+    generator = LubmGenerator(universities=lubm_universities)
+
+    def build_workload(result_cache: bool):
+        lubm_engine = LusailEngine(
+            generator.build_federation(network=AZURE_GEO, regions=regions),
+            pool_size=8,
+            delay_threshold="mu+sigma",
+            values_block_size=16,
+            result_cache=result_cache,
+        )
+        directory_engine = LusailEngine(
+            build_directory_federation(
+                universities=directory_universities
+            ),
+            pool_size=32,
+            delay_threshold="mu",
+            values_block_size=2,
+            result_cache=result_cache,
+        )
+        workload = [
+            (lubm_engine, f"LUBM-{name}", LUBM_QUERIES[name])
+            for name in lubm_queries
+        ]
+        workload.append((directory_engine, "directory", DIRECTORY_QUERY))
+        return workload
+
+    def run_pass(workload) -> Dict[str, object]:
+        requests = 0
+        makespan = 0.0
+        cache_hits = 0
+        rows: Dict[str, List[Tuple[str, ...]]] = {}
+        for engine, name, text in workload:
+            outcome = engine.execute(text)
+            if not outcome.ok:
+                raise AssertionError(
+                    f"repeated_workload: {name} failed: {outcome.error}"
+                )
+            requests += outcome.metrics.requests
+            makespan += outcome.metrics.virtual_seconds
+            cache_hits += outcome.metrics.result_cache_hits
+            rows[name] = sorted(
+                tuple("" if cell is None else cell.n3() for cell in row)
+                for row in outcome.result.rows
+            )
+        return {
+            "requests": requests,
+            "virtual_seconds": round(makespan, 4),
+            "result_cache_hits": cache_hits,
+            "rows": rows,
+        }
+
+    cached = build_workload(True)
+    pass1 = run_pass(cached)
+    pass2 = run_pass(cached)
+    ablation_pass2 = run_pass(build_workload(False))
+    for name, expected in pass1["rows"].items():
+        if not (expected == pass2["rows"][name]
+                == ablation_pass2["rows"][name]):
+            raise AssertionError(
+                f"repeated_workload: {name} rows differ between passes "
+                "or against the result_cache=False ablation"
+            )
+    summary = {
+        "queries": [name for _, name, _ in cached],
+        "request_drop": round(
+            pass1["requests"] / max(pass2["requests"], 1), 1
+        ),
+        "ablation_bit_identical": True,
+        "ablation_pass2_requests": ablation_pass2["requests"],
+    }
+    for label, payload in (("pass1", pass1), ("pass2", pass2)):
+        summary[label] = {
+            "requests": payload["requests"],
+            "virtual_seconds": payload["virtual_seconds"],
+            "result_cache_hits": payload["result_cache_hits"],
+        }
+    return summary
+
+
 def run_federation(
     lubm_universities: int = 6,
     directory_universities: int = 12,
@@ -371,6 +466,9 @@ def run_federation(
         ),
         "columnar_ablation": _columnar_ablation(
             lubm_universities, lubm_queries
+        ),
+        "repeated_workload": _repeated_workload(
+            lubm_universities, directory_universities, lubm_queries
         ),
     }
 
@@ -451,6 +549,26 @@ def check(
                 f"{row['query']}: columnar ablation not bit-identical "
                 "or returned no rows"
             )
+    repeated = payload["repeated_workload"]
+    if (repeated["pass2"]["requests"] * MIN_REPEAT_REQUEST_DROP
+            > repeated["pass1"]["requests"]):
+        raise AssertionError(
+            "repeated workload pass 2 used "
+            f"{repeated['pass2']['requests']} requests, more than "
+            f"1/{MIN_REPEAT_REQUEST_DROP} of pass 1's "
+            f"{repeated['pass1']['requests']}"
+        )
+    if repeated["pass2"]["result_cache_hits"] < 1:
+        raise AssertionError(
+            "repeated workload pass 2 never hit the result cache"
+        )
+    if (repeated["pass2"]["requests"]
+            >= repeated["ablation_pass2_requests"]):
+        raise AssertionError(
+            "result cache did not reduce pass-2 requests versus the "
+            f"result_cache=False ablation ({repeated['pass2']['requests']}"
+            f" vs {repeated['ablation_pass2_requests']})"
+        )
     payload["check"] = "ok"
     return payload
 
@@ -490,5 +608,17 @@ def format_report(payload: Dict[str, object]) -> str:
         lines.append(
             f"  {row['query']}: use_columnar on/off (2 shards) "
             f"bit-identical ({row['rows']} rows)"
+        )
+    repeated = payload.get("repeated_workload")
+    if repeated:
+        lines.append(
+            "  repeated workload: "
+            f"pass1 {repeated['pass1']['requests']} req "
+            f"({repeated['pass1']['virtual_seconds']:.3f}s) | "
+            f"pass2 {repeated['pass2']['requests']} req "
+            f"({repeated['pass2']['virtual_seconds']:.3f}s, "
+            f"{repeated['pass2']['result_cache_hits']} cache hits) | "
+            f"{repeated['request_drop']:.0f}x fewer requests, "
+            "ablation bit-identical"
         )
     return "\n".join(lines)

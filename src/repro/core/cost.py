@@ -129,6 +129,16 @@ class CardinalityEstimator:
             key += " || " + " && ".join(sorted(f.to_sparql() for f in filters))
         return key
 
+    def _cache_key(self, endpoint_id: str, key: str) -> Tuple[str, int, str]:
+        """Cache key with the endpoint's store version folded in, so a
+        mutated store never serves stale counts (same scheme as the
+        ASK/check caches)."""
+        federation = getattr(self.handler, "federation", None)
+        version = 0
+        if federation is not None and hasattr(federation, "endpoint_version"):
+            version = federation.endpoint_version(endpoint_id)
+        return (endpoint_id, version, key)
+
     @staticmethod
     def _parse_count(response) -> int:
         result = response.value
@@ -163,7 +173,7 @@ class CardinalityEstimator:
             key = self._probe_key(pattern, pushable)
             text: Optional[str] = None
             for endpoint_id in selection.get(pattern, ()):
-                cache_key = (endpoint_id, key)
+                cache_key = self._cache_key(endpoint_id, key)
                 if cache_key in self.count_cache or cache_key in self._inflight:
                     continue
                 if text is None:
@@ -207,12 +217,13 @@ class CardinalityEstimator:
         counts: Dict[str, int] = {}
         missing: List[str] = []
         for endpoint_id in sources:
-            cached = self.count_cache.get((endpoint_id, key))
+            cache_key = self._cache_key(endpoint_id, key)
+            cached = self.count_cache.get(cache_key)
             if cached is not None:
                 counts[endpoint_id] = cached
                 self.handler.context.metrics.cache_hits += 1
                 continue
-            future = self._inflight.pop((endpoint_id, key), None)
+            future = self._inflight.pop(cache_key, None)
             if future is not None:
                 if self._out_of_time():
                     # Out of analysis budget: abandon the probe (close()
@@ -225,7 +236,7 @@ class CardinalityEstimator:
                 if error is None:
                     count = self._parse_count(response)
                     counts[endpoint_id] = count
-                    self.count_cache[(endpoint_id, key)] = count
+                    self.count_cache[cache_key] = count
                 else:
                     # Partial mode: a down endpoint contributes no rows,
                     # so 0 is the honest (uncached) fallback estimate.
@@ -247,7 +258,7 @@ class CardinalityEstimator:
                 if error is None:
                     count = self._parse_count(response)
                     counts[probe_endpoint] = count
-                    self.count_cache[(probe_endpoint, key)] = count
+                    self.count_cache[self._cache_key(probe_endpoint, key)] = count
                 else:
                     counts[probe_endpoint] = 0
         return counts

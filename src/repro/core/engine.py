@@ -30,9 +30,9 @@ from ..federation.deadline import (
 )
 from ..federation.federation import Federation
 from ..federation.request_handler import ElasticRequestHandler
+from ..federation.result_cache import ResultCache, subquery_cache_key
+from ..federation.routing import ReplicaRouter
 from ..federation.source_selection import SourceSelector
-from ..rdf.term import Variable
-from ..rdf.triple import TriplePattern
 from ..sparql.ast import (
     BindElement,
     GroupPattern,
@@ -123,6 +123,8 @@ class LusailEngine:
         hedge_threshold_seconds: Optional[float] = None,
         max_inflight: Optional[int] = None,
         admission: Optional[AdmissionController] = None,
+        result_cache: bool = True,
+        result_cache_bytes: int = 64 * 1024 * 1024,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -181,6 +183,19 @@ class LusailEngine:
         #: COUNT-probe cache shared across this engine's queries — the
         #: cost model's analogue of the ASK/check caches (Fig. 12(b,c))
         self.count_cache: Optional[CountCache] = CountCache() if use_cache else None
+        #: subquery result cache shared across this engine's queries:
+        #: (endpoint, store version, canonical subquery) -> relation.
+        #: ``result_cache=False`` is the ablation knob; ``use_cache=False``
+        #: (the paper's Fig. 12 cache knob) disables it with the rest
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(max_bytes=result_cache_bytes)
+            if use_cache and result_cache
+            else None
+        )
+        #: routes declared replicated fragments to their least-loaded
+        #: copy; engine-lifetime so round-robin rotation and latency
+        #: history persist across queries
+        self.replica_router = ReplicaRouter(self.latency_tracker)
 
     # ------------------------------------------------------------------
     # Public API
@@ -420,7 +435,9 @@ class LusailEngine:
         if not patterns:
             return [], GJVReport()
         with context.phase("source_selection"):
-            selector = SourceSelector(handler, cache=self.ask_cache)
+            selector = SourceSelector(
+                handler, cache=self.ask_cache, router=self.replica_router
+            )
             selection = selector.select_all(patterns)
         context.trace_event(
             "source_selection",
@@ -521,6 +538,10 @@ class LusailEngine:
             for element in minuses:
                 needed |= element.group.all_variables()
             compute_projections(subqueries, frozenset(needed))
+            # Cache-aware cost modeling: projections and filters are
+            # final here, so the canonical keys are, too — find out which
+            # subqueries the result cache can serve without a request.
+            self._mark_cache_warm(subqueries)
 
             multiple_units = (
                 len(subqueries) + len(unions) + len(subselects) + len(values_blocks)
@@ -535,6 +556,12 @@ class LusailEngine:
                 estimator.estimate_all(subqueries)
                 classify_delayed(subqueries, self.delay_threshold)
                 self._delay_against_values(subqueries, values_blocks)
+                # A warm subquery costs ~0 however large its estimate:
+                # fetching it concurrently is a cache read, while keeping
+                # it delayed would send real VALUES-bound requests.
+                for subquery in subqueries:
+                    if subquery.cache_warm and not subquery.optional:
+                        subquery.delayed = False
             elif not self.enable_sape:
                 # LADE-only ablation (Figure 14): no probes, no delays —
                 # every subquery is fetched concurrently.
@@ -561,6 +588,7 @@ class LusailEngine:
                     "sources": list(sq.sources),
                     "estimated": sq.estimated_cardinality,
                     "delayed": sq.delayed,
+                    "cache_warm": sq.cache_warm,
                 }
                 for sq in subqueries
             ],
@@ -570,6 +598,7 @@ class LusailEngine:
             context,
             values_block_size=self.values_block_size,
             pipeline=self.pipeline,
+            result_cache=self.result_cache,
         )
         relations = evaluator.evaluate(subqueries, initial_relations=initial)
 
@@ -684,6 +713,25 @@ class LusailEngine:
                 kept.append(row)
         context.charge_join(len(result) + len(minus_result))
         return ResultSet(result.variables, kept)
+
+    def _mark_cache_warm(self, subqueries: Sequence[Subquery]) -> None:
+        """Set ``cache_warm`` on subqueries the result cache fully covers
+        (the unconstrained relation of every source is cached at the
+        source's current store version)."""
+        cache = self.result_cache
+        for subquery in subqueries:
+            if cache is None or not subquery.sources:
+                subquery.cache_warm = False
+                continue
+            key = subquery_cache_key(subquery)
+            subquery.cache_warm = all(
+                cache.contains(
+                    endpoint_id,
+                    self.federation.endpoint_version(endpoint_id),
+                    key,
+                )
+                for endpoint_id in subquery.sources
+            )
 
     @staticmethod
     def _delay_against_values(

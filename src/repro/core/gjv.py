@@ -132,6 +132,10 @@ class GJVDetector:
         #: (see DESIGN.md: the paper's Figure 5 checks one direction only)
         self.strict_checks = strict_checks
 
+    def _version(self, endpoint_id: str) -> int:
+        """Store version for check-cache keys (stale-read invalidation)."""
+        return self.handler.federation.endpoint_version(endpoint_id)
+
     # ------------------------------------------------------------------
 
     def detect(self, patterns: Sequence[TriplePattern]) -> GJVReport:
@@ -215,7 +219,8 @@ class GJVDetector:
             has_witness = bool(len(response.value))  # type: ignore[arg-type]
             if self.check_cache is not None:
                 self.check_cache.put(
-                    endpoint_id, check.cache_signature(), has_witness
+                    endpoint_id, check.cache_signature(), has_witness,
+                    self._version(endpoint_id),
                 )
             if has_witness:
                 report.add(check.variable, check.outer, check.inner)
@@ -307,7 +312,9 @@ class GJVDetector:
             signature = check.cache_signature()
             for endpoint_id in check.sources:
                 cached = (
-                    self.check_cache.get(endpoint_id, signature)
+                    self.check_cache.get(
+                        endpoint_id, signature, self._version(endpoint_id)
+                    )
                     if self.check_cache
                     else None
                 )

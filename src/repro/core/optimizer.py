@@ -15,7 +15,7 @@ e.g. the C5/B5/B6 queries joined by a filter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..rdf.term import Variable
 

@@ -25,7 +25,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..endpoint.metrics import ExecutionContext
 from ..rdf.term import GroundTerm, Variable
-from ..rdf.triple import TriplePattern
 from ..sparql.ast import GroupPattern, Query, ValuesBlock
 from ..sparql.results import ResultSet
 from ..sparql.serializer import serialize_query
@@ -34,6 +33,7 @@ from ..federation.request_handler import (
     Request,
     ResponseFuture,
 )
+from ..federation.result_cache import ResultCache, subquery_cache_key
 from .joins import hash_join, union_all
 from .optimizer import Relation, refine_with_bindings
 from .subquery import Subquery
@@ -89,7 +89,7 @@ class _DelayedPlan:
     """One delayed subquery's in-flight requests within a wave."""
 
     __slots__ = ("subquery", "variable", "blocks", "sources",
-                 "ask_futures", "select_futures")
+                 "ask_futures", "select_futures", "cached")
 
     def __init__(self, subquery: Subquery, variable: Optional[Variable]):
         self.subquery = subquery
@@ -97,8 +97,11 @@ class _DelayedPlan:
         self.blocks: List[List[GroundTerm]] = []
         self.sources: List[str] = list(subquery.sources)
         self.ask_futures: List[ResponseFuture] = []
-        #: (endpoint_id, future) in block-major order
-        self.select_futures: List[Tuple[str, ResponseFuture]] = []
+        #: (endpoint_id, values_block or None, future) in block-major order
+        self.select_futures: List[Tuple[str, object, ResponseFuture]] = []
+        #: (endpoint_id, relation) contributions the result cache served
+        #: without a request
+        self.cached: List[Tuple[str, ResultSet]] = []
 
 
 class SubqueryEvaluator:
@@ -110,17 +113,115 @@ class SubqueryEvaluator:
         context: ExecutionContext,
         values_block_size: int = 128,
         pipeline: bool = True,
+        result_cache: Optional[ResultCache] = None,
     ):
         self.handler = handler
         self.context = context
         self.values_block_size = max(1, values_block_size)
         #: futures-based phase-2 scheduling; False = barrier per block
         self.pipeline = pipeline
+        #: engine-lifetime subquery result cache; None = always fetch
+        self.result_cache = result_cache
         #: intern table the binding tracker keeps its value sets in
         #: (shared with the join kernel); None = track raw terms
         self._binding_dictionary = (
             context.get_join_dictionary() if context.use_dictionary else None
         )
+
+    # ------------------------------------------------------------------
+    # Result-cache plumbing
+    # ------------------------------------------------------------------
+
+    def _endpoint_version(self, endpoint_id: str) -> int:
+        return self.handler.federation.endpoint_version(endpoint_id)
+
+    def _cache_lookup(
+        self, subquery: Subquery, endpoint_id: str, values_block=None
+    ) -> Optional[ResultSet]:
+        """A cached relation for (subquery, endpoint), or None.
+
+        Hits are returned with the caller's projection as header (keys
+        are canonical, so positions correspond even across queries that
+        named their variables differently) and skip the endpoint request
+        entirely.
+        """
+        if self.result_cache is None:
+            return None
+        key = subquery_cache_key(subquery, values_block)
+        hit = self.result_cache.get(
+            endpoint_id,
+            self._endpoint_version(endpoint_id),
+            key,
+            projection=subquery.effective_projection(),
+        )
+        metrics = self.context.metrics
+        if hit is None:
+            metrics.result_cache_misses += 1
+            return None
+        metrics.result_cache_hits += 1
+        metrics.requests_avoided += 1
+        self.context.trace_event(
+            "result_cache", label=subquery.label,
+            endpoint=endpoint_id, rows=len(hit),
+            constrained=values_block is not None,
+        )
+        return hit
+
+    def _cache_store(
+        self,
+        subquery: Subquery,
+        endpoint_id: str,
+        value: ResultSet,
+        values_block=None,
+    ) -> None:
+        """Cache one successfully settled contribution.
+
+        Only full answers reach this point — failed or degraded settles
+        return None from ``_settle_contribution`` and are never cached,
+        so partial-mode degradation can never poison the cache.  The
+        entry lands under the *answering* endpoint's id (a replica that
+        answered a reroute caches under its own id, where future
+        selections will look for it).
+        """
+        if self.result_cache is None or not isinstance(value, ResultSet):
+            return
+        self.result_cache.put(
+            endpoint_id,
+            self._endpoint_version(endpoint_id),
+            subquery_cache_key(subquery, values_block),
+            value,
+        )
+
+    def _filter_cached_unconstrained(
+        self, plan: _DelayedPlan, endpoint_id: str
+    ) -> Optional[ResultSet]:
+        """Serve a VALUES-constrained subquery from the cached
+        *unconstrained* relation by filtering locally.
+
+        Profitable whenever the full relation is already in memory: the
+        bound variable is projected (SAPE binds on shared variables,
+        which projections always keep), so selecting the rows whose
+        value is in the binding set is exactly what the endpoint's
+        VALUES join would return — for the cost of one local scan
+        instead of ``len(blocks)`` round trips.
+        """
+        if self.result_cache is None or plan.variable is None or not plan.blocks:
+            return None
+        if plan.variable not in plan.subquery.effective_projection():
+            return None
+        cached = self._cache_lookup(plan.subquery, endpoint_id)
+        if cached is None:
+            return None
+        wanted = {term for block in plan.blocks for term in block}
+        index = cached.variables.index(plan.variable)
+        rows = [row for row in cached.rows if row[index] in wanted]
+        self.context.charge_join(len(cached))
+        # One avoided request was counted by the lookup; the other
+        # blocks this endpoint never saw are avoided too.
+        extra = len(plan.blocks) - 1
+        if extra > 0:
+            self.context.metrics.requests_avoided += extra
+        return ResultSet(cached.variables, rows)
 
     # ------------------------------------------------------------------
     # Partial-results settling
@@ -187,16 +288,26 @@ class SubqueryEvaluator:
         delayed = [sq for sq in subqueries if sq.delayed]
 
         # Phase 1: concurrent evaluation of the non-delayed subqueries.
+        # A (subquery, endpoint) pair whose relation is cached (same
+        # canonical text, same store version) never reaches the handler.
         if non_delayed:
             requests: List[Tuple[Subquery, Request]] = []
+            per_subquery: Dict[str, Dict[str, ResultSet]] = {}
             for subquery in non_delayed:
-                text = subquery.to_sparql()
+                text: Optional[str] = None
                 for endpoint_id in subquery.sources:
+                    hit = self._cache_lookup(subquery, endpoint_id)
+                    if hit is not None:
+                        per_subquery.setdefault(
+                            subquery.label, {}
+                        )[endpoint_id] = hit
+                        continue
+                    if text is None:
+                        text = subquery.to_sparql()
                     requests.append(
                         (subquery, Request(endpoint_id, text, kind="SELECT"))
                     )
             futures = self.handler.submit_all([r for _, r in requests])
-            per_subquery: Dict[str, Dict[str, ResultSet]] = {}
             for (subquery, request), future in zip(requests, futures):
                 settled = self._settle_contribution(
                     subquery.label, request.endpoint_id, future
@@ -204,6 +315,7 @@ class SubqueryEvaluator:
                 if settled is None:
                     continue
                 answered_id, value = settled
+                self._cache_store(subquery, answered_id, value)
                 per_subquery.setdefault(subquery.label, {})[answered_id] = value
             for subquery in non_delayed:
                 merged = self.combine_endpoint_results(
@@ -268,6 +380,10 @@ class SubqueryEvaluator:
     # ------------------------------------------------------------------
 
     def _refined_size(self, subquery: Subquery, bindings: Bindings) -> float:
+        if subquery.cache_warm:
+            # Cache-aware cost: a warm subquery costs ~0 — it is served
+            # from memory, so it always sorts to the front of the wave.
+            return 0.0
         relation = Relation(
             name=subquery.label,
             size=int(subquery.estimated_cardinality or 0),
@@ -347,11 +463,18 @@ class SubqueryEvaluator:
             plans.append(plan)
             if variable is None:
                 # Nothing to bind against: evaluate unbound, concurrently.
-                text = subquery.to_sparql()
-                plan.select_futures = [
-                    (eid, self.handler.submit(Request(eid, text, "SELECT")))
-                    for eid in plan.sources
-                ]
+                text = None
+                for eid in plan.sources:
+                    hit = self._cache_lookup(subquery, eid)
+                    if hit is not None:
+                        plan.cached.append((eid, hit))
+                        continue
+                    if text is None:
+                        text = subquery.to_sparql()
+                    plan.select_futures.append(
+                        (eid, None,
+                         self.handler.submit(Request(eid, text, "SELECT")))
+                    )
                 continue
             plan.blocks = self._plan_blocks(subquery, variable, bindings)
             if subquery.has_fully_unbound_pattern() and plan.blocks:
@@ -379,13 +502,18 @@ class SubqueryEvaluator:
             per_endpoint: Dict[str, List[ResultSet]] = {
                 eid: [] for eid in plan.sources
             }
-            for endpoint_id, future in plan.select_futures:
+            for endpoint_id, cached_value in plan.cached:
+                per_endpoint.setdefault(endpoint_id, []).append(cached_value)
+            for endpoint_id, values_block, future in plan.select_futures:
                 settled = self._settle_contribution(
                     plan.subquery.label, endpoint_id, future
                 )
                 if settled is None:
                     continue
                 answered_id, value = settled
+                self._cache_store(
+                    plan.subquery, answered_id, value, values_block
+                )
                 per_endpoint.setdefault(answered_id, []).append(value)
             merged_per_endpoint = {
                 eid: union_all(results_list, self.context)
@@ -399,13 +527,34 @@ class SubqueryEvaluator:
         return results
 
     def _submit_blocks(self, plan: _DelayedPlan) -> None:
-        """Dispatch every VALUES block × endpoint of one plan at once."""
+        """Dispatch every VALUES block × endpoint of one plan at once.
+
+        Cache interaction, per endpoint: when the *unconstrained*
+        relation is cached, the bound join runs as a local filter and no
+        block is sent there at all; otherwise each (block, endpoint)
+        pair is looked up under its VALUES-constrained key, so an
+        exactly repeated bound workload also short-circuits.
+        """
+        live_sources: List[str] = []
+        for endpoint_id in plan.sources:
+            filtered = self._filter_cached_unconstrained(plan, endpoint_id)
+            if filtered is not None:
+                plan.cached.append((endpoint_id, filtered))
+            else:
+                live_sources.append(endpoint_id)
         for block in plan.blocks:
             values_block = ValuesBlock([plan.variable], [(v,) for v in block])
-            text = plan.subquery.to_sparql(values=values_block)
-            for endpoint_id in plan.sources:
+            text: Optional[str] = None
+            for endpoint_id in live_sources:
+                hit = self._cache_lookup(plan.subquery, endpoint_id, values_block)
+                if hit is not None:
+                    plan.cached.append((endpoint_id, hit))
+                    continue
+                if text is None:
+                    text = plan.subquery.to_sparql(values=values_block)
                 plan.select_futures.append((
                     endpoint_id,
+                    values_block,
                     self.handler.submit(Request(endpoint_id, text, "SELECT")),
                 ))
 
@@ -442,11 +591,32 @@ class SubqueryEvaluator:
         sources = list(subquery.sources)
         if subquery.has_fully_unbound_pattern() and blocks:
             sources = self._refine_sources(subquery, variable, blocks[0], sources)
+        # Same cache interaction as the pipelined path: a cached
+        # unconstrained relation turns the bound join into a local
+        # filter; otherwise per-block constrained keys may still hit.
+        probe = _DelayedPlan(subquery, variable)
+        probe.blocks = blocks
+        probe.sources = sources
         per_endpoint: Dict[str, List[ResultSet]] = {eid: [] for eid in sources}
+        live_sources: List[str] = []
+        for endpoint_id in sources:
+            filtered = self._filter_cached_unconstrained(probe, endpoint_id)
+            if filtered is not None:
+                per_endpoint[endpoint_id].append(filtered)
+            else:
+                live_sources.append(endpoint_id)
         for block in blocks:
             values_block = ValuesBlock([variable], [(v,) for v in block])
-            text = subquery.to_sparql(values=values_block)
-            requests = [Request(eid, text, kind="SELECT") for eid in sources]
+            text = None
+            requests = []
+            for eid in live_sources:
+                hit = self._cache_lookup(subquery, eid, values_block)
+                if hit is not None:
+                    per_endpoint.setdefault(eid, []).append(hit)
+                    continue
+                if text is None:
+                    text = subquery.to_sparql(values=values_block)
+                requests.append(Request(eid, text, kind="SELECT"))
             for future in self.handler.submit_all(requests):
                 settled = self._settle_contribution(
                     subquery.label, future.request.endpoint_id, future
@@ -454,6 +624,7 @@ class SubqueryEvaluator:
                 if settled is None:
                     continue
                 answered_id, value = settled
+                self._cache_store(subquery, answered_id, value, values_block)
                 per_endpoint.setdefault(answered_id, []).append(value)
         merged_per_endpoint = {
             eid: union_all(results, self.context)
@@ -463,14 +634,23 @@ class SubqueryEvaluator:
         return self.combine_endpoint_results(subquery, merged_per_endpoint)
 
     def _fetch_unbound(self, subquery: Subquery) -> Dict[str, ResultSet]:
-        text = subquery.to_sparql()
-        requests = [Request(eid, text, kind="SELECT") for eid in subquery.sources]
         per_endpoint: Dict[str, ResultSet] = {}
+        text: Optional[str] = None
+        requests = []
+        for eid in subquery.sources:
+            hit = self._cache_lookup(subquery, eid)
+            if hit is not None:
+                per_endpoint[eid] = hit
+                continue
+            if text is None:
+                text = subquery.to_sparql()
+            requests.append(Request(eid, text, kind="SELECT"))
         for future in self.handler.submit_all(requests):
             settled = self._settle_contribution(
                 subquery.label, future.request.endpoint_id, future
             )
             if settled is not None:
+                self._cache_store(subquery, settled[0], settled[1])
                 per_endpoint[settled[0]] = settled[1]
         return per_endpoint
 

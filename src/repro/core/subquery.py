@@ -35,6 +35,11 @@ class Subquery:
     #: observed result size, recorded by SAPE (used by the q-error study)
     actual_cardinality: Optional[int] = None
     delayed: bool = False
+    #: every source's unconstrained relation is in the engine's result
+    #: cache (set during analysis) — a warm subquery costs ~0, so the
+    #: delay classifier keeps it concurrent and SAPE's wave ordering
+    #: treats it as free
+    cache_warm: bool = False
     label: str = ""
 
     def variables(self) -> frozenset:

@@ -11,7 +11,7 @@ showed on screen (see ``examples/demo_walkthrough.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .errors import MemoryLimitError, QueryTimeoutError
 from .network import NetworkModel, Region
@@ -141,6 +141,18 @@ class Metrics:
     join_decode_seconds: float = 0.0
     #: joins answered by the batched numpy kernel instead of per-row loops
     join_vectorized_batches: int = 0
+    #: subquery relations served from the engine's result cache
+    result_cache_hits: int = 0
+    #: result-cache lookups that went to the endpoints instead
+    result_cache_misses: int = 0
+    #: endpoint SELECT requests never sent because a cached relation
+    #: (exact or unconstrained-then-filtered) answered the subquery
+    requests_avoided: int = 0
+    #: endpoints pruned from source selection because another member of
+    #: a declared fragment already serves the same data
+    fragment_pruned: int = 0
+    #: routing decisions made over declared replicated fragments
+    replica_routes: int = 0
 
     def lane_utilization(self) -> float:
         """Mean busy fraction of the endpoint lanes over the query's
@@ -185,6 +197,11 @@ class Metrics:
             "join_dictionary_hits": self.join_dictionary_hits,
             "join_decode_seconds": self.join_decode_seconds,
             "join_vectorized_batches": self.join_vectorized_batches,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "requests_avoided": self.requests_avoided,
+            "fragment_pruned": self.fragment_pruned,
+            "replica_routes": self.replica_routes,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
             **{

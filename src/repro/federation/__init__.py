@@ -9,6 +9,12 @@ from .request_handler import (
     Response,
     ResponseFuture,
 )
+from .result_cache import (
+    ResultCache,
+    canonical_subquery_key,
+    subquery_cache_key,
+)
+from .routing import FragmentDescriptor, ReplicaRouter
 from .source_selection import SourceSelector, ask_query_text
 
 __all__ = [
@@ -19,12 +25,17 @@ __all__ = [
     "DEFAULT_CLIENT_REGION",
     "Deadline",
     "ElasticRequestHandler",
+    "FragmentDescriptor",
     "LatencyTracker",
     "Federation",
+    "ReplicaRouter",
     "Request",
     "Response",
     "ResponseFuture",
+    "ResultCache",
     "SourceSelector",
     "ask_query_text",
     "canonical_pattern_key",
+    "canonical_subquery_key",
+    "subquery_cache_key",
 ]

@@ -3,6 +3,14 @@
 The paper: "Lusail caches the results of both the source selection phase
 and the check queries" (Section 2).  Cache keys canonicalize variable
 names so structurally identical patterns from different queries hit.
+
+Every cache here additionally keys by the endpoint store's ``version``
+counter (see :attr:`repro.store.triplestore.TripleStore.version`), the
+same mechanism the endpoint plan cache uses: mutating a store bumps the
+version, so stale ASK/COUNT/check answers become unreachable instead of
+being served for data that no longer looks like that.  Callers that
+predate versioning pass nothing and get the compatible ``version=0``
+namespace.
 """
 
 from __future__ import annotations
@@ -30,20 +38,31 @@ class AskCache:
     """Caches per-endpoint ASK answers keyed by canonical pattern."""
 
     def __init__(self):
-        self._entries: Dict[Tuple[str, str], bool] = {}
+        self._entries: Dict[Tuple[str, int, str], bool] = {}
         self.hits = 0
         self.misses = 0
 
-    def get(self, endpoint_id: str, pattern: TriplePattern) -> Optional[bool]:
-        value = self._entries.get((endpoint_id, canonical_pattern_key(pattern)))
+    def get(
+        self, endpoint_id: str, pattern: TriplePattern, version: int = 0
+    ) -> Optional[bool]:
+        value = self._entries.get(
+            (endpoint_id, version, canonical_pattern_key(pattern))
+        )
         if value is None:
             self.misses += 1
         else:
             self.hits += 1
         return value
 
-    def put(self, endpoint_id: str, pattern: TriplePattern, answer: bool) -> None:
-        self._entries[(endpoint_id, canonical_pattern_key(pattern))] = answer
+    def put(
+        self,
+        endpoint_id: str,
+        pattern: TriplePattern,
+        answer: bool,
+        version: int = 0,
+    ) -> None:
+        key = (endpoint_id, version, canonical_pattern_key(pattern))
+        self._entries[key] = answer
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,21 +71,23 @@ class AskCache:
 class CountCache:
     """Caches the cost model's per-triple-pattern COUNT probe results.
 
-    Key: ``(endpoint id, canonical probe key)`` — the probe key is the
-    variable-renaming-invariant pattern signature plus any pushed-down
-    filters, as produced by the cardinality estimator.  Because keys are
-    canonical, structurally identical probes from *different queries in
-    one session* hit, exactly like the ASK/check caches (the Fig. 12(b,c)
-    cache knob).  The interface is a drop-in superset of the plain dict
-    the estimator historically accepted.
+    Key: ``(endpoint id, store version, canonical probe key)`` — the
+    probe key is the variable-renaming-invariant pattern signature plus
+    any pushed-down filters, as produced by the cardinality estimator,
+    and the version component invalidates counts when the endpoint's
+    store mutates.  Because keys are canonical, structurally identical
+    probes from *different queries in one session* hit, exactly like the
+    ASK/check caches (the Fig. 12(b,c) cache knob).  The interface is a
+    drop-in superset of the plain dict the estimator historically
+    accepted.
     """
 
     def __init__(self):
-        self._entries: Dict[Tuple[str, str], int] = {}
+        self._entries: Dict[Tuple, int] = {}
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: Tuple[str, str], default: Optional[int] = None) -> Optional[int]:
+    def get(self, key: Tuple, default: Optional[int] = None) -> Optional[int]:
         value = self._entries.get(key, default)
         if value is None:
             self.misses += 1
@@ -74,10 +95,10 @@ class CountCache:
             self.hits += 1
         return value
 
-    def __setitem__(self, key: Tuple[str, str], count: int) -> None:
+    def __setitem__(self, key: Tuple, count: int) -> None:
         self._entries[key] = count
 
-    def __contains__(self, key: Tuple[str, str]) -> bool:
+    def __contains__(self, key: Tuple) -> bool:
         return key in self._entries
 
     def __len__(self) -> int:
@@ -87,13 +108,14 @@ class CountCache:
 class CheckCache:
     """Caches GJV check outcomes.
 
-    Key: (endpoint id, canonical signature of the ordered pattern pair).
-    Value: ``True`` when the endpoint has witnesses making the variable
-    global for that pair (i.e. the check query returned a row).
+    Key: (endpoint id, store version, canonical signature of the
+    ordered pattern pair).  Value: ``True`` when the endpoint has
+    witnesses making the variable global for that pair (i.e. the check
+    query returned a row).
     """
 
     def __init__(self):
-        self._entries: Dict[Tuple[str, str], bool] = {}
+        self._entries: Dict[Tuple[str, int, str], bool] = {}
         self.hits = 0
         self.misses = 0
 
@@ -108,16 +130,20 @@ class CheckCache:
             parts.append(canonical_pattern_key(type_constraint))
         return " | ".join(parts)
 
-    def get(self, endpoint_id: str, signature: str) -> Optional[bool]:
-        value = self._entries.get((endpoint_id, signature))
+    def get(
+        self, endpoint_id: str, signature: str, version: int = 0
+    ) -> Optional[bool]:
+        value = self._entries.get((endpoint_id, version, signature))
         if value is None:
             self.misses += 1
         else:
             self.hits += 1
         return value
 
-    def put(self, endpoint_id: str, signature: str, is_global: bool) -> None:
-        self._entries[(endpoint_id, signature)] = is_global
+    def put(
+        self, endpoint_id: str, signature: str, is_global: bool, version: int = 0
+    ) -> None:
+        self._entries[(endpoint_id, version, signature)] = is_global
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..endpoint.local import LocalEndpoint
 from ..endpoint.metrics import ExecutionContext
 from ..endpoint.network import LOCAL_CLUSTER, NetworkModel, Region
+from .routing import FragmentDescriptor
 
 DEFAULT_CLIENT_REGION = Region("federator")
 
@@ -35,6 +36,9 @@ class Federation:
         self._replicas: Dict[str, str] = {}
         #: replica ids excluded from normal source selection
         self._standby: set = set()
+        #: declared replicated fragments (routing-mode replication):
+        #: fragment name -> descriptor, insertion-ordered
+        self._fragments: Dict[str, FragmentDescriptor] = {}
         for primary, replica in (replicas or {}).items():
             self.register_replica(primary, replica)
 
@@ -61,26 +65,98 @@ class Federation:
     def endpoints(self) -> Iterable[LocalEndpoint]:
         return self._endpoints.values()
 
+    def endpoint_version(self, endpoint_id: str) -> int:
+        """The endpoint store's mutation counter (0 when unavailable).
+
+        Every cache that holds per-endpoint answers (ASK, COUNT, check,
+        subquery results) folds this into its key, so mutating a store
+        invalidates its cached answers the same way the endpoint's plan
+        cache invalidates compiled plans.
+        """
+        endpoint = self._endpoints.get(endpoint_id)
+        store = getattr(endpoint, "store", None)
+        return getattr(store, "version", 0)
+
     # -- replicas ----------------------------------------------------------
 
-    def register_replica(self, primary_id: str, replica_id: str) -> None:
-        """Mark ``replica_id`` as the standby for ``primary_id``.
+    def _require_endpoint(self, endpoint_id: str, role: str) -> None:
+        if endpoint_id not in self._endpoints:
+            known = ", ".join(sorted(self._endpoints))
+            raise KeyError(
+                f"unknown {role} endpoint {endpoint_id!r}: "
+                f"registered endpoints are {known}"
+            )
 
-        A standby is excluded from normal source selection; it only
+    def register_replica(
+        self, primary_id: str, replica_id: str, standby: bool = True
+    ) -> None:
+        """Declare ``replica_id`` a full replica of ``primary_id``.
+
+        With ``standby=True`` (the default, the PR-3 behavior) the
+        replica is excluded from normal source selection; it only
         receives traffic when the primary fails past its retry budget
         and the engine is running in partial-results mode (the rerouting
-        of Montoya et al.'s replicated-fragment federations).
+        of Montoya et al.'s replicated-fragment federations), or as a
+        hedge target.
+
+        With ``standby=False`` both copies stay active and the pair is
+        declared as a full-replica fragment: source selection queries
+        exactly one copy per query, chosen by the engine's
+        :class:`~repro.federation.routing.ReplicaRouter` load/latency
+        score — replication as *routing*, not just failover.  The
+        replica link is still recorded, so hedging and failure rerouting
+        keep working.
         """
-        for endpoint_id in (primary_id, replica_id):
-            if endpoint_id not in self._endpoints:
-                raise KeyError(f"unknown endpoint {endpoint_id!r}")
+        self._require_endpoint(primary_id, "primary")
+        self._require_endpoint(replica_id, "replica")
         if primary_id == replica_id:
             raise ValueError("an endpoint cannot be its own replica")
         self._replicas[primary_id] = replica_id
-        self._standby.add(replica_id)
+        if standby:
+            self._standby.add(replica_id)
+        else:
+            self.declare_fragment(
+                f"replica:{primary_id}", (primary_id, replica_id)
+            )
 
     def replica_of(self, endpoint_id: str) -> Optional[str]:
         return self._replicas.get(endpoint_id)
+
+    # -- replicated fragments ----------------------------------------------
+
+    def declare_fragment(
+        self,
+        name: str,
+        endpoint_ids: Sequence[str],
+        predicates: Optional[Iterable] = None,
+    ) -> FragmentDescriptor:
+        """Declare that ``endpoint_ids`` hold identical copies of a
+        fragment: the whole dataset (``predicates=None``) or the triples
+        whose predicate is in ``predicates``.  The source selector then
+        sends each covered pattern to exactly one member per query.
+        """
+        ids = tuple(endpoint_ids)
+        if len(ids) < 2:
+            raise ValueError(
+                f"fragment {name!r} needs at least two endpoints to route over"
+            )
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"fragment {name!r} lists a duplicate endpoint")
+        for endpoint_id in ids:
+            self._require_endpoint(endpoint_id, "fragment")
+        if name in self._fragments:
+            raise ValueError(f"fragment {name!r} is already declared")
+        fragment = FragmentDescriptor(
+            name=name,
+            endpoints=ids,
+            predicates=None if predicates is None else frozenset(predicates),
+        )
+        self._fragments[name] = fragment
+        return fragment
+
+    @property
+    def fragments(self) -> List[FragmentDescriptor]:
+        return list(self._fragments.values())
 
     def __len__(self) -> int:
         return len(self._endpoints)

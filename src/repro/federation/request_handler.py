@@ -271,6 +271,15 @@ class ElasticRequestHandler:
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def lane_backlog(self, endpoint_id: str) -> float:
+        """Virtual seconds of work already queued on an endpoint's lane.
+
+        The replica router's load signal: how far past "now" the lane is
+        booked.  Zero for an idle (or never-used) lane.
+        """
+        free_at = self._lane_free.get(endpoint_id, 0.0)
+        return max(0.0, free_at - self.context.metrics.virtual_seconds)
+
     def __enter__(self) -> "ElasticRequestHandler":
         return self
 

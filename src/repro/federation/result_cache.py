@@ -1,0 +1,193 @@
+"""Federation-wide subquery result cache.
+
+The paper caches source selection and check queries (Section 2); this
+module extends the same idea to the *answers* of the subqueries
+themselves, so the second pass of any workload is nearly free.  Entries
+are keyed by
+
+``(endpoint id, endpoint store version, canonical subquery key)``
+
+where the canonical key is invariant under variable renaming (like
+:func:`~repro.federation.cache.canonical_pattern_key`, extended to whole
+subqueries: patterns, pushed filters, projection, and an optional VALUES
+constraint).  Keying by the endpoint store's ``_version`` counter makes
+mutation invalidation automatic: a store write bumps the version and
+every cached relation for that endpoint silently becomes unreachable.
+
+Eviction is LRU under both an entry-count bound and a byte budget
+(``estimated_bytes`` of the cached rows), because federated relations
+vary in size by orders of magnitude.  Degraded answers (failed or
+rerouted-and-still-failed contributions in partial-results mode) are
+never handed to :meth:`ResultCache.put` — only successfully settled
+responses reach the cache, so a cache hit is always a full answer.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rdf.term import GroundTerm, Variable
+from ..rdf.triple import TriplePattern
+from ..sparql.results import ResultSet
+
+_VARIABLE_TOKEN = re.compile(r"\?([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def canonical_subquery_key(
+    patterns: Sequence[TriplePattern],
+    filters: Sequence = (),
+    projection: Sequence[Variable] = (),
+    values_variable: Optional[Variable] = None,
+    values_terms: Iterable[GroundTerm] = (),
+) -> str:
+    """A subquery signature invariant under variable renaming.
+
+    Variables are renamed ``?v0, ?v1, ...`` by first appearance across
+    the patterns (in order), then the projection, then each filter's
+    serialized text.  Renaming the filter *text* (rather than hashing it
+    raw) matters: ``?x p ?y . ?y q ?x  FILTER(?x > 5)`` and its
+    role-swapped twin produce different keys even though the bare
+    pattern signatures collide.  The optional VALUES constraint encodes
+    the bound variable plus the term list (callers pass terms already in
+    their deterministic block order).
+    """
+    names: Dict[Variable, str] = {}
+
+    def rename(variable: Variable) -> str:
+        return names.setdefault(variable, f"?v{len(names)}")
+
+    pattern_parts = []
+    for pattern in patterns:
+        triple = []
+        for term in pattern.as_tuple():
+            if isinstance(term, Variable):
+                triple.append(rename(term))
+            else:
+                triple.append(term.n3())
+        pattern_parts.append(" ".join(triple))
+    key = " . ".join(pattern_parts)
+    key += " |P| " + " ".join(rename(v) for v in projection)
+    if filters:
+        def substitute(match: "re.Match[str]") -> str:
+            return rename(Variable(match.group(1)))
+
+        rendered = [
+            _VARIABLE_TOKEN.sub(substitute, f.to_sparql()) for f in filters
+        ]
+        key += " |F| " + " && ".join(rendered)
+    if values_variable is not None:
+        key += (
+            " |V| " + rename(values_variable)
+            + " { " + " ".join(t.n3() for t in values_terms) + " }"
+        )
+    return key
+
+
+def subquery_cache_key(subquery, values_block=None) -> str:
+    """Canonical key for a :class:`~repro.core.subquery.Subquery`.
+
+    ``values_block`` is the SAPE bound-join block (single bound
+    variable); None keys the unconstrained relation.
+    """
+    if values_block is None:
+        return canonical_subquery_key(
+            subquery.patterns,
+            subquery.filters,
+            subquery.effective_projection(),
+        )
+    return canonical_subquery_key(
+        subquery.patterns,
+        subquery.filters,
+        subquery.effective_projection(),
+        values_variable=values_block.variables[0],
+        values_terms=[row[0] for row in values_block.rows],
+    )
+
+
+class ResultCache:
+    """LRU + byte-budget cache of per-endpoint subquery relations.
+
+    ``get`` returns a *fresh* :class:`ResultSet` (new row list) so
+    downstream in-place extension never aliases the cached copy, with
+    the header rewritten to the caller's projection — canonical keys
+    guarantee positional correspondence even when variable names differ
+    between the caching and the hitting query.
+    """
+
+    #: fixed per-entry bookkeeping charge on top of the row payload
+    ENTRY_OVERHEAD_BYTES = 64
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        max_bytes: int = 64 * 1024 * 1024,
+    ):
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        #: (endpoint id, store version, canonical key) -> (header, rows, bytes)
+        self._entries: "OrderedDict[Tuple[str, int, str], Tuple[Tuple[Variable, ...], List[tuple], int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.current_bytes = 0
+
+    def get(
+        self,
+        endpoint_id: str,
+        version: int,
+        key: str,
+        projection: Optional[Sequence[Variable]] = None,
+    ) -> Optional[ResultSet]:
+        entry = self._entries.get((endpoint_id, version, key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((endpoint_id, version, key))
+        self.hits += 1
+        header, rows, _size = entry
+        if projection is not None:
+            header = tuple(projection)
+        return ResultSet(header, list(rows))
+
+    def contains(self, endpoint_id: str, version: int, key: str) -> bool:
+        """Warmth probe for the cost model — no hit/miss accounting."""
+        return (endpoint_id, version, key) in self._entries
+
+    def put(
+        self, endpoint_id: str, version: int, key: str, result: ResultSet
+    ) -> None:
+        size = self.ENTRY_OVERHEAD_BYTES + result.estimated_bytes()
+        if size > self.max_bytes:
+            return
+        full_key = (endpoint_id, version, key)
+        previous = self._entries.pop(full_key, None)
+        if previous is not None:
+            self.current_bytes -= previous[2]
+        self._entries[full_key] = (result.variables, list(result.rows), size)
+        self.current_bytes += size
+        while self._entries and (
+            len(self._entries) > self.max_entries
+            or self.current_bytes > self.max_bytes
+        ):
+            _, (_, _, evicted) = self._entries.popitem(last=False)
+            self.current_bytes -= evicted
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

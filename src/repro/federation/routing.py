@@ -1,0 +1,96 @@
+"""Replica-aware, load-balanced routing over declared fragments.
+
+Montoya et al. (*Replicated Fragments*) observed that a federation
+aware of which endpoints replicate the same data fragment can prune all
+but one copy from source selection — a *routing* decision, not just the
+failover `register_replica` provides.  A :class:`FragmentDescriptor`
+declares the replication unit: either a full dataset replica
+(``predicates=None``) or a predicate-set fragment.  The
+:class:`ReplicaRouter` then picks which copy serves each query by a
+load/latency score:
+
+``score(ep) = lane backlog(ep) + tracked p50 latency(ep)``
+
+using the request handler's virtual per-endpoint lane occupancy and the
+engine's :class:`~repro.federation.deadline.LatencyTracker` (PR 5).
+Ties — the common cold-start case — rotate round-robin per fragment, so
+a repeated read workload splits across the replicas instead of pinning
+one copy while the other idles.
+
+The router lives on the engine (one per engine, like the latency
+tracker) so its rotation state persists across queries; within a single
+query each fragment routes once and every covered pattern goes to the
+same copy, keeping per-pattern source lists equal and therefore leaving
+the LADE decomposition itself untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..rdf.term import Variable
+from ..rdf.triple import TriplePattern
+
+
+@dataclass(frozen=True)
+class FragmentDescriptor:
+    """One replicated fragment: which endpoints hold identical copies.
+
+    ``predicates=None`` declares a full replica (every triple pattern is
+    covered); a predicate set restricts coverage to patterns whose
+    predicate is ground and in the set.
+    """
+
+    name: str
+    endpoints: Tuple[str, ...]
+    predicates: Optional[FrozenSet] = None
+
+    def covers(self, pattern: TriplePattern) -> bool:
+        if self.predicates is None:
+            return True
+        predicate = pattern.predicate
+        if isinstance(predicate, Variable):
+            # An unbound predicate may match triples outside the
+            # fragment, where the copies are not interchangeable.
+            return False
+        return predicate in self.predicates
+
+
+class ReplicaRouter:
+    """Chooses which copy of a replicated fragment serves a query."""
+
+    def __init__(self, latency_tracker=None):
+        #: per-endpoint latency quantiles (PR 5); None = backlog only
+        self.latency_tracker = latency_tracker
+        #: fragment name -> round-robin turn among tied candidates
+        self._rotation: Dict[str, int] = {}
+        #: endpoint id -> routing decisions that landed on it (the
+        #: load-split counter the routing tests assert on)
+        self.routed: Dict[str, int] = {}
+
+    def score(self, endpoint_id: str, handler=None) -> float:
+        """Lower is better: current lane backlog plus median latency."""
+        backlog = 0.0
+        if handler is not None:
+            backlog = handler.lane_backlog(endpoint_id)
+        median = None
+        if self.latency_tracker is not None:
+            median = self.latency_tracker.quantile(endpoint_id, 0.5)
+        return backlog + (median or 0.0)
+
+    def choose(
+        self, fragment: FragmentDescriptor, candidates: Sequence[str], handler=None
+    ) -> str:
+        """Pick one of ``candidates`` (all replicas of ``fragment``)."""
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            scores = {eid: self.score(eid, handler) for eid in candidates}
+            best = min(scores.values())
+            tied = [eid for eid in candidates if scores[eid] <= best + 1e-12]
+            turn = self._rotation.get(fragment.name, 0)
+            self._rotation[fragment.name] = turn + 1
+            chosen = tied[turn % len(tied)]
+        self.routed[chosen] = self.routed.get(chosen, 0) + 1
+        return chosen

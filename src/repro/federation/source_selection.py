@@ -24,23 +24,82 @@ def ask_query_text(pattern: TriplePattern) -> str:
 
 
 class SourceSelector:
-    """Finds the relevant endpoints per triple pattern."""
+    """Finds the relevant endpoints per triple pattern.
+
+    With a ``router``, declared replicated fragments collapse to one
+    copy before any ASK goes out: for every fragment covering the
+    pattern, the router picks the least-loaded member and the others are
+    skipped entirely — neither asked nor eligible for downstream checks,
+    probes, or SELECTs.  The choice is memoized per selector (i.e. per
+    analyzed group), so every pattern of one query routes to the same
+    copy and per-pattern source lists stay equal — the LADE
+    decomposition is unaffected by which replica happened to win.
+    """
 
     def __init__(
         self,
         handler: ElasticRequestHandler,
         cache: Optional[AskCache] = None,
+        router=None,
     ):
         self.handler = handler
         self.cache = cache
+        self.router = router
+        #: fragment name -> member chosen for this query
+        self._fragment_choice: Dict[str, str] = {}
+
+    def _version(self, endpoint_id: str) -> int:
+        return self.handler.federation.endpoint_version(endpoint_id)
+
+    def _route_fragments(self, pattern: TriplePattern) -> List[str]:
+        """Active endpoints with replica groups collapsed to one copy."""
+        federation = self.handler.federation
+        endpoint_ids = list(federation.endpoint_ids)
+        if self.router is None:
+            return endpoint_ids
+        fragments = federation.fragments
+        if not fragments:
+            return endpoint_ids
+        metrics = self.handler.context.metrics
+        claimed: set = set()
+        for fragment in fragments:
+            if not fragment.covers(pattern):
+                continue
+            members = [
+                eid for eid in endpoint_ids
+                if eid in fragment.endpoints and eid not in claimed
+            ]
+            if len(members) < 2:
+                continue
+            chosen = self._fragment_choice.get(fragment.name)
+            if chosen is None or chosen not in members:
+                chosen = self.router.choose(fragment, members, self.handler)
+                self._fragment_choice[fragment.name] = chosen
+                metrics.replica_routes += 1
+            pruned = [eid for eid in members if eid != chosen]
+            endpoint_ids = [eid for eid in endpoint_ids if eid not in pruned]
+            claimed.update(members)
+            metrics.fragment_pruned += len(pruned)
+            self.handler.context.trace_event(
+                "fragment_route",
+                fragment=fragment.name,
+                pattern=pattern.n3(),
+                chosen=chosen,
+                pruned=pruned,
+            )
+        return endpoint_ids
 
     def relevant_sources(self, pattern: TriplePattern) -> Tuple[str, ...]:
         """Endpoint ids (federation order) that can answer ``pattern``."""
-        endpoint_ids = self.handler.federation.endpoint_ids
+        endpoint_ids = self._route_fragments(pattern)
         answers: Dict[str, bool] = {}
         missing: List[str] = []
         for endpoint_id in endpoint_ids:
-            cached = self.cache.get(endpoint_id, pattern) if self.cache else None
+            cached = (
+                self.cache.get(endpoint_id, pattern, self._version(endpoint_id))
+                if self.cache
+                else None
+            )
             if cached is None:
                 missing.append(endpoint_id)
             else:
@@ -69,7 +128,10 @@ class SourceSelector:
                 answer = bool(response.value)
                 answers[endpoint_id] = answer
                 if self.cache is not None:
-                    self.cache.put(endpoint_id, pattern, answer)
+                    self.cache.put(
+                        endpoint_id, pattern, answer,
+                        self._version(endpoint_id),
+                    )
         relevant = [eid for eid in endpoint_ids if answers.get(eid)]
         relevant.extend(eid for eid in rerouted if answers.get(eid))
         return tuple(relevant)
@@ -93,7 +155,9 @@ class SourceSelector:
             return None
         answer = bool(response.value)
         if self.cache is not None:
-            self.cache.put(replica_id, pattern, answer)
+            self.cache.put(
+                replica_id, pattern, answer, self._version(replica_id)
+            )
         self.handler.context.completeness.note_reroute(endpoint_id, replica_id)
         return replica_id, answer
 
@@ -111,7 +175,10 @@ class SourceSelector:
             if pattern in selection:
                 continue
             if all(isinstance(t, Variable) for t in pattern.as_tuple()):
-                selection[pattern] = tuple(self.handler.federation.endpoint_ids)
+                # Full-replica fragments still collapse here (their copies
+                # are interchangeable for any pattern); predicate-set
+                # fragments do not cover an unbound predicate.
+                selection[pattern] = tuple(self._route_fragments(pattern))
             else:
                 selection[pattern] = self.relevant_sources(pattern)
         return selection

@@ -10,7 +10,7 @@ LIMIT / OFFSET, and COUNT aggregates (used by the cost model's probes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..rdf.term import GroundTerm, Variable
 from ..rdf.triple import TriplePattern

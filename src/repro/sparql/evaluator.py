@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from ..rdf.term import GroundTerm, Literal, Variable, XSD_INTEGER
+from ..rdf.term import Variable
 from ..rdf.triple import TriplePattern
 from ..store.triplestore import TripleStore
 from .ast import (

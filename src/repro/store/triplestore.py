@@ -33,7 +33,7 @@ Three lookup surfaces exist:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..rdf.dictionary import TermDictionary
 from ..rdf.term import GroundTerm, Variable

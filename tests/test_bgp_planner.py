@@ -7,7 +7,7 @@ import pytest
 from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
 from repro.federation import CountCache, ElasticRequestHandler, Federation, Request
 from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable, parse as nt_parse
-from repro.sparql import BGPPlan, Evaluator, EvaluatorStats, build_plan, parse_query
+from repro.sparql import Evaluator, EvaluatorStats, build_plan, parse_query
 from repro.store import TripleStore
 
 UB = "http://ub/"

@@ -1,6 +1,5 @@
 """Unit tests for Algorithm 2 (query decomposition)."""
 
-import pytest
 
 from repro.core.decomposer import Decomposer, QueryGraph, _connected_components, compute_projections
 from repro.core.gjv import GJVReport

@@ -51,6 +51,7 @@ class TestQueryTrace:
         for info in subqueries:
             assert set(info) == {
                 "label", "patterns", "sources", "estimated", "delayed",
+                "cache_warm",
             }
 
     def test_subquery_results_match_decomposition(self, traced_outcome):

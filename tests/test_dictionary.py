@@ -2,7 +2,6 @@
 execution equivalence (rows *and* order), statistics maintenance under
 interning, and the join-layer ID kernel."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

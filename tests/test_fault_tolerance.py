@@ -43,7 +43,6 @@ from repro.endpoint import (
     LocalEndpoint,
     OutageWindow,
 )
-from repro.endpoint.faults import FaultInjector
 from repro.federation import Federation
 from repro.federation.request_handler import ElasticRequestHandler, Request
 from repro.rdf import IRI, Triple

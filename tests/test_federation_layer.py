@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint, Region
+from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
 from repro.federation import (
     AskCache,
     CheckCache,

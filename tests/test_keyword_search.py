@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.keyword import KeywordHit, keyword_search
+from repro.core.keyword import keyword_search
 from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
 from repro.federation import Federation
 from repro.rdf import parse as nt_parse

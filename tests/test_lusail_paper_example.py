@@ -9,7 +9,7 @@ import pytest
 from repro.core import LusailEngine
 from repro.federation import ElasticRequestHandler, SourceSelector
 from repro.core.gjv import GJVDetector
-from repro.rdf import IRI, UB, RDF_TYPE, TriplePattern, Variable
+from repro.rdf import UB, TriplePattern, Variable
 from repro.sparql import parse_query
 
 from .conftest import QA_EXPECTED, QUERY_QA, result_values

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rdf import IRI, Triple, TriplePattern, Variable
-from repro.sparql import Evaluator, parse_query
+from repro.sparql import Evaluator
 from repro.sparql.ast import GroupPattern, MinusPattern, OptionalPattern, Query
 from repro.sparql.expressions import ExistsExpr
 from repro.store import TripleStore

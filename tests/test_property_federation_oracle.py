@@ -20,7 +20,7 @@ from repro.baselines import FedXEngine
 from repro.core import LusailEngine
 from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
 from repro.federation import Federation
-from repro.rdf import IRI, Triple, Variable
+from repro.rdf import IRI, Triple
 from repro.sparql import Evaluator, parse_query
 from repro.store import TripleStore
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core import LusailEngine
 from repro.endpoint import LOCAL_CLUSTER, LocalEndpoint
 from repro.federation import Federation
-from repro.rdf import IRI, Literal, parse as nt_parse
+from repro.rdf import parse as nt_parse
 from repro.sparql import Evaluator, parse_query, serialize_query
 from repro.store import TripleStore
 
