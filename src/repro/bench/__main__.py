@@ -16,6 +16,7 @@ import sys
 from . import experiments
 from . import federation_bench
 from . import resilience_bench
+from . import serving_bench
 from .evaluator_bench import check as evaluator_check
 from .evaluator_bench import format_report, run_hotpath, write_results
 from .reporting import format_runs, format_table
@@ -66,6 +67,15 @@ def main(argv=None) -> int:
         )
         print(resilience_bench.format_report(payload))
         print(f"wrote {resilience_bench.write_results(payload)}")
+
+    def _run_serving():
+        payload = (
+            serving_bench.check()
+            if args.check
+            else serving_bench.run_serving()
+        )
+        print(serving_bench.format_report(payload))
+        print(f"wrote {serving_bench.write_results(payload)}")
 
     registry = {
         "table1": lambda: print(format_table(
@@ -134,6 +144,7 @@ def main(argv=None) -> int:
         "evaluator": _run_evaluator,
         "federation": _run_federation,
         "resilience": _run_resilience,
+        "serving": _run_serving,
         "qerror": lambda: print(format_table(
             [experiments.qerror_study(scale=args.scale)],
             ["subqueries_measured", "median_qerror", "max_qerror"],

@@ -1,0 +1,536 @@
+"""Serving benchmark: concurrent clients against the SPARQL HTTP layer.
+
+Drives a real :class:`~repro.serving.server.LusailHTTPServer` (loopback
+TCP, stdlib clients, chunked responses — nothing mocked) through three
+scenarios:
+
+- **concurrent-correctness** — ``clients`` threads (>= 8) each replay
+  the LUBM workload over HTTP at full speed; every response document is
+  compared byte-for-byte against a direct in-process ``execute()`` of
+  the same query.  Concurrency must not change a single binding.
+- **qps-sweep** — open-loop arrival (requests fired on schedule, never
+  waiting for earlier ones) at increasing rates.  Records throughput,
+  p50/p99 latency, and shed rate per level: p99 of *served* requests
+  must stay bounded by the configured deadline at every rate.
+- **saturating-burst** — a barrier-synchronized burst many times the
+  pool size, driven straight through the :class:`QuerySessionManager`
+  (the same admission path the HTTP handler calls — bypassing only the
+  socket accept loop, whose TCP backlog would smear the burst's arrival
+  times and make the overlap, and therefore the shed count, a matter of
+  kernel scheduling).  The server must degrade by shedding (fast 503s),
+  never by queueing into everyone's deadline.
+- **fair-share** — a ``gold`` tenant (weight 3) runs a sequential
+  workload while a ``bronze`` tenant (weight 1) floods with closed-loop
+  clients many times the pool size, again straight at the manager.  The
+  reserve-protecting admission lane guarantees the quiet tenant: gold
+  finishes every request with zero sheds while bronze's surplus eats
+  every 503.
+
+``BENCH_serving.json`` records every scenario row; ``--check`` asserts
+the invariants above.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import LusailEngine
+from ..datasets.lubm import LUBM_QUERIES, LubmGenerator
+from ..serving.protocol import SPARQL_RESULTS_JSON, results_document
+from ..serving.server import start_server
+from ..serving.sessions import (
+    QuerySessionManager,
+    TenantClass,
+    TenantOverloadError,
+)
+
+DEFAULT_OUTPUT = "BENCH_serving.json"
+
+#: wall-clock budget per query in every scenario; the "bounded p99"
+#: acceptance bound
+DEADLINE_SECONDS = 5.0
+
+
+# ----------------------------------------------------------------------
+# HTTP client helpers
+# ----------------------------------------------------------------------
+
+def _get(
+    base_url: str, query: str, api_key: str, timeout: float = 30.0
+) -> Tuple[int, float, Optional[dict]]:
+    """One GET /sparql; returns (status, latency_seconds, document|None)."""
+    url = base_url + "/sparql?" + urllib.parse.urlencode({"query": query})
+    request = urllib.request.Request(
+        url,
+        headers={"X-API-Key": api_key, "Accept": SPARQL_RESULTS_JSON},
+    )
+    started = time.monotonic()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            document = json.loads(response.read())
+            return response.status, time.monotonic() - started, document
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, time.monotonic() - started, None
+
+
+def _percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+    )
+    return ordered[index]
+
+
+def _latency_stats(latencies: Sequence[float]) -> Dict[str, Optional[float]]:
+    return {
+        "p50_s": _percentile(latencies, 0.50),
+        "p99_s": _percentile(latencies, 0.99),
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def _serving_stack(
+    federation,
+    tenants: Sequence[TenantClass],
+    max_concurrent: int,
+):
+    engine = LusailEngine(
+        federation, use_threads=True, reset_request_windows=False
+    )
+    manager = QuerySessionManager(
+        engine, tenants=tenants, max_concurrent=max_concurrent
+    )
+    server, _thread = start_server(manager)
+    return manager, server
+
+
+def _run_correctness(
+    federation,
+    expected: Dict[str, dict],
+    clients: int,
+    rounds: int,
+) -> Dict[str, object]:
+    """>= 8 concurrent HTTP clients, every answer vs direct execute()."""
+    tenant = TenantClass(
+        "public", "public", real_time_limit=DEADLINE_SECONDS
+    )
+    manager, server = _serving_stack(federation, (tenant,), clients)
+    workload = list(expected.items())
+    barrier = threading.Barrier(clients)
+    latencies: List[float] = []
+    mismatches: List[str] = []
+    lock = threading.Lock()
+
+    def client(client_index: int) -> None:
+        barrier.wait()
+        for round_index in range(rounds):
+            # stagger the per-client order so distinct queries overlap
+            for offset in range(len(workload)):
+                name, want = workload[
+                    (client_index + round_index + offset) % len(workload)
+                ]
+                status, latency, document = _get(
+                    server.url, LUBM_QUERIES[name], "public"
+                )
+                with lock:
+                    latencies.append(latency)
+                    if status != 200 or document != want:
+                        mismatches.append(
+                            f"client {client_index} {name}: HTTP {status}"
+                        )
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    stats = manager.stats()
+    server.shutdown()
+    server.server_close()
+    total = clients * rounds * len(workload)
+    return {
+        "scenario": "concurrent-correctness",
+        "clients": clients,
+        "requests": total,
+        "mismatches": mismatches,
+        "throughput_qps": total / elapsed if elapsed > 0 else None,
+        "sheds": stats["sheds"],
+        **_latency_stats(latencies),
+    }
+
+
+def _run_qps_sweep(
+    federation,
+    query: str,
+    qps_levels: Sequence[float],
+    seconds_per_level: float,
+    max_concurrent: int,
+) -> List[Dict[str, object]]:
+    """Open-loop HTTP arrival at increasing rates."""
+    tenant = TenantClass(
+        "public", "public", real_time_limit=DEADLINE_SECONDS
+    )
+    manager, server = _serving_stack(federation, (tenant,), max_concurrent)
+    rows: List[Dict[str, object]] = []
+
+    def fire(sink: List[Tuple[int, float]], lock: threading.Lock) -> None:
+        status, latency, _document = _get(server.url, query, "public")
+        with lock:
+            sink.append((status, latency))
+
+    for qps in qps_levels:
+        outcomes: List[Tuple[int, float]] = []
+        lock = threading.Lock()
+        count = max(1, int(qps * seconds_per_level))
+        interval = 1.0 / qps
+        threads = []
+        started = time.monotonic()
+        for index in range(count):
+            # open loop: dispatch on schedule regardless of completions
+            delay = started + index * interval - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            thread = threading.Thread(target=fire, args=(outcomes, lock))
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        served = [latency for status, latency in outcomes if status == 200]
+        shed = sum(1 for status, _ in outcomes if status == 503)
+        rows.append({
+            "scenario": "qps-sweep",
+            "offered_qps": qps,
+            "requests": count,
+            "served": len(served),
+            "shed": shed,
+            "shed_rate": shed / count,
+            "throughput_qps": len(served) / elapsed if elapsed > 0 else None,
+            **_latency_stats(served),
+        })
+    server.shutdown()
+    server.server_close()
+    return rows
+
+
+def _manager_only(federation, tenants, max_concurrent) -> QuerySessionManager:
+    engine = LusailEngine(
+        federation, use_threads=True, reset_request_windows=False
+    )
+    return QuerySessionManager(
+        engine, tenants=tenants, max_concurrent=max_concurrent
+    )
+
+
+def _run_saturating_burst(
+    federation,
+    query: str,
+    burst_size: int,
+    max_concurrent: int,
+) -> Dict[str, object]:
+    """Everyone arrives in the same instant; the pool must shed."""
+    tenant = TenantClass(
+        "public", "public", real_time_limit=DEADLINE_SECONDS
+    )
+    manager = _manager_only(federation, (tenant,), max_concurrent)
+    outcomes: List[Tuple[int, float]] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(burst_size)
+
+    def fire() -> None:
+        barrier.wait()
+        started = time.monotonic()
+        try:
+            result = manager.execute(query, api_key="public")
+            status = 200 if result.status in ("OK", "PARTIAL") else 500
+        except TenantOverloadError:
+            status = 503
+        with lock:
+            outcomes.append((status, time.monotonic() - started))
+
+    threads = [threading.Thread(target=fire) for _ in range(burst_size)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    served = [latency for status, latency in outcomes if status == 200]
+    shed = sum(1 for status, _ in outcomes if status == 503)
+    return {
+        "scenario": "saturating-burst",
+        "burst_size": burst_size,
+        "max_concurrent": max_concurrent,
+        "served": len(served),
+        "shed": shed,
+        "shed_rate": shed / burst_size,
+        "throughput_qps": len(served) / elapsed if elapsed > 0 else None,
+        **_latency_stats(served),
+    }
+
+
+def _run_fair_share(
+    federation,
+    query: str,
+    gold_requests: int,
+    bronze_clients: int,
+    bronze_rounds: int,
+    max_concurrent: int,
+) -> Dict[str, object]:
+    """A flooding tenant sheds while a quiet tenant keeps its reserve."""
+    tenants = (
+        TenantClass("gold", "gold", weight=3.0,
+                    real_time_limit=DEADLINE_SECONDS),
+        TenantClass("bronze", "bronze", weight=1.0,
+                    real_time_limit=DEADLINE_SECONDS),
+    )
+    manager = _manager_only(federation, tenants, max_concurrent)
+    gold_outcomes: List[int] = []
+    bronze_outcomes: List[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(bronze_clients + 1)
+
+    def run_one(api_key: str) -> int:
+        try:
+            result = manager.execute(query, api_key=api_key)
+            return 200 if result.status in ("OK", "PARTIAL") else 500
+        except TenantOverloadError:
+            return 503
+
+    def bronze_client() -> None:
+        barrier.wait()
+        for _ in range(bronze_rounds):
+            status = run_one("bronze")
+            with lock:
+                bronze_outcomes.append(status)
+
+    def gold_client() -> None:
+        barrier.wait()
+        for _ in range(gold_requests):
+            status = run_one("gold")
+            with lock:
+                gold_outcomes.append(status)
+
+    threads = [
+        threading.Thread(target=bronze_client) for _ in range(bronze_clients)
+    ]
+    threads.append(threading.Thread(target=gold_client))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = manager.stats()
+    bronze_total = len(bronze_outcomes)
+    return {
+        "scenario": "fair-share",
+        "max_concurrent": max_concurrent,
+        "gold_requests": gold_requests,
+        "bronze_clients": bronze_clients,
+        "bronze_rounds": bronze_rounds,
+        "gold_statuses": sorted(set(gold_outcomes)),
+        "gold_sheds": stats["tenants"]["gold"]["sheds"],
+        "bronze_sheds": stats["tenants"]["bronze"]["sheds"],
+        "bronze_served": sum(1 for s in bronze_outcomes if s == 200),
+        "bronze_shed_rate": (
+            sum(1 for s in bronze_outcomes if s == 503) / bronze_total
+            if bronze_total else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def run_serving(
+    universities: int = 2,
+    clients: int = 8,
+    rounds: int = 2,
+    queries: Sequence[str] = ("Q1", "Q4"),
+    qps_levels: Sequence[float] = (4.0, 16.0),
+    seconds_per_level: float = 1.0,
+    burst_size: int = 32,
+    sweep_max_concurrent: int = 2,
+    gold_requests: int = 6,
+    bronze_clients: int = 16,
+    bronze_rounds: int = 3,
+) -> Dict[str, object]:
+    """Drive all the scenarios; see the module docstring.
+
+    ``sweep_max_concurrent`` is deliberately tiny (2): with ~15 ms
+    queries a pool of 2 saturates near 130 qps, so the saturating burst
+    reliably sheds while the low sweep rates reliably don't.  The
+    correctness scenario gets a pool of ``clients`` instead (nothing
+    should shed there).
+    """
+    federation = LubmGenerator(universities=universities).build_federation()
+    # the ground truth: a plain single-threaded engine, no serving layer
+    direct = LusailEngine(federation)
+    expected: Dict[str, dict] = {}
+    for name in queries:
+        result = direct.execute(LUBM_QUERIES[name])
+        if result.status != "OK":
+            raise AssertionError(
+                f"direct execute of {name} failed: {result.status}"
+            )
+        expected[name] = results_document(result.result)
+
+    scenarios: List[Dict[str, object]] = []
+    scenarios.append(
+        _run_correctness(federation, expected, clients, rounds)
+    )
+    scenarios.extend(
+        _run_qps_sweep(
+            federation, LUBM_QUERIES[queries[0]], qps_levels,
+            seconds_per_level, sweep_max_concurrent,
+        )
+    )
+    scenarios.append(
+        _run_saturating_burst(
+            federation, LUBM_QUERIES[queries[0]],
+            burst_size, sweep_max_concurrent,
+        )
+    )
+    scenarios.append(
+        _run_fair_share(
+            federation, LUBM_QUERIES[queries[0]], gold_requests,
+            bronze_clients, bronze_rounds, max_concurrent=4,
+        )
+    )
+    return {
+        "benchmark": "serving",
+        "universities": universities,
+        "queries": list(queries),
+        "deadline_seconds": DEADLINE_SECONDS,
+        "scenarios": scenarios,
+    }
+
+
+def check(
+    universities: int = 2,
+    clients: int = 8,
+    rounds: int = 1,
+) -> Dict[str, object]:
+    """Fast smoke mode asserting the serving invariants:
+
+    - >= 8 concurrent HTTP clients, every response document
+      byte-identical to a direct in-process ``execute()``;
+    - p99 latency of served requests bounded by the configured
+      wall-clock deadline at every offered load, including the
+      saturating burst — overload degrades by shedding, not queueing;
+    - the saturating burst actually sheds (admission is real) while
+      still serving the admitted share;
+    - fair share: the flooding bronze tenant is shed while the quiet
+      gold tenant completes every request with zero sheds.
+    """
+    payload = run_serving(
+        universities=universities, clients=clients, rounds=rounds
+    )
+    by_name: Dict[str, List[Dict[str, object]]] = {}
+    for row in payload["scenarios"]:
+        by_name.setdefault(row["scenario"], []).append(row)
+
+    correctness = by_name["concurrent-correctness"][0]
+    if correctness["clients"] < 8:
+        raise AssertionError("need >= 8 concurrent clients")
+    if correctness["mismatches"]:
+        raise AssertionError(
+            "served results diverged from direct execute(): "
+            + "; ".join(correctness["mismatches"][:5])
+        )
+    burst = by_name["saturating-burst"][0]
+    for row in by_name["qps-sweep"] + [burst, correctness]:
+        p99 = row.get("p99_s")
+        if p99 is not None and p99 >= DEADLINE_SECONDS:
+            raise AssertionError(
+                f"p99 {p99:.3f}s breaches the {DEADLINE_SECONDS}s deadline "
+                f"in {row['scenario']}"
+            )
+    if burst["shed"] == 0:
+        raise AssertionError(
+            "saturating burst shed nothing — admission control inactive"
+        )
+    if burst["served"] == 0:
+        raise AssertionError("saturating burst served nothing")
+    fair = by_name["fair-share"][0]
+    if fair["gold_sheds"] != 0 or fair["gold_statuses"] != [200]:
+        raise AssertionError(
+            f"quiet gold tenant was starved: sheds={fair['gold_sheds']}, "
+            f"statuses={fair['gold_statuses']}"
+        )
+    if fair["bronze_sheds"] == 0:
+        raise AssertionError("flooding bronze tenant was never shed")
+    payload["check"] = "ok"
+    return payload
+
+
+def write_results(
+    payload: Dict[str, object], path: Optional[str] = None
+) -> Path:
+    target = Path(path) if path else Path.cwd() / DEFAULT_OUTPUT
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "Serving: SPARQL protocol over HTTP, multi-tenant QoS",
+        f"LUBM x{payload['universities']} universities, "
+        f"queries {payload['queries']}, "
+        f"deadline {payload['deadline_seconds']}s",
+    ]
+    for row in payload["scenarios"]:
+        if row["scenario"] == "concurrent-correctness":
+            lines.append(
+                f"  correctness: {row['clients']} clients x "
+                f"{row['requests']} requests, "
+                f"{len(row['mismatches'])} mismatches, "
+                f"{row['throughput_qps']:.1f} qps, "
+                f"p50 {row['p50_s'] * 1e3:.1f}ms p99 {row['p99_s'] * 1e3:.1f}ms"
+            )
+        elif row["scenario"] == "qps-sweep":
+            p99 = row["p99_s"]
+            lines.append(
+                f"  sweep @ {row['offered_qps']} qps: "
+                f"{row['served']}/{row['requests']} served, "
+                f"shed rate {row['shed_rate']:.2f}, "
+                + (f"p99 {p99 * 1e3:.1f}ms" if p99 is not None else "p99 -")
+            )
+        elif row["scenario"] == "saturating-burst":
+            p99 = row["p99_s"]
+            lines.append(
+                f"  burst x{row['burst_size']} on pool "
+                f"{row['max_concurrent']}: {row['served']} served, "
+                f"{row['shed']} shed "
+                f"({row['shed_rate']:.2f}), "
+                + (f"p99 {p99 * 1e3:.1f}ms" if p99 is not None else "p99 -")
+            )
+        else:
+            lines.append(
+                f"  fair-share: gold sheds {row['gold_sheds']} "
+                f"(statuses {row['gold_statuses']}), bronze sheds "
+                f"{row['bronze_sheds']} "
+                f"(shed rate {row['bronze_shed_rate']:.2f}, "
+                f"{row['bronze_served']} served)"
+            )
+    if payload.get("check") == "ok":
+        lines.append("  check: ok")
+    return "\n".join(lines)

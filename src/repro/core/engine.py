@@ -125,6 +125,7 @@ class LusailEngine:
         admission: Optional[AdmissionController] = None,
         result_cache: bool = True,
         result_cache_bytes: int = 64 * 1024 * 1024,
+        reset_request_windows: bool = True,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -196,6 +197,11 @@ class LusailEngine:
         #: copy; engine-lifetime so round-robin rotation and latency
         #: history persist across queries
         self.replica_router = ReplicaRouter(self.latency_tracker)
+        #: reset per-query endpoint rate-limit windows at query setup
+        #: (the single-caller default).  The serving layer turns this
+        #: off: with many queries in flight, one query's setup must not
+        #: clear the windows the others are being measured against.
+        self.reset_request_windows = reset_request_windows
 
     # ------------------------------------------------------------------
     # Public API
@@ -272,6 +278,7 @@ class LusailEngine:
             use_dictionary=self.use_dictionary,
             vectorized_joins=self.vectorized_joins,
             deadline=deadline,
+            reset_windows=self.reset_request_windows,
         )
         if trace:
             context.trace = QueryTrace()
@@ -717,7 +724,11 @@ class LusailEngine:
     def _mark_cache_warm(self, subqueries: Sequence[Subquery]) -> None:
         """Set ``cache_warm`` on subqueries the result cache fully covers
         (the unconstrained relation of every source is cached at the
-        source's current store version)."""
+        source's current store version).  Warmth probes use the same
+        fragment-scoped identity as the cache itself, so a subquery whose
+        relation was cached via *another* replica of the same fragment
+        still counts as warm — the router's choice cannot make the cost
+        model lie."""
         cache = self.result_cache
         for subquery in subqueries:
             if cache is None or not subquery.sources:
@@ -725,11 +736,7 @@ class LusailEngine:
                 continue
             key = subquery_cache_key(subquery)
             subquery.cache_warm = all(
-                cache.contains(
-                    endpoint_id,
-                    self.federation.endpoint_version(endpoint_id),
-                    key,
-                )
+                cache.contains(*self.federation.cache_identity(endpoint_id), key)
                 for endpoint_id in subquery.sources
             )
 

@@ -132,8 +132,15 @@ class SubqueryEvaluator:
     # Result-cache plumbing
     # ------------------------------------------------------------------
 
-    def _endpoint_version(self, endpoint_id: str) -> int:
-        return self.handler.federation.endpoint_version(endpoint_id)
+    def _cache_identity(self, endpoint_id: str) -> tuple:
+        """The endpoint's result-cache ``(scope, version token)``.
+
+        Replicated endpoints share a fragment scope (see
+        :meth:`~repro.federation.federation.Federation.cache_identity`),
+        so a subquery answered by one replica warms the cache for every
+        copy the router might pick next time.
+        """
+        return self.handler.federation.cache_identity(endpoint_id)
 
     def _cache_lookup(
         self, subquery: Subquery, endpoint_id: str, values_block=None
@@ -148,9 +155,10 @@ class SubqueryEvaluator:
         if self.result_cache is None:
             return None
         key = subquery_cache_key(subquery, values_block)
+        scope, version = self._cache_identity(endpoint_id)
         hit = self.result_cache.get(
-            endpoint_id,
-            self._endpoint_version(endpoint_id),
+            scope,
+            version,
             key,
             projection=subquery.effective_projection(),
         )
@@ -179,15 +187,16 @@ class SubqueryEvaluator:
         Only full answers reach this point — failed or degraded settles
         return None from ``_settle_contribution`` and are never cached,
         so partial-mode degradation can never poison the cache.  The
-        entry lands under the *answering* endpoint's id (a replica that
-        answered a reroute caches under its own id, where future
-        selections will look for it).
+        entry lands under the answering endpoint's *cache scope*: its own
+        id normally, the shared fragment scope when it is a declared
+        replica — so a future query routed to the other copy still hits.
         """
         if self.result_cache is None or not isinstance(value, ResultSet):
             return
+        scope, version = self._cache_identity(endpoint_id)
         self.result_cache.put(
-            endpoint_id,
-            self._endpoint_version(endpoint_id),
+            scope,
+            version,
             subquery_cache_key(subquery, values_block),
             value,
         )

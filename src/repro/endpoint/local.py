@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional
 
 from ..rdf.triple import Triple
@@ -60,6 +61,15 @@ class LocalEndpoint:
         #: dictionary-encoded store (no-op when the store is term-keyed)
         self._evaluator = Evaluator(store, use_dictionary=use_dictionary)
         self._parse_cache: Dict[str, Query] = {}
+        #: serializes :meth:`execute` like a single-threaded SPARQL
+        #: server answering one query at a time.  The evaluator's stats
+        #: snapshot/delta window, the rate-limit window, the parse cache,
+        #: and the fault injector all mutate shared state — without this
+        #: lock, *concurrent queries* (each with its own request handler)
+        #: interleave those read-modify-write windows and the per-request
+        #: compute attribution drifts.  RLock so reset_request_window can
+        #: be called while holding it.
+        self._lock = threading.RLock()
 
     @classmethod
     def from_triples(
@@ -91,11 +101,16 @@ class LocalEndpoint:
         self.faults = injector_for(self.endpoint_id, profile, 0.0, 97)
 
     def reset_request_window(self) -> None:
-        self._requests_in_window = 0
-        if self.faults is not None:
-            self.faults.reset_window()
+        with self._lock:
+            self._requests_in_window = 0
+            if self.faults is not None:
+                self.faults.reset_window()
 
     def execute(self, query_text: str) -> EndpointResponse:
+        with self._lock:
+            return self._execute_locked(query_text)
+
+    def _execute_locked(self, query_text: str) -> EndpointResponse:
         if self.max_requests_per_query is not None:
             self._requests_in_window += 1
             if self._requests_in_window > self.max_requests_per_query:

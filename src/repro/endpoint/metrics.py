@@ -9,6 +9,7 @@ the virtual timeout and intermediate-result budgets.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -79,7 +80,15 @@ class CompletenessReport:
 
 @dataclass
 class Metrics:
-    """Counters for one query execution."""
+    """Counters for one query execution.
+
+    Plain ``metrics.field += n`` updates are safe on the orchestrating
+    thread (the request scheduler mutates counters there only), but a
+    serving layer running many queries may fold counters across threads
+    — use :meth:`increment` / :meth:`merge` for those paths: Python's
+    read-modify-write ``+=`` is not atomic, and unlocked concurrent
+    increments silently lose updates.
+    """
 
     requests: int = 0
     ask_requests: int = 0
@@ -153,6 +162,37 @@ class Metrics:
     fragment_pruned: int = 0
     #: routing decisions made over declared replicated fragments
     replica_routes: int = 0
+    #: guards cross-thread counter updates (increment/merge/record_compute)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def increment(self, name: str, amount: float = 1) -> None:
+        """Atomically add ``amount`` to the scalar counter ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def merge(self, other: "Metrics") -> None:
+        """Atomically fold another query's counters into this one.
+
+        Scalar counters add; ``peak_intermediate_rows`` and
+        ``inflight_high_water`` take the max; the dict-valued views
+        (phases, evaluator compute, lane busy time) merge per key.  The
+        serving layer uses this to aggregate per-query metrics into a
+        long-lived rollup without losing updates across threads.
+        """
+        with self._lock:
+            for name, value in other.snapshot().items():
+                if ":" in name or name == "lane_utilization":
+                    continue
+                if name in ("peak_intermediate_rows", "inflight_high_water"):
+                    setattr(self, name, max(getattr(self, name), value))
+                else:
+                    setattr(self, name, getattr(self, name) + value)
+            for bucket_name in ("phase_seconds", "evaluator", "lane_busy_seconds"):
+                mine = getattr(self, bucket_name)
+                for key, value in getattr(other, bucket_name).items():
+                    mine[key] = mine.get(key, 0) + value
 
     def lane_utilization(self) -> float:
         """Mean busy fraction of the endpoint lanes over the query's

@@ -15,6 +15,7 @@ namespace.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..rdf.term import Variable
@@ -35,24 +36,30 @@ def canonical_pattern_key(pattern: TriplePattern) -> str:
 
 
 class AskCache:
-    """Caches per-endpoint ASK answers keyed by canonical pattern."""
+    """Caches per-endpoint ASK answers keyed by canonical pattern.
+
+    Engine-lifetime and shared across concurrent queries (the serving
+    layer); the lock keeps the hit/miss counters exact under threads.
+    """
 
     def __init__(self):
         self._entries: Dict[Tuple[str, int, str], bool] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(
         self, endpoint_id: str, pattern: TriplePattern, version: int = 0
     ) -> Optional[bool]:
-        value = self._entries.get(
-            (endpoint_id, version, canonical_pattern_key(pattern))
-        )
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(
+                (endpoint_id, version, canonical_pattern_key(pattern))
+            )
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def put(
         self,
@@ -62,7 +69,8 @@ class AskCache:
         version: int = 0,
     ) -> None:
         key = (endpoint_id, version, canonical_pattern_key(pattern))
-        self._entries[key] = answer
+        with self._lock:
+            self._entries[key] = answer
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,19 +92,22 @@ class CountCache:
 
     def __init__(self):
         self._entries: Dict[Tuple, int] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Tuple, default: Optional[int] = None) -> Optional[int]:
-        value = self._entries.get(key, default)
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, default)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def __setitem__(self, key: Tuple, count: int) -> None:
-        self._entries[key] = count
+        with self._lock:
+            self._entries[key] = count
 
     def __contains__(self, key: Tuple) -> bool:
         return key in self._entries
@@ -116,6 +127,7 @@ class CheckCache:
 
     def __init__(self):
         self._entries: Dict[Tuple[str, int, str], bool] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -133,17 +145,19 @@ class CheckCache:
     def get(
         self, endpoint_id: str, signature: str, version: int = 0
     ) -> Optional[bool]:
-        value = self._entries.get((endpoint_id, version, signature))
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get((endpoint_id, version, signature))
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def put(
         self, endpoint_id: str, signature: str, is_global: bool, version: int = 0
     ) -> None:
-        self._entries[(endpoint_id, version, signature)] = is_global
+        with self._lock:
+            self._entries[(endpoint_id, version, signature)] = is_global
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -205,37 +205,45 @@ class LatencyTracker:
         #: endpoint id -> quantile -> estimator
         self._estimators: Dict[str, Dict[float, P2Quantile]] = {}
         self._counts: Dict[str, int] = {}
+        # One tracker serves every query the engine runs; concurrent
+        # serving-layer executions observe from many threads, and the P²
+        # marker updates are multi-step — unlocked, they corrupt.
+        self._lock = threading.Lock()
 
     def observe(self, endpoint_id: str, seconds: float) -> None:
-        per_endpoint = self._estimators.get(endpoint_id)
-        if per_endpoint is None:
-            per_endpoint = {q: P2Quantile(q) for q in self.QUANTILES}
-            self._estimators[endpoint_id] = per_endpoint
-        for estimator in per_endpoint.values():
-            estimator.observe(seconds)
-        self._counts[endpoint_id] = self._counts.get(endpoint_id, 0) + 1
+        with self._lock:
+            per_endpoint = self._estimators.get(endpoint_id)
+            if per_endpoint is None:
+                per_endpoint = {q: P2Quantile(q) for q in self.QUANTILES}
+                self._estimators[endpoint_id] = per_endpoint
+            for estimator in per_endpoint.values():
+                estimator.observe(seconds)
+            self._counts[endpoint_id] = self._counts.get(endpoint_id, 0) + 1
 
     def count(self, endpoint_id: str) -> int:
-        return self._counts.get(endpoint_id, 0)
+        with self._lock:
+            return self._counts.get(endpoint_id, 0)
 
     def quantile(self, endpoint_id: str, q: float) -> Optional[float]:
-        per_endpoint = self._estimators.get(endpoint_id)
-        if per_endpoint is None or q not in per_endpoint:
-            return None
-        return per_endpoint[q].value()
+        with self._lock:
+            per_endpoint = self._estimators.get(endpoint_id)
+            if per_endpoint is None or q not in per_endpoint:
+                return None
+            return per_endpoint[q].value()
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """``{endpoint: {count, p50, p95, p99}}`` for metrics export."""
         out: Dict[str, Dict[str, float]] = {}
-        for endpoint_id, per_endpoint in self._estimators.items():
-            entry: Dict[str, float] = {
-                "count": float(self._counts.get(endpoint_id, 0))
-            }
-            for q, estimator in per_endpoint.items():
-                value = estimator.value()
-                if value is not None:
-                    entry[f"p{int(q * 100)}"] = value
-            out[endpoint_id] = entry
+        with self._lock:
+            for endpoint_id, per_endpoint in self._estimators.items():
+                entry: Dict[str, float] = {
+                    "count": float(self._counts.get(endpoint_id, 0))
+                }
+                for q, estimator in per_endpoint.items():
+                    value = estimator.value()
+                    if value is not None:
+                        entry[f"p{int(q * 100)}"] = value
+                out[endpoint_id] = entry
         return out
 
 

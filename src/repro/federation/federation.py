@@ -77,6 +77,37 @@ class Federation:
         store = getattr(endpoint, "store", None)
         return getattr(store, "version", 0)
 
+    def cache_identity(self, endpoint_id: str) -> tuple:
+        """``(scope, version token)`` for result-cache keying.
+
+        Endpoints declared byte-identical — members of a *full-replica*
+        fragment (``predicates=None``) or a primary/standby replica pair
+        — share one cache scope: the replica router may legitimately
+        send the same subquery to a different copy on the next pass, and
+        keying by the answering endpoint's id would then silently miss
+        the warm entry (and make ``cache_warm`` cost modeling lie).  The
+        version token is the tuple of *all* member store versions, so
+        mutating any copy invalidates the shared entries.  Predicate-set
+        fragments keep per-endpoint identity: their members are only
+        interchangeable for covered patterns, not whole subqueries.
+        """
+        for fragment in self._fragments.values():
+            if fragment.predicates is None and endpoint_id in fragment.endpoints:
+                return (
+                    f"fragment:{fragment.name}",
+                    tuple(self.endpoint_version(e) for e in fragment.endpoints),
+                )
+        for primary, replica in self._replicas.items():
+            if endpoint_id in (primary, replica):
+                return (
+                    f"replica-pair:{primary}",
+                    (
+                        self.endpoint_version(primary),
+                        self.endpoint_version(replica),
+                    ),
+                )
+        return endpoint_id, self.endpoint_version(endpoint_id)
+
     # -- replicas ----------------------------------------------------------
 
     def _require_endpoint(self, endpoint_id: str, role: str) -> None:
@@ -176,6 +207,7 @@ class Federation:
         use_dictionary: bool = True,
         vectorized_joins: bool = True,
         deadline=None,
+        reset_windows: bool = True,
     ) -> ExecutionContext:
         """Fresh virtual clock and budgets for one query execution.
 
@@ -183,8 +215,14 @@ class Federation:
         :class:`~repro.federation.deadline.Deadline` — the query's hard
         virtual-time budget, threaded through the context to the
         request handler and every phase that checks it.
+
+        ``reset_windows=False`` skips the per-query endpoint rate-limit
+        window reset: under the serving layer many queries run at once,
+        and one query's setup must not clear the windows other in-flight
+        queries are being measured against.
         """
-        self.reset_request_windows()
+        if reset_windows:
+            self.reset_request_windows()
         return ExecutionContext(
             network=self.network,
             client_region=self.client_region,

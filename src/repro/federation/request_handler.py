@@ -52,8 +52,17 @@ With ``use_threads=True`` submissions additionally run on a real
 :class:`~concurrent.futures.ThreadPoolExecutor` (the paper's setup);
 futures are *scheduled* in submission order regardless of real
 completion order, so results and accounting are bit-identical to the
-single-threaded default — endpoints are read-only during queries, and a
-per-endpoint lock keeps their evaluator counters coherent.
+single-threaded default — endpoints are read-only during queries and
+serialize their own :meth:`~repro.endpoint.local.LocalEndpoint.execute`
+(one lock per endpoint, not per handler, so *concurrent queries* from
+the serving layer keep the evaluator counters coherent too).
+
+``close()`` is idempotent and safe to call from any thread, including
+while hedged requests are unresolved: the drain never launches new
+hedges (a drained future's answer is never read, so racing a replica
+for it would double-charge the replica's lane for nothing), abandoned
+futures are counted as cancelled exactly once, and submissions arriving
+after close are shed without touching the executor.
 """
 
 from __future__ import annotations
@@ -242,14 +251,14 @@ class ElasticRequestHandler:
         self._worker_free: List[float] = []
         #: submitted-but-unscheduled futures, resolved strictly in order
         self._pending: Deque[ResponseFuture] = deque()
-        #: serializes endpoint evaluator access in ``use_threads`` mode
-        #: (standby replicas included — they receive rerouted traffic)
-        self._endpoint_locks = {
-            endpoint_id: threading.Lock()
-            for endpoint_id in getattr(
-                federation, "all_endpoint_ids", federation.endpoint_ids
-            )
-        }
+        #: guards the scheduling loop (resolve/drain both pop _pending);
+        #: RLock because _schedule_next runs nested inside either
+        self._sched_lock = threading.RLock()
+        #: set once by close(); later submissions shed, later closes no-op
+        self._closed = False
+        #: True only while close() drains — suppresses new hedges, whose
+        #: answers nobody would read
+        self._draining = False
 
     def close(self) -> None:
         # Submitted-but-ungathered futures (e.g. the engine aborted
@@ -260,13 +269,23 @@ class ElasticRequestHandler:
         # (_schedule_next parks exceptions on the future, it never
         # raises) and the virtual clock is left where the query ended.
         # Each one counts as cancelled: the endpoint did the work, the
-        # query never read the answer.
-        abandoned = len(self._pending)
-        while self._pending:
-            self._schedule_next()
-        if abandoned:
-            self.cancelled += abandoned
-            self.context.metrics.requests_cancelled += abandoned
+        # query never read the answer.  Idempotent and thread-safe: a
+        # second close (or one racing a result()) finds nothing to drain
+        # and never double-counts.
+        with self._sched_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+            try:
+                abandoned = len(self._pending)
+                while self._pending:
+                    self._schedule_next()
+                if abandoned:
+                    self.cancelled += abandoned
+                    self.context.metrics.requests_cancelled += abandoned
+            finally:
+                self._draining = False
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -369,16 +388,6 @@ class ElasticRequestHandler:
             response.bytes_received,
         )
 
-    def _perform_locked(self, request: Request) -> Tuple[Response, int, int]:
-        """Threaded perform: one request per endpoint at a time, so the
-        endpoint evaluator's compute counters stay per-request-exact
-        (matching the lane model, which serializes endpoints anyway)."""
-        lock = self._endpoint_locks.get(request.endpoint_id)
-        if lock is None:  # unknown endpoint: let _perform raise KeyError
-            return self._perform(request)
-        with lock:
-            return self._perform(request)
-
     def _record(self, response: Response, bytes_sent: int, bytes_received: int):
         self.context.record_request(
             response.request.kind, bytes_sent, bytes_received, response.compute
@@ -395,7 +404,22 @@ class ElasticRequestHandler:
         start time is the virtual clock *now*, so submissions from
         different pipeline stages overlap until something resolves them.
         """
+        with self._sched_lock:
+            return self._submit_locked(request)
+
+    def _submit_locked(self, request: Request) -> ResponseFuture:
         metrics = self.context.metrics
+        if self._closed:
+            # The handler is shut down (the executor may be gone):
+            # park a rejection on an already-resolved future instead of
+            # touching the pool — nothing will ever drain _pending again.
+            future = ResponseFuture(self, request, metrics.virtual_seconds)
+            future._exception = QueryRejectedError(
+                request.endpoint_id, "request handler is closed"
+            )
+            future._scheduled = True
+            metrics.sheds += 1
+            return future
         if not self._pending:
             metrics.scheduler_waves += 1
         future = ResponseFuture(self, request, metrics.virtual_seconds)
@@ -414,7 +438,7 @@ class ElasticRequestHandler:
             return future
         if self.use_threads:
             future._thread_future = self._pool().submit(
-                self._perform_locked, request
+                self._perform, request
             )
         else:
             try:
@@ -608,9 +632,12 @@ class ElasticRequestHandler:
     def _resolve(self, future: ResponseFuture) -> Response:
         # Scheduling is strictly submission-ordered: resolving a future
         # first schedules everything submitted before it, which keeps
-        # threaded and single-threaded accounting identical.
-        while not future._scheduled:
-            self._schedule_next()
+        # threaded and single-threaded accounting identical.  The lock
+        # makes a close() racing this resolution safe: whichever enters
+        # first drains; the other finds the future already scheduled.
+        with self._sched_lock:
+            while not future._scheduled:
+                self._schedule_next()
         # Failures charge the clock too — the caller really waited out
         # the retries and backoffs before seeing the error.
         clock = self.context.metrics.virtual_seconds
@@ -784,9 +811,12 @@ class ElasticRequestHandler:
         cancel-accounted: its lane time is held only up to the moment
         the winner answered, and ``requests_cancelled`` counts it.
         The hedge is performed on the orchestrating thread in both
-        execution modes, keeping them bit-identical.
+        execution modes, keeping them bit-identical.  During a close()
+        drain no hedge is ever launched: the drained future's answer is
+        never read, so the speculative replica request would write to a
+        dead future and charge its lane for work nobody wanted.
         """
-        if not self.hedge:
+        if not self.hedge or self._draining:
             return response
         replica_id = self.federation.replica_of(endpoint_id)
         if replica_id is None:
@@ -799,9 +829,10 @@ class ElasticRequestHandler:
         request = future.request
         hedge_request = Request(replica_id, request.query_text, request.kind)
         launched_at = self._lane_start(future, endpoint_id) + trigger
-        perform = self._perform_locked if self.use_threads else self._perform
         try:
-            hedge_response, hedge_sent, hedge_received = perform(hedge_request)
+            hedge_response, hedge_sent, hedge_received = self._perform(
+                hedge_request
+            )
         except Exception as error:
             # The replica failed too — the primary answer stands; the
             # replica's attempts and lane time are still accounted.

@@ -5,14 +5,19 @@ module extends the same idea to the *answers* of the subqueries
 themselves, so the second pass of any workload is nearly free.  Entries
 are keyed by
 
-``(endpoint id, endpoint store version, canonical subquery key)``
+``(cache scope, store version token, canonical subquery key)``
 
 where the canonical key is invariant under variable renaming (like
 :func:`~repro.federation.cache.canonical_pattern_key`, extended to whole
 subqueries: patterns, pushed filters, projection, and an optional VALUES
-constraint).  Keying by the endpoint store's ``_version`` counter makes
-mutation invalidation automatic: a store write bumps the version and
-every cached relation for that endpoint silently becomes unreachable.
+constraint).  The scope is the endpoint id — or, for endpoints that are
+declared full replicas of one another, a shared *fragment* scope
+(:meth:`~repro.federation.federation.Federation.cache_identity`), so the
+replica router sending the same subquery to a different copy on the next
+pass still finds the warm entry.  Keying by the store ``_version``
+counter(s) makes mutation invalidation automatic: a store write bumps
+the version and every cached relation under that token silently becomes
+unreachable.
 
 Eviction is LRU under both an entry-count bound and a byte budget
 (``estimated_bytes`` of the cached rows), because federated relations
@@ -25,8 +30,9 @@ responses reach the cache, so a cache hit is always a full answer.
 from __future__ import annotations
 
 import re
+import threading
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..rdf.term import GroundTerm, Variable
 from ..rdf.triple import TriplePattern
@@ -114,6 +120,19 @@ class ResultCache:
     the header rewritten to the caller's projection — canonical keys
     guarantee positional correspondence even when variable names differ
     between the caching and the hitting query.
+
+    The cache is engine-lifetime and therefore shared by every query the
+    engine runs; a lock guards the ``OrderedDict`` (move_to_end during a
+    concurrent eviction would corrupt it) and keeps the hit/miss/byte
+    counters exact under the serving layer's concurrent executions.
+
+    ``scope`` is whatever namespace the caller keys the entry under —
+    historically an endpoint id, since PR 8 a *fragment* scope for
+    endpoints that replicate the same data
+    (:meth:`~repro.federation.federation.Federation.cache_identity`), so
+    routing the same subquery to a different replica still finds the warm
+    entry.  ``version`` is any hashable store-version token (an int, or a
+    tuple of member versions for a fragment scope).
     """
 
     #: fixed per-entry bookkeeping charge on top of the row payload
@@ -126,8 +145,9 @@ class ResultCache:
     ):
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        #: (endpoint id, store version, canonical key) -> (header, rows, bytes)
-        self._entries: "OrderedDict[Tuple[str, int, str], Tuple[Tuple[Variable, ...], List[tuple], int]]" = OrderedDict()
+        #: (scope, version token, canonical key) -> (header, rows, bytes)
+        self._entries: "OrderedDict[Tuple[str, Hashable, str], Tuple[Tuple[Variable, ...], List[tuple], int]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -135,59 +155,66 @@ class ResultCache:
 
     def get(
         self,
-        endpoint_id: str,
-        version: int,
+        scope: str,
+        version: Hashable,
         key: str,
         projection: Optional[Sequence[Variable]] = None,
     ) -> Optional[ResultSet]:
-        entry = self._entries.get((endpoint_id, version, key))
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end((endpoint_id, version, key))
-        self.hits += 1
-        header, rows, _size = entry
+        with self._lock:
+            entry = self._entries.get((scope, version, key))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((scope, version, key))
+            self.hits += 1
+            header, rows, _size = entry
+            rows = list(rows)
         if projection is not None:
             header = tuple(projection)
-        return ResultSet(header, list(rows))
+        return ResultSet(header, rows)
 
-    def contains(self, endpoint_id: str, version: int, key: str) -> bool:
+    def contains(self, scope: str, version: Hashable, key: str) -> bool:
         """Warmth probe for the cost model — no hit/miss accounting."""
-        return (endpoint_id, version, key) in self._entries
+        with self._lock:
+            return (scope, version, key) in self._entries
 
     def put(
-        self, endpoint_id: str, version: int, key: str, result: ResultSet
+        self, scope: str, version: Hashable, key: str, result: ResultSet
     ) -> None:
         size = self.ENTRY_OVERHEAD_BYTES + result.estimated_bytes()
         if size > self.max_bytes:
             return
-        full_key = (endpoint_id, version, key)
-        previous = self._entries.pop(full_key, None)
-        if previous is not None:
-            self.current_bytes -= previous[2]
-        self._entries[full_key] = (result.variables, list(result.rows), size)
-        self.current_bytes += size
-        while self._entries and (
-            len(self._entries) > self.max_entries
-            or self.current_bytes > self.max_bytes
-        ):
-            _, (_, _, evicted) = self._entries.popitem(last=False)
-            self.current_bytes -= evicted
-            self.evictions += 1
+        full_key = (scope, version, key)
+        with self._lock:
+            previous = self._entries.pop(full_key, None)
+            if previous is not None:
+                self.current_bytes -= previous[2]
+            self._entries[full_key] = (result.variables, list(result.rows), size)
+            self.current_bytes += size
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self.current_bytes > self.max_bytes
+            ):
+                _, (_, _, evicted) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are cumulative and survive)."""
-        self._entries.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "bytes": self.current_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

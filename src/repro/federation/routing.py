@@ -26,6 +26,7 @@ the LADE decomposition itself untouched.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
@@ -68,6 +69,9 @@ class ReplicaRouter:
         #: endpoint id -> routing decisions that landed on it (the
         #: load-split counter the routing tests assert on)
         self.routed: Dict[str, int] = {}
+        #: engine-lifetime state, shared by concurrent queries: the
+        #: rotation and routed counters are read-modify-write
+        self._lock = threading.Lock()
 
     def score(self, endpoint_id: str, handler=None) -> float:
         """Lower is better: current lane backlog plus median latency."""
@@ -89,8 +93,10 @@ class ReplicaRouter:
             scores = {eid: self.score(eid, handler) for eid in candidates}
             best = min(scores.values())
             tied = [eid for eid in candidates if scores[eid] <= best + 1e-12]
-            turn = self._rotation.get(fragment.name, 0)
-            self._rotation[fragment.name] = turn + 1
+            with self._lock:
+                turn = self._rotation.get(fragment.name, 0)
+                self._rotation[fragment.name] = turn + 1
             chosen = tied[turn % len(tied)]
-        self.routed[chosen] = self.routed.get(chosen, 0) + 1
+        with self._lock:
+            self.routed[chosen] = self.routed.get(chosen, 0) + 1
         return chosen

@@ -1,0 +1,65 @@
+"""SPARQL-protocol HTTP serving with multi-tenant QoS.
+
+The layering, top to bottom:
+
+- :mod:`repro.serving.server` — stdlib ``ThreadingHTTPServer`` speaking
+  the SPARQL 1.1 Protocol (``GET``/``POST /sparql``) with chunked
+  result streaming;
+- :mod:`repro.serving.sessions` — :class:`QuerySessionManager`: API-key
+  tenants, fair-share admission, per-tenant usage accounting;
+- :mod:`repro.serving.protocol` — the SPARQL JSON results wire format
+  and its streaming serializer;
+- underneath, one shared :class:`~repro.core.engine.LusailEngine` built
+  with ``use_threads=True`` and ``reset_request_windows=False`` so
+  concurrent queries coexist on the same federation.
+"""
+
+from .protocol import (
+    SPARQL_QUERY,
+    SPARQL_RESULTS_JSON,
+    boolean_document,
+    iter_results_chunks,
+    negotiate,
+    parse_results_document,
+    results_document,
+    term_from_json,
+    term_to_json,
+)
+from .server import (
+    DEFAULT_CHUNK_ROWS,
+    LusailHTTPServer,
+    SparqlRequestHandler,
+    start_server,
+)
+from .sessions import (
+    DEFAULT_TENANT,
+    QuerySessionManager,
+    ServingError,
+    TenantClass,
+    TenantOverloadError,
+    TenantUsage,
+    UnknownTenantError,
+)
+
+__all__ = [
+    "SPARQL_QUERY",
+    "SPARQL_RESULTS_JSON",
+    "boolean_document",
+    "iter_results_chunks",
+    "negotiate",
+    "parse_results_document",
+    "results_document",
+    "term_from_json",
+    "term_to_json",
+    "DEFAULT_CHUNK_ROWS",
+    "LusailHTTPServer",
+    "SparqlRequestHandler",
+    "start_server",
+    "DEFAULT_TENANT",
+    "QuerySessionManager",
+    "ServingError",
+    "TenantClass",
+    "TenantOverloadError",
+    "TenantUsage",
+    "UnknownTenantError",
+]

@@ -1,0 +1,174 @@
+"""SPARQL 1.1 Protocol wire formats: the JSON results document.
+
+The serving layer speaks the standard result serialization
+(`SPARQL 1.1 Query Results JSON Format`_) so stock HTTP clients — curl,
+``urllib``, rdflib, a Fuseki driver — can consume answers without
+knowing anything about this engine:
+
+.. code-block:: json
+
+    {"head": {"vars": ["s", "p"]},
+     "results": {"bindings": [
+        {"s": {"type": "uri", "value": "http://example.org/x"},
+         "p": {"type": "literal", "value": "chat", "xml:lang": "fr"}}]}}
+
+Terms encode losslessly: IRIs, blank nodes, plain / typed / language-
+tagged literals all round-trip through :func:`term_to_json` /
+:func:`term_from_json`, and a whole :class:`ResultSet` round-trips
+through :func:`results_document` / :func:`parse_results_document` —
+the satellite tests assert bit-identity against direct ``execute()``.
+
+:func:`iter_results_chunks` is the streaming serializer: it yields the
+document in bounded pieces (header, then ``chunk_rows`` bindings at a
+time) so the HTTP layer can write chunked transfer encoding without
+ever materializing the full document in memory.
+
+.. _SPARQL 1.1 Query Results JSON Format:
+   https://www.w3.org/TR/sparql11-results-json/
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..rdf.term import BNode, GroundTerm, IRI, Literal, Variable
+from ..sparql.results import ResultSet
+
+#: the standard media type for the JSON results document
+SPARQL_RESULTS_JSON = "application/sparql-results+json"
+#: media type of a bare SPARQL query in a POST body
+SPARQL_QUERY = "application/sparql-query"
+
+#: Accept values we serve the JSON results document for.  SPARQL's
+#: protocol spec lets a server pick any supported format; JSON is the
+#: only one here, so anything that admits it (or anything at all) gets it.
+_ACCEPTABLE = (
+    SPARQL_RESULTS_JSON,
+    "application/json",
+    "application/*",
+    "*/*",
+)
+
+
+def negotiate(accept_header: Optional[str]) -> Optional[str]:
+    """The response media type for an Accept header, or None for 406.
+
+    An absent or empty header means "anything" (per RFC 9110).  Quality
+    parameters are tolerated and ignored — there is only one format on
+    offer, so preferences cannot change the outcome.
+    """
+    if not accept_header or not accept_header.strip():
+        return SPARQL_RESULTS_JSON
+    for clause in accept_header.split(","):
+        media_type = clause.split(";", 1)[0].strip().lower()
+        if media_type in _ACCEPTABLE:
+            return SPARQL_RESULTS_JSON
+    return None
+
+
+def term_to_json(term: GroundTerm) -> Dict[str, str]:
+    """One RDF term as a SPARQL JSON results cell."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        cell: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            cell["xml:lang"] = term.language
+        elif term.datatype is not None:
+            cell["datatype"] = term.datatype
+        return cell
+    raise TypeError(f"not a ground RDF term: {term!r}")
+
+
+def term_from_json(cell: Dict[str, str]) -> GroundTerm:
+    """Inverse of :func:`term_to_json` (accepts ``typed-literal`` too,
+    which older Virtuoso-style servers emit)."""
+    kind = cell.get("type")
+    value = cell.get("value")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BNode(value)
+    if kind in ("literal", "typed-literal"):
+        return Literal(
+            value,
+            datatype=cell.get("datatype"),
+            language=cell.get("xml:lang"),
+        )
+    raise ValueError(f"unknown term type in results document: {cell!r}")
+
+
+def _binding_to_json(
+    variables: Sequence[Variable], row: Sequence[Optional[GroundTerm]]
+) -> Dict[str, Dict[str, str]]:
+    # Unbound cells are simply absent from the binding object, per spec.
+    return {
+        variable.name: term_to_json(cell)
+        for variable, cell in zip(variables, row)
+        if cell is not None
+    }
+
+
+def results_document(result: ResultSet) -> Dict[str, object]:
+    """The complete SELECT results document for one result set."""
+    return {
+        "head": {"vars": [v.name for v in result.variables]},
+        "results": {
+            "bindings": [
+                _binding_to_json(result.variables, row) for row in result.rows
+            ]
+        },
+    }
+
+
+def boolean_document(value: bool) -> Dict[str, object]:
+    """The ASK results document."""
+    return {"head": {}, "boolean": bool(value)}
+
+
+def parse_results_document(document: Dict[str, object]) -> ResultSet:
+    """Rebuild a :class:`ResultSet` from a parsed JSON results document.
+
+    The header order is the ``head.vars`` order; variables absent from a
+    binding become unbound (``None``) cells, so the reconstruction is
+    exactly inverse to :func:`results_document`.
+    """
+    variables = [Variable(name) for name in document["head"]["vars"]]
+    rows = []
+    for binding in document["results"]["bindings"]:
+        rows.append(
+            tuple(
+                term_from_json(binding[v.name]) if v.name in binding else None
+                for v in variables
+            )
+        )
+    return ResultSet(variables, rows)
+
+
+def iter_results_chunks(
+    result: ResultSet, chunk_rows: int = 256
+) -> Iterator[bytes]:
+    """Yield the SELECT results document as bounded UTF-8 pieces.
+
+    The concatenation of every chunk is byte-for-byte a valid JSON
+    document equal to ``json.dumps(results_document(result))`` modulo
+    whitespace; no piece ever holds more than ``chunk_rows`` serialized
+    bindings, so the server's output buffer stays bounded regardless of
+    result size — incremental streaming with bounded buffering.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    head = json.dumps({"vars": [v.name for v in result.variables]})
+    yield f'{{"head": {head}, "results": {{"bindings": ['.encode("utf-8")
+    first = True
+    for start in range(0, len(result.rows), chunk_rows):
+        pieces = []
+        for row in result.rows[start:start + chunk_rows]:
+            pieces.append(json.dumps(_binding_to_json(result.variables, row)))
+        prefix = "" if first else ", "
+        first = False
+        yield (prefix + ", ".join(pieces)).encode("utf-8")
+    yield b"]}}"

@@ -1,0 +1,306 @@
+"""A SPARQL-protocol HTTP front end on the stdlib threading server.
+
+:class:`LusailHTTPServer` exposes one
+:class:`~repro.serving.sessions.QuerySessionManager` over the `SPARQL
+1.1 Protocol`_:
+
+- ``GET /sparql?query=...`` and ``POST /sparql`` (form-encoded
+  ``query=`` or a bare ``application/sparql-query`` body) run a query;
+- results stream back as ``application/sparql-results+json`` over
+  HTTP/1.1 chunked transfer encoding, ``chunk_rows`` bindings per chunk
+  (bounded buffering — a million-row answer never materializes as one
+  bytes object);
+- ``GET /health`` and ``GET /stats`` expose liveness and the per-tenant
+  QoS counters.
+
+Error mapping follows the protocol spec plus the engine's own status
+vocabulary: malformed/unsupported queries → 400, unknown API key → 401,
+content-type we can't read → 415, nothing acceptable to the client →
+406, fair-share shed → 503 + ``Retry-After``, query deadline exceeded →
+504, resource exhaustion / internal failure → 500.  A ``PARTIAL``
+result is still a 200 — the client gets every binding we produced — but
+carries ``X-Lusail-Status: PARTIAL`` so callers can tell.
+
+Each HTTP request runs on its own :class:`ThreadingHTTPServer` thread;
+all cross-request coordination (admission, fair share, shared caches,
+endpoint serialization) lives in the session manager and the engine
+stack underneath it.
+
+.. _SPARQL 1.1 Protocol: https://www.w3.org/TR/sparql11-protocol/
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.engine import QueryResult
+from ..sparql.lexer import SparqlSyntaxError
+from ..sparql.parser import parse_query
+from .protocol import (
+    SPARQL_QUERY,
+    SPARQL_RESULTS_JSON,
+    boolean_document,
+    iter_results_chunks,
+    negotiate,
+)
+from .sessions import (
+    QuerySessionManager,
+    TenantOverloadError,
+    UnknownTenantError,
+)
+
+#: bindings per chunked-encoding piece (the buffering bound)
+DEFAULT_CHUNK_ROWS = 256
+
+
+class SparqlRequestHandler(BaseHTTPRequestHandler):
+    """One SPARQL-protocol request (the server spawns one thread each)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "Lusail/0.1"
+
+    # The manager is attached to the server object by LusailHTTPServer.
+    @property
+    def manager(self) -> QuerySessionManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        document: dict,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._send_json(
+            status, {"error": message}, extra_headers=extra_headers
+        )
+
+    def _api_key(self, params: dict) -> Optional[str]:
+        header = self.headers.get("X-API-Key")
+        if header is not None:
+            return header
+        values = params.get("apikey")
+        return values[0] if values else None
+
+    # -- HTTP verbs --------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        if url.path == "/health":
+            self._send_json(200, {"status": "ok"})
+            return
+        if url.path == "/stats":
+            self._send_json(200, self.manager.stats())
+            return
+        if url.path != "/sparql":
+            self._send_error_json(404, f"no such resource: {url.path}")
+            return
+        queries = params.get("query")
+        if not queries:
+            self._send_error_json(
+                400, "missing required 'query' parameter"
+            )
+            return
+        self._run_query(queries[0], params)
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        if url.path != "/sparql":
+            self._send_error_json(404, f"no such resource: {url.path}")
+            return
+        params = parse_qs(url.query)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        content_type = (
+            (self.headers.get("Content-Type") or "")
+            .split(";", 1)[0]
+            .strip()
+            .lower()
+        )
+        if content_type == SPARQL_QUERY:
+            query_text = body.decode("utf-8")
+        elif content_type == "application/x-www-form-urlencoded":
+            form = parse_qs(body.decode("utf-8"))
+            queries = form.get("query")
+            if not queries:
+                self._send_error_json(
+                    400, "missing required 'query' form field"
+                )
+                return
+            query_text = queries[0]
+            # form fields may also carry the API key
+            for key, values in form.items():
+                params.setdefault(key, values)
+        else:
+            self._send_error_json(
+                415,
+                "unsupported Content-Type: expected "
+                f"{SPARQL_QUERY} or application/x-www-form-urlencoded",
+            )
+            return
+        self._run_query(query_text, params)
+
+    # -- query execution ---------------------------------------------------
+
+    def _run_query(self, query_text: str, params: dict) -> None:
+        content_type = negotiate(self.headers.get("Accept"))
+        if content_type is None:
+            self._send_error_json(
+                406,
+                f"only {SPARQL_RESULTS_JSON} is available",
+            )
+            return
+        # Reject malformed queries before spending an admission slot.
+        try:
+            parse_query(query_text)
+        except SparqlSyntaxError as exc:
+            self._send_error_json(400, f"malformed query: {exc}")
+            return
+        deadline = None
+        if params.get("deadline"):
+            try:
+                deadline = float(params["deadline"][0])
+            except ValueError:
+                self._send_error_json(400, "malformed 'deadline' parameter")
+                return
+        try:
+            result = self.manager.execute(
+                query_text,
+                api_key=self._api_key(params),
+                deadline_seconds=deadline,
+            )
+        except UnknownTenantError as exc:
+            self._send_error_json(401, str(exc))
+            return
+        except TenantOverloadError as exc:
+            self._send_error_json(
+                503,
+                str(exc),
+                extra_headers=(
+                    ("Retry-After", f"{exc.retry_after:g}"),
+                ),
+            )
+            return
+        self._send_result(result)
+
+    def _send_result(self, result: QueryResult) -> None:
+        if result.status in ("OK", "PARTIAL"):
+            if result.boolean is not None:
+                extra = ()
+                if result.status == "PARTIAL":
+                    extra = (("X-Lusail-Status", "PARTIAL"),)
+                self._send_json(
+                    200,
+                    boolean_document(result.boolean),
+                    content_type=SPARQL_RESULTS_JSON,
+                    extra_headers=extra,
+                )
+                return
+            self._stream_results(result)
+            return
+        message = result.error or f"query failed with status {result.status}"
+        if result.status == "TO":
+            self._send_error_json(504, message)
+        elif result.status == "RE" and "UnsupportedQueryError" in message:
+            self._send_error_json(400, message)
+        else:  # OOM and remaining runtime errors
+            self._send_error_json(500, message)
+
+    def _stream_results(self, result: QueryResult) -> None:
+        """Write the results document with chunked transfer encoding."""
+        self.send_response(200)
+        self.send_header("Content-Type", SPARQL_RESULTS_JSON)
+        self.send_header("Transfer-Encoding", "chunked")
+        if result.status == "PARTIAL":
+            self.send_header("X-Lusail-Status", "PARTIAL")
+        self.end_headers()
+        chunk_rows = self.server.chunk_rows  # type: ignore[attr-defined]
+        try:
+            for piece in iter_results_chunks(result.result, chunk_rows):
+                if not piece:
+                    continue  # a zero-length chunk would terminate the body
+                self.wfile.write(f"{len(piece):X}\r\n".encode("ascii"))
+                self.wfile.write(piece)
+                self.wfile.write(b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-stream; nothing left to tell it.
+            self.close_connection = True
+
+
+class LusailHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one session manager."""
+
+    daemon_threads = True
+
+    def handle_error(self, request, client_address):
+        # Client disconnects (burst tests, impatient curls) are routine,
+        # not server errors; only trace them when asked to be chatty.
+        if self.verbose:
+            super().handle_error(request, client_address)
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: QuerySessionManager,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        verbose: bool = False,
+    ):
+        super().__init__(address, SparqlRequestHandler)
+        self.manager = manager
+        self.chunk_rows = chunk_rows
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    manager: QuerySessionManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    verbose: bool = False,
+) -> Tuple[LusailHTTPServer, threading.Thread]:
+    """Boot a server on a background thread; ``port=0`` picks a free one.
+
+    Returns the server (``server.url`` is ready to hit) and its serving
+    thread.  Call ``server.shutdown()`` then ``server.server_close()``
+    to stop; the thread is daemonic, so it never blocks interpreter exit.
+    """
+    server = LusailHTTPServer(
+        (host, port), manager, chunk_rows=chunk_rows, verbose=verbose
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, name="lusail-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,297 @@
+"""Multi-tenant query sessions: admission, QoS classes, fair-share shedding.
+
+The :class:`QuerySessionManager` sits between the HTTP front end and one
+:class:`~repro.core.engine.LusailEngine`, multiplexing many concurrent
+``execute(use_threads=True)`` calls through two layers of admission
+control:
+
+- a **global bound** — the PR 5 :class:`AdmissionController` caps total
+  queries in flight at ``max_concurrent``; beyond it *someone* must be
+  shed rather than queued into everyone else's deadline;
+- a **per-tenant fair share** deciding *who*.  Each API key maps to a
+  :class:`TenantClass` with a weight; tenant *i*'s guaranteed reserve is
+  ``reserve_i = C · wᵢ / Σw`` slots (reserves tile the pool exactly).
+  An admit is granted on one of two lanes::
+
+      guaranteed:  inflight_i + 1 <= reserve_i
+      borrowed:    active + Σ_j max(0, reserve_j - inflight_j) + 1 <= C
+
+  The borrowed lane hands out only slots *not needed to back any
+  tenant's unused reserve*, which makes the guarantee unconditional:
+  the invariant ``active + Σ unused_reserves <= C`` holds after every
+  admit, so a guaranteed-lane request always finds a free slot — a
+  flooding tenant's surplus is shed with 503s while a quiet tenant
+  walking into the flood still gets its full reserve, immediately, with
+  no preemption and no waiting for borrowed slots to drain.  (The price
+  is that idle reserves are never lent out; protection is worth more
+  than work conservation in a shared federator.)
+
+Per-tenant usage (admits, sheds, completions, streaming wall-clock
+latency quantiles) is tracked for the ``/stats`` endpoint and the
+serving benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import LusailEngine, QueryResult
+from ..federation.deadline import AdmissionController, P2Quantile
+
+#: the implicit tenant used when the manager is run without QoS classes
+DEFAULT_TENANT = "public"
+
+
+class ServingError(RuntimeError):
+    """Base class for request-level serving failures."""
+
+
+class UnknownTenantError(ServingError):
+    """The request's API key matches no configured tenant (HTTP 401)."""
+
+    def __init__(self, api_key: Optional[str]):
+        shown = "missing" if api_key is None else f"{api_key!r}"
+        super().__init__(f"unknown API key: {shown}")
+
+
+class TenantOverloadError(ServingError):
+    """Admission shed this request (HTTP 503 + Retry-After).
+
+    ``scope`` says which limit bound: ``"tenant"`` when the caller blew
+    its own fair-share limit, ``"global"`` when the federator itself is
+    at capacity.
+    """
+
+    def __init__(self, tenant: str, scope: str, retry_after: float = 1.0):
+        super().__init__(
+            f"tenant {tenant!r} shed ({scope} admission limit reached)"
+        )
+        self.tenant = tenant
+        self.scope = scope
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One QoS class: an API key, a fair-share weight, and its budgets.
+
+    ``weight`` sets the tenant's guaranteed fraction of the concurrency
+    pool.  ``deadline_seconds`` (virtual) and ``real_time_limit``
+    (wall-clock) are per-query defaults applied to every query the
+    tenant runs; the per-request ``deadline_seconds`` parameter can
+    tighten but never exceed the class default.
+    """
+
+    name: str
+    api_key: str
+    weight: float = 1.0
+    deadline_seconds: Optional[float] = None
+    real_time_limit: Optional[float] = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+
+
+@dataclass
+class TenantUsage:
+    """Mutable per-tenant accounting (guarded by the manager's lock)."""
+
+    inflight: int = 0
+    admitted: int = 0
+    sheds: int = 0
+    completed: int = 0
+    errors: int = 0
+    latency_p50: P2Quantile = field(default_factory=lambda: P2Quantile(0.5))
+    latency_p99: P2Quantile = field(default_factory=lambda: P2Quantile(0.99))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "sheds": self.sheds,
+            "completed": self.completed,
+            "errors": self.errors,
+            "latency_p50_s": self.latency_p50.value(),
+            "latency_p99_s": self.latency_p99.value(),
+        }
+
+
+class QuerySessionManager:
+    """Admits, budgets, and runs concurrent queries for many tenants."""
+
+    def __init__(
+        self,
+        engine: LusailEngine,
+        tenants: Sequence[TenantClass] = (),
+        max_concurrent: int = 8,
+        admission: Optional[AdmissionController] = None,
+        retry_after_seconds: float = 1.0,
+    ):
+        self.engine = engine
+        #: the global bound; sharable with other managers or engines
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_concurrent)
+        )
+        #: api key -> tenant class; empty = open access as one tenant
+        self._tenants_by_key: Dict[str, TenantClass] = {}
+        self._tenants: Dict[str, TenantClass] = {}
+        for tenant in tenants:
+            if tenant.api_key in self._tenants_by_key:
+                raise ValueError(
+                    f"duplicate API key for tenant {tenant.name!r}"
+                )
+            if tenant.name in self._tenants:
+                raise ValueError(f"duplicate tenant name {tenant.name!r}")
+            self._tenants_by_key[tenant.api_key] = tenant
+            self._tenants[tenant.name] = tenant
+        if not self._tenants:
+            default = TenantClass(name=DEFAULT_TENANT, api_key="")
+            self._tenants[default.name] = default
+            self._tenants_by_key[default.api_key] = default
+        self._usage: Dict[str, TenantUsage] = {
+            name: TenantUsage() for name in self._tenants
+        }
+        self._lock = threading.Lock()
+        self.retry_after_seconds = retry_after_seconds
+
+    # -- tenant resolution -------------------------------------------------
+
+    def resolve(self, api_key: Optional[str]) -> TenantClass:
+        tenant = self._tenants_by_key.get(api_key or "")
+        if tenant is None:
+            raise UnknownTenantError(api_key)
+        return tenant
+
+    @property
+    def tenants(self) -> List[TenantClass]:
+        return list(self._tenants.values())
+
+    # -- fair-share admission ----------------------------------------------
+
+    def _reserve(self, tenant: TenantClass) -> float:
+        total_weight = sum(t.weight for t in self._tenants.values())
+        return self.admission.max_concurrent * tenant.weight / total_weight
+
+    def _admissible(self, tenant: TenantClass) -> bool:
+        """Guaranteed-or-borrowed lane decision (manager lock held).
+
+        Guaranteed lane: the tenant stays within its reserve.  Borrowed
+        lane: a slot is free even after setting aside every *other*
+        tenant's unused reserve — so borrowing can never consume
+        capacity a quiet tenant is entitled to walk in and claim.
+        """
+        usage = self._usage[tenant.name]
+        if usage.inflight + 1 <= self._reserve(tenant) + 1e-9:
+            return True
+        unused_reserves = sum(
+            max(0.0, self._reserve(other) - self._usage[name].inflight)
+            for name, other in self._tenants.items()
+            if name != tenant.name
+        )
+        return (
+            self.admission.active + unused_reserves + 1
+            <= self.admission.max_concurrent + 1e-9
+        )
+
+    def try_admit(self, tenant: TenantClass) -> bool:
+        """One admission decision; True reserves a slot (pair with
+        :meth:`release`)."""
+        with self._lock:
+            usage = self._usage[tenant.name]
+            if not self._admissible(tenant):
+                usage.sheds += 1
+                return False
+            if not self.admission.try_admit():
+                # Unreachable for the guaranteed lane (see module
+                # docstring invariant); kept as the final authority so a
+                # shared controller can still bound a pool of managers.
+                usage.sheds += 1
+                return False
+            usage.inflight += 1
+            usage.admitted += 1
+            return True
+
+    def release(self, tenant: TenantClass) -> None:
+        with self._lock:
+            self._usage[tenant.name].inflight -= 1
+        self.admission.release()
+
+    # -- query execution ---------------------------------------------------
+
+    def execute(
+        self,
+        query_text: str,
+        api_key: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Admit and run one query under the caller's QoS class.
+
+        Raises :class:`UnknownTenantError` for a bad key and
+        :class:`TenantOverloadError` when shed; otherwise always returns
+        a :class:`~repro.core.engine.QueryResult` (the engine never
+        raises per-query failures).
+        """
+        tenant = self.resolve(api_key)
+        if not self.try_admit(tenant):
+            scope = (
+                "global"
+                if self.admission.active >= self.admission.max_concurrent
+                else "tenant"
+            )
+            raise TenantOverloadError(
+                tenant.name, scope, self.retry_after_seconds
+            )
+        started = time.monotonic()
+        try:
+            budget = tenant.deadline_seconds
+            if deadline_seconds is not None:
+                budget = (
+                    deadline_seconds
+                    if budget is None
+                    else min(deadline_seconds, budget)
+                )
+            result = self.engine.execute(
+                query_text,
+                deadline_seconds=budget,
+                real_time_limit=tenant.real_time_limit,
+                trace=trace,
+            )
+        finally:
+            elapsed = time.monotonic() - started
+            with self._lock:
+                usage = self._usage[tenant.name]
+                usage.completed += 1
+                usage.latency_p50.observe(elapsed)
+                usage.latency_p99.observe(elapsed)
+            self.release(tenant)
+        if result.status not in ("OK", "PARTIAL"):
+            with self._lock:
+                self._usage[tenant.name].errors += 1
+        return result
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            per_tenant = {
+                name: {
+                    "weight": self._tenants[name].weight,
+                    "reserve": self._reserve(self._tenants[name]),
+                    **usage.snapshot(),
+                }
+                for name, usage in self._usage.items()
+            }
+        return {
+            "max_concurrent": self.admission.max_concurrent,
+            "active": self.admission.active,
+            "admitted": self.admission.admitted,
+            "sheds": self.admission.sheds,
+            "tenants": per_tenant,
+        }

@@ -1,0 +1,407 @@
+"""SPARQL-protocol serving layer: wire format, HTTP server, tenant QoS.
+
+Protocol tests pin the SPARQL JSON results format (typed literals,
+language tags, blank nodes, unbound cells) and its streaming chunker;
+server tests boot a real :class:`LusailHTTPServer` on a loopback port
+and drive it with stdlib ``urllib`` — documents served over HTTP must
+be bit-identical to a direct in-process ``execute()``.  Session tests
+pin the reserve-protecting fair-share admission invariants.
+"""
+
+import contextlib
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.core import LusailEngine
+from repro.endpoint import LocalEndpoint
+from repro.federation import Federation
+from repro.rdf import BNode, IRI, Literal, Variable
+from repro.rdf import parse as nt_parse
+from repro.serving import (
+    SPARQL_RESULTS_JSON,
+    QuerySessionManager,
+    TenantClass,
+    UnknownTenantError,
+    boolean_document,
+    iter_results_chunks,
+    negotiate,
+    parse_results_document,
+    results_document,
+    start_server,
+    term_from_json,
+    term_to_json,
+)
+from repro.sparql.results import ResultSet
+
+from .conftest import (
+    QA_EXPECTED,
+    QUERY_QA,
+    build_paper_federation,
+    result_values,
+)
+
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+#: an endpoint whose answers exercise every term shape on the wire
+TYPED_TRIPLES = f"""
+_:alice <http://x/name> "Alice" .
+_:alice <http://x/label> "chat"@fr .
+_:alice <http://x/age> "42"^^<{XSD_INT}> .
+<http://x/bob> <http://x/name> "Bob" .
+<http://x/bob> <http://x/knows> _:alice .
+"""
+
+TYPED_QUERY = """
+SELECT ?s ?name ?label ?age WHERE {
+  ?s <http://x/name> ?name .
+  OPTIONAL { ?s <http://x/label> ?label }
+  OPTIONAL { ?s <http://x/age> ?age }
+}
+"""
+
+
+def typed_federation() -> Federation:
+    return Federation([
+        LocalEndpoint.from_triples("typed", nt_parse(TYPED_TRIPLES)),
+    ])
+
+
+@contextlib.contextmanager
+def serve(federation=None, tenants=(), max_concurrent=8):
+    fed = federation if federation is not None else build_paper_federation()
+    engine = LusailEngine(
+        fed, use_threads=True, reset_request_windows=False
+    )
+    manager = QuerySessionManager(
+        engine, tenants=tenants, max_concurrent=max_concurrent
+    )
+    server, _thread = start_server(manager)
+    try:
+        yield server, manager
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def http(url, data=None, headers=None, method=None):
+    """(status, headers, body) for one request; HTTP errors returned,
+    not raised."""
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def sparql_url(server, query, **params):
+    params["query"] = query
+    return server.url + "/sparql?" + urllib.parse.urlencode(params)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+class TestTermJson:
+    @pytest.mark.parametrize("term,cell", [
+        (IRI("http://x/a"), {"type": "uri", "value": "http://x/a"}),
+        (BNode("b0"), {"type": "bnode", "value": "b0"}),
+        (Literal("plain"), {"type": "literal", "value": "plain"}),
+        (Literal("chat", language="fr"),
+         {"type": "literal", "value": "chat", "xml:lang": "fr"}),
+        (Literal("5", datatype=XSD_INT),
+         {"type": "literal", "value": "5", "datatype": XSD_INT}),
+    ])
+    def test_round_trip(self, term, cell):
+        assert term_to_json(term) == cell
+        assert term_from_json(cell) == term
+
+    def test_legacy_typed_literal_accepted(self):
+        cell = {"type": "typed-literal", "value": "5", "datatype": XSD_INT}
+        assert term_from_json(cell) == Literal("5", datatype=XSD_INT)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            term_from_json({"type": "graph", "value": "x"})
+
+    def test_variable_is_not_a_ground_term(self):
+        with pytest.raises(TypeError):
+            term_to_json(Variable("x"))
+
+
+class TestResultsDocument:
+    def _result(self):
+        return ResultSet(
+            (Variable("s"), Variable("o")),
+            [
+                (IRI("http://x/a"), Literal("chat", language="fr")),
+                (BNode("b0"), Literal("5", datatype=XSD_INT)),
+                (IRI("http://x/b"), None),  # unbound cell
+            ],
+        )
+
+    def test_document_round_trip_preserves_everything(self):
+        result = self._result()
+        document = results_document(result)
+        rebuilt = parse_results_document(document)
+        assert [v.name for v in rebuilt.variables] == ["s", "o"]
+        assert rebuilt.rows == result.rows
+
+    def test_unbound_cells_absent_from_bindings(self):
+        document = results_document(self._result())
+        assert document["results"]["bindings"][2] == {
+            "s": {"type": "uri", "value": "http://x/b"}
+        }
+
+    def test_boolean_document(self):
+        assert boolean_document(True) == {"head": {}, "boolean": True}
+        assert boolean_document(False) == {"head": {}, "boolean": False}
+
+    def test_chunks_concatenate_to_the_full_document(self):
+        result = self._result()
+        for chunk_rows in (1, 2, 256):
+            body = b"".join(iter_results_chunks(result, chunk_rows))
+            assert json.loads(body) == results_document(result)
+
+    def test_chunking_is_bounded(self):
+        result = ResultSet(
+            (Variable("s"),),
+            [(IRI(f"http://x/{i}"),) for i in range(10)],
+        )
+        pieces = list(iter_results_chunks(result, chunk_rows=3))
+        # header + ceil(10/3) row chunks + closer
+        assert len(pieces) == 1 + 4 + 1
+        assert json.loads(b"".join(pieces)) == results_document(result)
+
+    def test_chunk_rows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            list(iter_results_chunks(self._result(), chunk_rows=0))
+
+    def test_empty_result_is_a_valid_document(self):
+        empty = ResultSet((Variable("s"),), [])
+        body = b"".join(iter_results_chunks(empty))
+        assert json.loads(body) == {
+            "head": {"vars": ["s"]},
+            "results": {"bindings": []},
+        }
+
+
+class TestNegotiate:
+    @pytest.mark.parametrize("accept", [
+        None, "", SPARQL_RESULTS_JSON, "application/json", "*/*",
+        "application/*", "text/html, */*;q=0.1",
+        "application/sparql-results+json; q=0.9",
+    ])
+    def test_acceptable(self, accept):
+        assert negotiate(accept) == SPARQL_RESULTS_JSON
+
+    @pytest.mark.parametrize("accept", [
+        "text/csv", "application/sparql-results+xml", "text/html",
+    ])
+    def test_unacceptable(self, accept):
+        assert negotiate(accept) is None
+
+
+# ----------------------------------------------------------------------
+# HTTP server
+# ----------------------------------------------------------------------
+
+class TestServerEndToEnd:
+    def test_get_is_bit_identical_to_direct_execute(self):
+        federation = build_paper_federation()
+        direct = LusailEngine(federation).execute(QUERY_QA)
+        assert direct.status == "OK"
+        expected = results_document(direct.result)
+        with serve(federation) as (server, _manager):
+            status, headers, body = http(
+                sparql_url(server, QUERY_QA),
+                headers={"Accept": SPARQL_RESULTS_JSON},
+            )
+        assert status == 200
+        assert headers["Content-Type"] == SPARQL_RESULTS_JSON
+        assert headers.get("Transfer-Encoding") == "chunked"
+        assert json.loads(body) == expected
+        assert result_values(parse_results_document(json.loads(body))) \
+            == QA_EXPECTED
+
+    def test_typed_terms_survive_the_wire(self):
+        """Language tags, typed literals, bnodes, and unbound OPTIONAL
+        cells all round-trip through HTTP bit-identically."""
+        federation = typed_federation()
+        direct = LusailEngine(federation).execute(TYPED_QUERY)
+        assert direct.status == "OK"
+        expected = results_document(direct.result)
+        # the fixture really exercises every term shape
+        flat = json.dumps(expected)
+        assert "xml:lang" in flat
+        assert "bnode" in flat and "datatype" in flat
+        assert any(
+            len(binding) < 4 for binding in expected["results"]["bindings"]
+        ), "expected at least one unbound OPTIONAL cell"
+        with serve(federation) as (server, _manager):
+            status, _headers, body = http(sparql_url(server, TYPED_QUERY))
+        assert status == 200
+        assert json.loads(body) == expected
+        assert parse_results_document(json.loads(body)).rows \
+            == direct.result.rows
+
+    def test_post_form_and_raw_query_bodies(self):
+        federation = build_paper_federation()
+        expected = results_document(
+            LusailEngine(federation).execute(QUERY_QA).result
+        )
+        with serve(federation) as (server, _manager):
+            status, _h, body = http(
+                server.url + "/sparql",
+                data=urllib.parse.urlencode({"query": QUERY_QA}).encode(),
+                headers={
+                    "Content-Type": "application/x-www-form-urlencoded"
+                },
+            )
+            assert status == 200 and json.loads(body) == expected
+            status, _h, body = http(
+                server.url + "/sparql",
+                data=QUERY_QA.encode(),
+                headers={"Content-Type": "application/sparql-query"},
+            )
+            assert status == 200 and json.loads(body) == expected
+
+    def test_ask_query_returns_boolean_document(self):
+        with serve() as (server, _manager):
+            status, _h, body = http(
+                sparql_url(server, "ASK { ?s ?p ?o }")
+            )
+        assert status == 200
+        assert json.loads(body) == {"head": {}, "boolean": True}
+
+    def test_health_and_stats(self):
+        with serve() as (server, _manager):
+            status, _h, body = http(server.url + "/health")
+            assert status == 200 and json.loads(body) == {"status": "ok"}
+            http(sparql_url(server, "ASK { ?s ?p ?o }"))
+            status, _h, body = http(server.url + "/stats")
+            stats = json.loads(body)
+        assert status == 200
+        assert stats["tenants"]["public"]["completed"] == 1
+        assert stats["max_concurrent"] == 8
+
+    def test_error_codes(self):
+        tenants = (TenantClass("gold", "secret"),)
+        with serve(tenants=tenants) as (server, _manager):
+            ask = "ASK { ?s ?p ?o }"
+            key = {"X-API-Key": "secret"}
+            cases = [
+                # missing query parameter
+                (http(server.url + "/sparql", headers=key), 400),
+                # malformed query
+                (http(sparql_url(server, "NOT SPARQL"), headers=key), 400),
+                # malformed deadline
+                (http(sparql_url(server, ask, deadline="soon"),
+                      headers=key), 400),
+                # unknown API key
+                (http(sparql_url(server, ask)), 401),
+                # unknown resource
+                (http(server.url + "/nope", headers=key), 404),
+                # nothing acceptable
+                (http(sparql_url(server, ask),
+                      headers={**key, "Accept": "text/csv"}), 406),
+                # unreadable POST body type
+                (http(server.url + "/sparql", data=b"{}",
+                      headers={**key, "Content-Type": "application/json"}),
+                 415),
+            ]
+            for (status, _headers, _body), want in cases:
+                assert status == want
+            # api key via query parameter works too
+            status, _h, body = http(sparql_url(server, ask, apikey="secret"))
+            assert status == 200 and json.loads(body)["boolean"] is True
+
+    def test_overload_returns_503_with_retry_after(self):
+        with serve(max_concurrent=0) as (server, _manager):
+            status, headers, body = http(
+                sparql_url(server, "ASK { ?s ?p ?o }")
+            )
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "shed" in json.loads(body)["error"]
+
+
+# ----------------------------------------------------------------------
+# Fair-share admission
+# ----------------------------------------------------------------------
+
+class _NoEngine:
+    """Admission tests never reach the engine."""
+
+
+def _manager(max_concurrent=4):
+    return QuerySessionManager(
+        _NoEngine(),
+        tenants=[
+            TenantClass("gold", "g", weight=3.0),
+            TenantClass("bronze", "b", weight=1.0),
+        ],
+        max_concurrent=max_concurrent,
+    )
+
+
+class TestFairShareAdmission:
+    def test_reserves_tile_the_pool_by_weight(self):
+        manager = _manager()
+        assert manager._reserve(manager.resolve("g")) == 3.0
+        assert manager._reserve(manager.resolve("b")) == 1.0
+
+    def test_flooder_is_capped_at_its_reserve_while_others_idle(self):
+        """Borrowing never consumes capacity backing an unused reserve:
+        a quiet tenant can walk into a flood and claim its full share."""
+        manager = _manager()
+        bronze = manager.resolve("b")
+        admitted = sum(manager.try_admit(bronze) for _ in range(10))
+        assert admitted == 1  # reserve 1, gold's 3 stay backed
+        gold = manager.resolve("g")
+        assert all(manager.try_admit(gold) for _ in range(3))
+        stats = manager.stats()
+        assert stats["tenants"]["gold"]["sheds"] == 0
+        assert stats["tenants"]["bronze"]["sheds"] == 9
+        # pool genuinely full now
+        assert not manager.try_admit(gold)
+        assert not manager.try_admit(bronze)
+
+    def test_release_restores_admission(self):
+        manager = _manager()
+        bronze = manager.resolve("b")
+        assert manager.try_admit(bronze)
+        assert not manager.try_admit(bronze)
+        manager.release(bronze)
+        assert manager.try_admit(bronze)
+
+    def test_single_tenant_uses_the_whole_pool(self):
+        manager = QuerySessionManager(_NoEngine(), max_concurrent=4)
+        tenant = manager.resolve(None)  # open access maps to "public"
+        assert sum(manager.try_admit(tenant) for _ in range(6)) == 4
+
+    def test_unknown_key_raises(self):
+        manager = _manager()
+        with pytest.raises(UnknownTenantError):
+            manager.resolve("nope")
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySessionManager(_NoEngine(), tenants=[
+                TenantClass("a", "k"), TenantClass("b", "k"),
+            ])
+        with pytest.raises(ValueError):
+            QuerySessionManager(_NoEngine(), tenants=[
+                TenantClass("a", "k1"), TenantClass("a", "k2"),
+            ])
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TenantClass("a", "k", weight=0.0)
