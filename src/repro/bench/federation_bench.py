@@ -50,6 +50,15 @@ MIN_DIRECTORY_SPEEDUP = 1.25
 MAX_REGRESSION = 1.02
 #: pass 2 of the repeated workload must use at most 1/10 of the requests
 MIN_REPEAT_REQUEST_DROP = 10
+#: streaming must reach first results this much sooner than the
+#: materialized path finishes, on the delayed-subquery workload
+MIN_STREAMING_TTFB_SPEEDUP = 2.0
+#: and may never stretch any query's makespan beyond this factor
+MAX_STREAMING_MAKESPAN_RATIO = 1.1
+#: students per university in the streaming directory scenario — scaled
+#: so delayed-block execution (not analysis probes) dominates the
+#: makespan, which is where time-to-first-result matters
+STREAMING_STUDENTS_PER_UNIVERSITY = 4
 
 _UNIVERSITY_REGIONS = [
     Region("east-us"), Region("west-us"), Region("south-central-us"),
@@ -425,6 +434,116 @@ def _repeated_workload(
     return summary
 
 
+def _streaming_comparison(
+    lubm_universities: int,
+    directory_universities: int,
+    lubm_queries: Sequence[str],
+) -> List[Dict[str, object]]:
+    """Streaming vs materialized: TTFB alongside makespan (ISSUE 9).
+
+    Every workload runs three ways on fresh engines: the classic
+    ``execute()`` baseline, the ``streaming=False`` ablation of
+    ``execute_streaming()`` (must be *bit-identical* to the baseline —
+    same rows, same order, same virtual makespan), and the streaming
+    path (same result set, first batch emitted at ``ttfb_seconds``).
+    """
+    regions = _lubm_regions(lubm_universities)
+    generator = LubmGenerator(universities=lubm_universities)
+    workloads = [
+        (
+            f"LUBM-{name}",
+            lambda: generator.build_federation(
+                network=AZURE_GEO, regions=regions
+            ),
+            LUBM_QUERIES[name],
+            dict(pool_size=8, delay_threshold="mu+sigma",
+                 values_block_size=16),
+        )
+        for name in lubm_queries
+    ]
+    workloads.append((
+        "directory",
+        lambda: build_directory_federation(
+            universities=directory_universities,
+            students_per_university=STREAMING_STUDENTS_PER_UNIVERSITY,
+        ),
+        DIRECTORY_QUERY,
+        dict(pool_size=32, delay_threshold="mu", values_block_size=2),
+    ))
+    rows: List[Dict[str, object]] = []
+    for name, build_federation, query_text, kwargs in workloads:
+        baseline = LusailEngine(build_federation(), **kwargs).execute(
+            query_text
+        )
+        if not baseline.ok:
+            raise AssertionError(
+                f"streaming comparison: {name} baseline failed: "
+                f"{baseline.error}"
+            )
+        ablation = LusailEngine(
+            build_federation(), streaming=False, **kwargs
+        ).execute_streaming(query_text)
+        ablation_result = ablation.drain()
+        if (
+            ablation.streamed
+            or ablation_result.result.variables != baseline.result.variables
+            or ablation_result.result.rows != baseline.result.rows
+            or ablation_result.metrics.virtual_seconds
+            != baseline.metrics.virtual_seconds
+        ):
+            raise AssertionError(
+                f"streaming comparison: {name} streaming=False ablation "
+                "is not bit-identical to execute()"
+            )
+        handle = LusailEngine(
+            build_federation(), streaming=True, **kwargs
+        ).execute_streaming(query_text)
+        batches = sum(1 for _ in handle.batches())
+        streamed = handle.result
+        if not streamed.status == "OK":
+            raise AssertionError(
+                f"streaming comparison: {name} streaming run failed: "
+                f"{streamed.error}"
+            )
+        if sorted(streamed.result.rows, key=repr) != sorted(
+            baseline.result.rows, key=repr
+        ):
+            raise AssertionError(
+                f"streaming comparison: {name} streaming rows differ "
+                f"({len(streamed.result.rows)} vs "
+                f"{len(baseline.result.rows)})"
+            )
+        metrics = streamed.metrics
+        makespan = baseline.metrics.virtual_seconds
+        rows.append({
+            "query": name,
+            "rows": len(baseline.result.rows),
+            "ablation_bit_identical": True,
+            "materialized": {
+                "virtual_seconds": round(makespan, 4),
+                "ttfb_seconds": round(makespan, 4),
+                "requests": baseline.metrics.requests,
+            },
+            "streaming": {
+                "virtual_seconds": round(metrics.virtual_seconds, 4),
+                "ttfb_seconds": round(metrics.ttfb_seconds, 4),
+                "requests": metrics.requests,
+                "result_batches": batches,
+                "batches_routed": metrics.batches_routed,
+                "values_dispatches_partial":
+                    metrics.values_dispatches_partial,
+                "replans": metrics.replans,
+            },
+            "ttfb_speedup": round(
+                makespan / max(metrics.ttfb_seconds, 1e-9), 3
+            ),
+            "makespan_ratio": round(
+                metrics.virtual_seconds / max(makespan, 1e-9), 4
+            ),
+        })
+    return rows
+
+
 def run_federation(
     lubm_universities: int = 6,
     directory_universities: int = 12,
@@ -468,6 +587,9 @@ def run_federation(
             lubm_universities, lubm_queries
         ),
         "repeated_workload": _repeated_workload(
+            lubm_universities, directory_universities, lubm_queries
+        ),
+        "streaming": _streaming_comparison(
             lubm_universities, directory_universities, lubm_queries
         ),
     }
@@ -569,6 +691,32 @@ def check(
             f"result_cache=False ablation ({repeated['pass2']['requests']}"
             f" vs {repeated['ablation_pass2_requests']})"
         )
+    for row in payload["streaming"]:
+        if not row["ablation_bit_identical"]:
+            raise AssertionError(
+                f"{row['query']}: streaming=False ablation not "
+                "bit-identical to execute()"
+            )
+        if row["makespan_ratio"] > MAX_STREAMING_MAKESPAN_RATIO:
+            raise AssertionError(
+                f"{row['query']}: streaming stretched the makespan "
+                f"{row['makespan_ratio']}x, above the "
+                f"{MAX_STREAMING_MAKESPAN_RATIO}x ceiling"
+            )
+    streaming_directory = next(
+        row for row in payload["streaming"] if row["query"] == "directory"
+    )
+    if streaming_directory["ttfb_speedup"] < MIN_STREAMING_TTFB_SPEEDUP:
+        raise AssertionError(
+            "directory streaming TTFB speedup "
+            f"{streaming_directory['ttfb_speedup']}x below the "
+            f"{MIN_STREAMING_TTFB_SPEEDUP}x floor"
+        )
+    if streaming_directory["streaming"]["values_dispatches_partial"] < 1:
+        raise AssertionError(
+            "directory streaming run never dispatched a VALUES block "
+            "from partial bindings"
+        )
     payload["check"] = "ok"
     return payload
 
@@ -608,6 +756,18 @@ def format_report(payload: Dict[str, object]) -> str:
         lines.append(
             f"  {row['query']}: use_columnar on/off (2 shards) "
             f"bit-identical ({row['rows']} rows)"
+        )
+    for row in payload.get("streaming", []):
+        streaming = row["streaming"]
+        lines.append(
+            f"  {row['query']}: streaming ttfb "
+            f"{streaming['ttfb_seconds']:.3f}s vs materialized "
+            f"{row['materialized']['virtual_seconds']:.3f}s "
+            f"({row['ttfb_speedup']:.2f}x to first result, makespan "
+            f"{row['makespan_ratio']:.2f}x, "
+            f"{streaming['result_batches']} batches, "
+            f"{streaming['values_dispatches_partial']} partial VALUES "
+            "dispatches, ablation bit-identical)"
         )
     repeated = payload.get("repeated_workload")
     if repeated:

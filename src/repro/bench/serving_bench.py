@@ -32,6 +32,7 @@ the invariants above.
 
 from __future__ import annotations
 
+import http.client
 import json
 import math
 import threading
@@ -44,12 +45,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.engine import LusailEngine
 from ..datasets.lubm import LUBM_QUERIES, LubmGenerator
-from ..serving.protocol import SPARQL_RESULTS_JSON, results_document
+from ..serving.protocol import (
+    SPARQL_RESULTS_JSON,
+    parse_results_document,
+    results_document,
+)
 from ..serving.server import start_server
 from ..serving.sessions import (
     QuerySessionManager,
     TenantClass,
     TenantOverloadError,
+)
+from .federation_bench import (
+    DIRECTORY_QUERY,
+    STREAMING_STUDENTS_PER_UNIVERSITY,
+    build_directory_federation,
 )
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
@@ -57,6 +67,10 @@ DEFAULT_OUTPUT = "BENCH_serving.json"
 #: wall-clock budget per query in every scenario; the "bounded p99"
 #: acceptance bound
 DEADLINE_SECONDS = 5.0
+
+#: the streamed scenario's virtual time-to-first-result floor, matching
+#: the federation benchmark's delayed-subquery workload
+MIN_STREAMING_TTFB_SPEEDUP = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +370,125 @@ def _run_fair_share(
     }
 
 
+def _streamed_get(
+    base_url: str, query: str, api_key: str, timeout: float = 30.0
+) -> Tuple[int, Dict[str, str], bytes, List[Tuple[float, bytes]]]:
+    """One GET /sparql?stream=1, reading the body incrementally.
+
+    Returns (status, headers, body, arrivals) where ``arrivals`` holds
+    ``(seconds_since_request, piece)`` for every read that returned
+    data — the wall-clock evidence of when bytes actually landed.
+    """
+    split = urllib.parse.urlsplit(base_url)
+    path = "/sparql?" + urllib.parse.urlencode(
+        {"query": query, "stream": "1"}
+    )
+    conn = http.client.HTTPConnection(
+        split.hostname, split.port, timeout=timeout
+    )
+    started = time.monotonic()
+    conn.request(
+        "GET", path,
+        headers={"X-API-Key": api_key, "Accept": SPARQL_RESULTS_JSON},
+    )
+    response = conn.getresponse()
+    arrivals: List[Tuple[float, bytes]] = []
+    while True:
+        piece = response.read1(65536)
+        if not piece:
+            break
+        arrivals.append((time.monotonic() - started, piece))
+    headers = {name: value for name, value in response.getheaders()}
+    conn.close()
+    return (
+        response.status,
+        headers,
+        b"".join(piece for _, piece in arrivals),
+        arrivals,
+    )
+
+
+def _run_streaming(
+    universities: int,
+    max_concurrent: int = 8,
+) -> Dict[str, object]:
+    """Chunked streaming over HTTP: first bytes before the engine ends.
+
+    Runs the federation benchmark's delayed-subquery directory workload
+    through ``GET /sparql?stream=1`` on a cold engine and checks, from
+    the client side, that the response streams: the first body bytes
+    arrive strictly before the document completes, and the trailing
+    ``x-lusail`` member (the part only known at end of stream) is absent
+    from the first arrival.  The same query is then fetched on the
+    classic materialized path and both documents must contain the same
+    solutions.
+    """
+    federation = build_directory_federation(
+        universities=universities,
+        students_per_university=STREAMING_STUDENTS_PER_UNIVERSITY,
+    )
+    tenant = TenantClass("public", "public")
+    # Same knobs as the federation bench's delayed-subquery scenario:
+    # small VALUES blocks and an aggressive delay threshold are what make
+    # incremental dispatch (and hence early first results) kick in.
+    engine = LusailEngine(
+        federation,
+        pool_size=32,
+        delay_threshold="mu",
+        values_block_size=2,
+        use_threads=True,
+        reset_request_windows=False,
+    )
+    manager = QuerySessionManager(
+        engine, tenants=(tenant,), max_concurrent=max_concurrent
+    )
+    server, _thread = start_server(manager)
+    # Stream first: the engine must be cold, or the PR 7 result cache
+    # answers everything instantly and there is nothing left to stream.
+    status, headers, body, arrivals = _streamed_get(
+        server.url, DIRECTORY_QUERY, "public"
+    )
+    plain_status, _latency, plain_document = _get(
+        server.url, DIRECTORY_QUERY, "public"
+    )
+    stats = manager.stats()
+    server.shutdown()
+    server.server_close()
+    if status != 200 or plain_status != 200:
+        raise AssertionError(
+            f"streaming scenario: HTTP {status} (streamed) / "
+            f"{plain_status} (plain)"
+        )
+    document = json.loads(body)
+    info = document.get("x-lusail") or {}
+    streamed_rows = parse_results_document(document)
+    plain_rows = parse_results_document(plain_document)
+    ttfb_virtual = float(info.get("ttfb_seconds") or 0.0)
+    makespan_virtual = float(info.get("virtual_seconds") or 0.0)
+    return {
+        "scenario": "streaming",
+        "universities": universities,
+        "rows": len(streamed_rows),
+        "rows_match": streamed_rows == plain_rows,
+        "streaming_header": headers.get("X-Lusail-Streaming"),
+        "status": info.get("status"),
+        "body_reads": len(arrivals),
+        "first_chunk_s": round(arrivals[0][0], 4) if arrivals else None,
+        "last_chunk_s": round(arrivals[-1][0], 4) if arrivals else None,
+        "first_before_complete": (
+            len(arrivals) >= 2 and b"x-lusail" not in arrivals[0][1]
+        ),
+        "ttfb_virtual_s": round(ttfb_virtual, 4),
+        "makespan_virtual_s": round(makespan_virtual, 4),
+        "ttfb_speedup": round(
+            makespan_virtual / max(ttfb_virtual, 1e-9), 3
+        ),
+        "manager_streams": stats["streaming"]["streams"],
+        "values_dispatches_partial":
+            stats["streaming"]["values_dispatches_partial"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
@@ -372,6 +505,7 @@ def run_serving(
     gold_requests: int = 6,
     bronze_clients: int = 16,
     bronze_rounds: int = 3,
+    streaming_universities: int = 8,
 ) -> Dict[str, object]:
     """Drive all the scenarios; see the module docstring.
 
@@ -414,6 +548,9 @@ def run_serving(
             federation, LUBM_QUERIES[queries[0]], gold_requests,
             bronze_clients, bronze_rounds, max_concurrent=4,
         )
+    )
+    scenarios.append(
+        _run_streaming(universities=streaming_universities)
     )
     return {
         "benchmark": "serving",
@@ -478,6 +615,30 @@ def check(
         )
     if fair["bronze_sheds"] == 0:
         raise AssertionError("flooding bronze tenant was never shed")
+    streaming = by_name["streaming"][0]
+    if not streaming["rows_match"]:
+        raise AssertionError(
+            "streamed document solutions diverged from the materialized path"
+        )
+    if streaming["streaming_header"] != "1":
+        raise AssertionError(
+            "streamed response missing the X-Lusail-Streaming header"
+        )
+    if not streaming["first_before_complete"]:
+        raise AssertionError(
+            "first streamed chunk did not arrive before the document "
+            "completed — response was effectively materialized"
+        )
+    if streaming["ttfb_speedup"] < MIN_STREAMING_TTFB_SPEEDUP:
+        raise AssertionError(
+            f"streamed TTFB speedup {streaming['ttfb_speedup']:.2f}x below "
+            f"the {MIN_STREAMING_TTFB_SPEEDUP:.1f}x floor"
+        )
+    if streaming["values_dispatches_partial"] < 1:
+        raise AssertionError(
+            "streamed run never dispatched a VALUES block from partial "
+            "bindings — incremental dispatch inactive"
+        )
     payload["check"] = "ok"
     return payload
 
@@ -523,13 +684,24 @@ def format_report(payload: Dict[str, object]) -> str:
                 f"({row['shed_rate']:.2f}), "
                 + (f"p99 {p99 * 1e3:.1f}ms" if p99 is not None else "p99 -")
             )
-        else:
+        elif row["scenario"] == "fair-share":
             lines.append(
                 f"  fair-share: gold sheds {row['gold_sheds']} "
                 f"(statuses {row['gold_statuses']}), bronze sheds "
                 f"{row['bronze_sheds']} "
                 f"(shed rate {row['bronze_shed_rate']:.2f}, "
                 f"{row['bronze_served']} served)"
+            )
+        elif row["scenario"] == "streaming":
+            lines.append(
+                f"  streaming: first chunk at {row['first_chunk_s']}s "
+                f"wall ({row['body_reads']} reads), virtual ttfb "
+                f"{row['ttfb_virtual_s']}s vs makespan "
+                f"{row['makespan_virtual_s']}s "
+                f"({row['ttfb_speedup']:.2f}x to first result, "
+                f"{row['rows']} rows, match={row['rows_match']}, "
+                f"{row['values_dispatches_partial']} partial VALUES "
+                f"dispatches)"
             )
     if payload.get("check") == "ok":
         lines.append("  check: ok")

@@ -126,6 +126,8 @@ class LusailEngine:
         result_cache: bool = True,
         result_cache_bytes: int = 64 * 1024 * 1024,
         reset_request_windows: bool = True,
+        streaming: bool = True,
+        stream_batch_rows: int = 256,
     ):
         self.federation = federation
         self.pool_size = pool_size
@@ -202,6 +204,17 @@ class LusailEngine:
         #: off: with many queries in flight, one query's setup must not
         #: clear the windows the others are being measured against.
         self.reset_request_windows = reset_request_windows
+        #: pipelined execution for :meth:`execute_streaming` — symmetric
+        #: hash joins fed by partial result batches, incremental VALUES
+        #: dispatch, mid-flight replanning.  ``streaming=False`` is the
+        #: ablation knob: execute_streaming then runs today's
+        #: materialized path and emits one batch at the end, bit-identical
+        #: to :meth:`execute`.  ``execute`` itself never streams.
+        self.streaming = streaming
+        #: target rows per streamed binding batch (both the granularity
+        #: at which endpoint responses are sliced onto the virtual
+        #: timeline and the granularity of emitted result batches)
+        self.stream_batch_rows = stream_batch_rows
 
     # ------------------------------------------------------------------
     # Public API
@@ -254,6 +267,86 @@ class LusailEngine:
         finally:
             if self.admission is not None:
                 self.admission.release()
+
+    def execute_streaming(
+        self,
+        query_text: str,
+        timeout_seconds: float = 3600.0,
+        max_intermediate_rows: int = 5_000_000,
+        real_time_limit: float = None,
+        trace: bool = False,
+        deadline_seconds: Optional[float] = None,
+    ) -> "StreamingResult":
+        """Run a federated query, yielding result batches as they form.
+
+        Returns a :class:`repro.core.streaming.StreamingResult` whose
+        ``stream`` delivers :class:`ResultSet` batches while endpoint
+        responses are still in flight; the final :class:`QueryResult`
+        (status, metrics, completeness) becomes available once the
+        stream is exhausted — completeness is only known at end of
+        stream.  Queries outside the streamable subset (aggregates,
+        ORDER BY, LIMIT/OFFSET, OPTIONAL/UNION/...) and engines built
+        with ``streaming=False`` fall back to the materialized
+        :meth:`execute` path and emit its result as a single batch, so
+        callers never need two code paths.
+
+        The consumer must drain or ``close()`` the stream: admission
+        slots and metrics finalization are released from the stream's
+        own ``finally``.
+        """
+        from .streaming import StreamingResult, is_streamable, start_stream
+
+        query: Optional[Query] = None
+        if self.streaming:
+            try:
+                query = parse_query(query_text)
+            except Exception:
+                query = None  # let execute() produce the parse error
+        if query is None or not is_streamable(query):
+            result = self.execute(
+                query_text,
+                timeout_seconds=timeout_seconds,
+                max_intermediate_rows=max_intermediate_rows,
+                real_time_limit=real_time_limit,
+                trace=trace,
+                deadline_seconds=deadline_seconds,
+            )
+            return StreamingResult.from_materialized(result)
+        if self.admission is not None and not self.admission.try_admit():
+            metrics = Metrics()
+            metrics.sheds += 1
+            return StreamingResult.from_materialized(
+                QueryResult(
+                    status="RE",
+                    result=None,
+                    metrics=metrics,
+                    error=(
+                        "query rejected: admission controller at capacity "
+                        f"({self.admission.max_concurrent} queries in flight)"
+                    ),
+                    completeness=CompletenessReport(),
+                )
+            )
+        deadline = None
+        partial_results = self.partial_results
+        if deadline_seconds is not None:
+            deadline = Deadline(deadline_seconds)
+            partial_results = True
+        context = self.federation.make_context(
+            timeout_seconds=timeout_seconds,
+            max_intermediate_rows=max_intermediate_rows,
+            join_threads=self.join_threads,
+            real_time_limit=real_time_limit,
+            partial_results=partial_results,
+            use_dictionary=self.use_dictionary,
+            vectorized_joins=self.vectorized_joins,
+            deadline=deadline,
+            reset_windows=self.reset_request_windows,
+        )
+        if trace:
+            context.trace = QueryTrace()
+        release = self.admission.release if self.admission is not None else None
+        return start_stream(self, query, context, release)
 
     def _execute_admitted(
         self,
@@ -545,35 +638,12 @@ class LusailEngine:
             for element in minuses:
                 needed |= element.group.all_variables()
             compute_projections(subqueries, frozenset(needed))
-            # Cache-aware cost modeling: projections and filters are
-            # final here, so the canonical keys are, too — find out which
-            # subqueries the result cache can serve without a request.
-            self._mark_cache_warm(subqueries)
-
-            multiple_units = (
-                len(subqueries) + len(unions) + len(subselects) + len(values_blocks)
-            ) > 1
-            if self.enable_sape and (
-                multiple_units or any(sq.optional for sq in subqueries)
-            ):
-                estimator = CardinalityEstimator(
-                    handler,
-                    self.count_cache if self.count_cache is not None else {},
-                )
-                estimator.estimate_all(subqueries)
-                classify_delayed(subqueries, self.delay_threshold)
-                self._delay_against_values(subqueries, values_blocks)
-                # A warm subquery costs ~0 however large its estimate:
-                # fetching it concurrently is a cache read, while keeping
-                # it delayed would send real VALUES-bound requests.
-                for subquery in subqueries:
-                    if subquery.cache_warm and not subquery.optional:
-                        subquery.delayed = False
-            elif not self.enable_sape:
-                # LADE-only ablation (Figure 14): no probes, no delays —
-                # every subquery is fetched concurrently.
-                for subquery in subqueries:
-                    subquery.delayed = False
+            self._classify_subqueries(
+                subqueries,
+                values_blocks,
+                len(unions) + len(subselects),
+                handler,
+            )
 
         # Initial relations: VALUES blocks and sub-SELECTs.
         initial: Dict[str, ResultSet] = {}
@@ -720,6 +790,47 @@ class LusailEngine:
                 kept.append(row)
         context.charge_join(len(result) + len(minus_result))
         return ResultSet(result.variables, kept)
+
+    def _classify_subqueries(
+        self,
+        subqueries: Sequence[Subquery],
+        values_blocks: Sequence[ValuesBlock],
+        extra_units: int,
+        handler: ElasticRequestHandler,
+    ) -> None:
+        """Cache-warmth marking + delay classification, shared by the
+        materialized and streaming paths.  Projections and filters must
+        be final before this runs (the cache keys depend on them).
+
+        ``extra_units`` counts sibling evaluation units beyond the
+        subqueries and VALUES blocks (UNION branches, sub-SELECTs) so
+        the "is there anything to join against?" test matches the
+        materialized group evaluator exactly."""
+        self._mark_cache_warm(subqueries)
+        multiple_units = (
+            len(subqueries) + extra_units + len(values_blocks)
+        ) > 1
+        if self.enable_sape and (
+            multiple_units or any(sq.optional for sq in subqueries)
+        ):
+            estimator = CardinalityEstimator(
+                handler,
+                self.count_cache if self.count_cache is not None else {},
+            )
+            estimator.estimate_all(subqueries)
+            classify_delayed(subqueries, self.delay_threshold)
+            self._delay_against_values(subqueries, values_blocks)
+            # A warm subquery costs ~0 however large its estimate:
+            # fetching it concurrently is a cache read, while keeping
+            # it delayed would send real VALUES-bound requests.
+            for subquery in subqueries:
+                if subquery.cache_warm and not subquery.optional:
+                    subquery.delayed = False
+        elif not self.enable_sape:
+            # LADE-only ablation (Figure 14): no probes, no delays —
+            # every subquery is fetched concurrently.
+            for subquery in subqueries:
+                subquery.delayed = False
 
     def _mark_cache_warm(self, subqueries: Sequence[Subquery]) -> None:
         """Set ``cache_warm`` on subqueries the result cache fully covers

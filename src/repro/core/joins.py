@@ -404,6 +404,223 @@ def hash_join(
     return result
 
 
+class _SymmetricSide:
+    """One input of a symmetric hash join: rows seen so far, hashed."""
+
+    __slots__ = ("rows", "table", "wildcards", "key_indexes")
+
+    def __init__(self, key_indexes: List[int]):
+        self.key_indexes = key_indexes
+        self.rows: List[Row] = []
+        #: encoded key tuple -> indexes into ``rows`` (insertion order)
+        self.table: Dict[Tuple, List[int]] = {}
+        #: indexes of rows whose key has an unbound (wildcard) cell
+        self.wildcards: List[int] = []
+
+    def insert(self, row: Row, key: Tuple) -> None:
+        index = len(self.rows)
+        self.rows.append(row)
+        if None in key:
+            self.wildcards.append(index)
+        else:
+            self.table.setdefault(key, []).append(index)
+
+
+class SymmetricHashJoin:
+    """A pipelined (symmetric) hash join over binding batches.
+
+    Unlike :func:`hash_join`, which needs both relations materialized,
+    this operator accepts batches from *either* input as they arrive:
+    each pushed batch is inserted into its own side's hash table and
+    immediately probed against everything the opposite side has
+    delivered so far.  Every output row is produced exactly once — by
+    whichever of its two constituent rows arrived later — so draining
+    both inputs through ``push_left``/``push_right`` yields exactly the
+    rows ``hash_join(left, right)`` would, in an order determined by
+    arrival order (deterministic under the virtual-time scheduler).
+
+    Keys are interned through the context's join dictionary when
+    enabled, so bucket hashing compares machine ints (the PR 4 ID
+    kernel); a probe batch of :data:`_ID_KERNEL_MIN_ROWS` or more rows
+    against an equally large opposite side with 1–2 fully-bound shared
+    variables runs through the PR 6 vectorized batch kernel instead of
+    the per-row loop.
+
+    Memory accounting: both sides are retained for the lifetime of the
+    operator (that is the price of pipelining), so every push reports
+    the operator's total held rows to ``context.note_intermediate_rows``
+    — the intermediate-row budget bounds symmetric state exactly like it
+    bounds materialized intermediates.  The virtual join clock is
+    charged per push for the batch plus its output, which sums over a
+    full drain to the same rows :func:`hash_join` charges.
+    """
+
+    def __init__(
+        self,
+        left_variables: Sequence[Variable],
+        right_variables: Sequence[Variable],
+        context: Optional[ExecutionContext] = None,
+    ):
+        left_stub = ResultSet(tuple(left_variables))
+        right_stub = ResultSet(tuple(right_variables))
+        self.header, self._right_extra, self._shared_pairs = _merge_headers(
+            left_stub, right_stub
+        )
+        self._context = context
+        self._dictionary = (
+            context.get_join_dictionary()
+            if context is not None and context.use_dictionary
+            else None
+        )
+        self._left = _SymmetricSide([li for li, _ in self._shared_pairs])
+        self._right = _SymmetricSide([ri for _, ri in self._shared_pairs])
+
+    @property
+    def held_rows(self) -> int:
+        return len(self._left.rows) + len(self._right.rows)
+
+    @property
+    def left_count(self) -> int:
+        return len(self._left.rows)
+
+    @property
+    def right_count(self) -> int:
+        return len(self._right.rows)
+
+    def push_left(self, rows: Sequence[Row]) -> List[Row]:
+        """Insert a left-input batch; returns the newly joined rows."""
+        return self._push(self._left, self._right, rows, batch_is_left=True)
+
+    def push_right(self, rows: Sequence[Row]) -> List[Row]:
+        """Insert a right-input batch; returns the newly joined rows."""
+        return self._push(self._right, self._left, rows, batch_is_left=False)
+
+    def preload_left(self, rows: Sequence[Row]) -> None:
+        """Re-seed the left side without probing or charging the clock.
+
+        Used by mid-flight replanning to carry a stage's already-charged
+        accumulated input into a rebuilt stage; the opposite side must
+        still be empty (nothing to probe means nothing is lost).
+        """
+        if self._right.rows:
+            raise ValueError("preload requires an empty right side")
+        for row in rows:
+            key = self._key(row, self._left.key_indexes)
+            self._left.insert(tuple(row), key)
+
+    def _key(self, row: Row, key_indexes: List[int]) -> Tuple:
+        if self._dictionary is None:
+            return tuple([row[i] for i in key_indexes])
+        encode = self._dictionary.encode
+        return tuple(
+            [None if row[i] is None else encode(row[i]) for i in key_indexes]
+        )
+
+    def _push(
+        self,
+        mine: _SymmetricSide,
+        other: _SymmetricSide,
+        rows: Sequence[Row],
+        batch_is_left: bool,
+    ) -> List[Row]:
+        if not rows:
+            return []
+        before = _kernel_begin(self._context, self._dictionary)
+        out = self._push_vectorized(other, rows, batch_is_left)
+        if out is None:
+            out = []
+            for row in rows:
+                row = tuple(row)
+                key = self._key(row, mine.key_indexes)
+                self._probe(other, row, key, batch_is_left, out)
+                mine.insert(row, key)
+        else:
+            for row in rows:
+                mine.insert(tuple(row), self._key(row, mine.key_indexes))
+        _kernel_end(self._context, self._dictionary, before, 0.0)
+        if self._context is not None:
+            self._context.charge_join(len(rows) + len(out))
+            self._context.note_intermediate_rows(self.held_rows + len(out))
+        return out
+
+    def _probe(
+        self,
+        other: _SymmetricSide,
+        row: Row,
+        key: Tuple,
+        batch_is_left: bool,
+        out: List[Row],
+    ) -> None:
+        if None in key:
+            candidates = range(len(other.rows))
+        else:
+            candidates = list(other.table.get(key, ())) + other.wildcards
+        for index in candidates:
+            other_row = other.rows[index]
+            left_row, right_row = (
+                (row, other_row) if batch_is_left else (other_row, row)
+            )
+            if _compatible(left_row, right_row, self._shared_pairs):
+                out.append(
+                    _combine(
+                        left_row, right_row,
+                        self._shared_pairs, self._right_extra,
+                    )
+                )
+
+    def _push_vectorized(
+        self,
+        other: _SymmetricSide,
+        rows: Sequence[Row],
+        batch_is_left: bool,
+    ) -> Optional[List[Row]]:
+        """Probe one batch through the PR 6 batched kernel, if eligible."""
+        if (
+            self._dictionary is None
+            or not self._shared_pairs
+            or len(self._shared_pairs) > 2
+            or len(rows) < _ID_KERNEL_MIN_ROWS
+            or len(other.rows) < _ID_KERNEL_MIN_ROWS
+            or other.wildcards
+            or not _vectorized_enabled(self._context)
+        ):
+            return None
+        np = _np_module()
+        if np is None:
+            return None
+        if batch_is_left:
+            left_rs = ResultSet(self.header[: self._left_width()], list(rows))
+            right_rs = ResultSet(self._right_header(), other.rows)
+        else:
+            left_rs = ResultSet(self.header[: self._left_width()], other.rows)
+            right_rs = ResultSet(self._right_header(), list(rows))
+        vectorized = _hash_join_vectorized(
+            left_rs, right_rs, self._shared_pairs, self._right_extra,
+            self._dictionary, np,
+        )
+        if vectorized is None:
+            return None
+        vec_rows, decode_seconds = vectorized
+        if self._context is not None:
+            self._context.metrics.join_vectorized_batches += 1
+            self._context.metrics.join_decode_seconds += decode_seconds
+        return vec_rows
+
+    def _left_width(self) -> int:
+        return len(self.header) - len(self._right_extra)
+
+    def _right_header(self) -> Tuple[Variable, ...]:
+        right = [None] * (
+            len(self._right_extra) + len(self._shared_pairs)
+        )
+        for li, ri in self._shared_pairs:
+            right[ri] = self.header[li]
+        extra_base = self._left_width()
+        for offset, ri in enumerate(self._right_extra):
+            right[ri] = self.header[extra_base + offset]
+        return tuple(right)
+
+
 def left_outer_join(
     left: ResultSet,
     right: ResultSet,

@@ -256,9 +256,21 @@ class SubqueryEvaluator:
         query text); only an unrecovered failure degrades the subquery.
         Outside partial mode this raises exactly like ``result()``.
         """
+        settled = self._settle_contribution_timed(label, endpoint_id, future)
+        if settled is None:
+            return None
+        return settled[0], settled[1]
+
+    def _settle_contribution_timed(
+        self, label: str, endpoint_id: str, future: ResponseFuture
+    ) -> Optional[Tuple[str, ResultSet, ResponseFuture]]:
+        """:meth:`_settle_contribution`, also returning the future that
+        actually answered (the original or its replica reroute) — the
+        streaming executor reads the answer's virtual finish time and
+        cost off it to place partial batches on the timeline."""
         response, error = self.handler.settle(future)
         if error is None:
-            return endpoint_id, response.value  # type: ignore[return-value]
+            return endpoint_id, response.value, future  # type: ignore[return-value]
         replica_id = self.handler.federation.replica_of(endpoint_id)
         if replica_id is not None:
             request = future.request
@@ -270,7 +282,7 @@ class SubqueryEvaluator:
                 self.context.completeness.note_reroute(
                     endpoint_id, replica_id
                 )
-                return replica_id, response.value  # type: ignore[return-value]
+                return replica_id, response.value, retry  # type: ignore[return-value]
         self._mark_degraded(label, endpoint_id)
         return None
 

@@ -223,6 +223,29 @@ def _render_dictionary(event: TraceEvent) -> str:
             f"joined rows back to terms")
 
 
+@_renders("replan")
+def _render_replan(event: TraceEvent) -> str:
+    return (f"replan: {event.detail['relation']} observed "
+            f"{event.detail['observed']} rows vs {event.detail['estimated']} "
+            f"estimated; unstarted join suffix reordered "
+            f"{' >< '.join(event.detail['old_suffix'])} -> "
+            f"{' >< '.join(event.detail['new_suffix'])}")
+
+
+@_renders("stream_first_result")
+def _render_stream_first_result(event: TraceEvent) -> str:
+    return (f"first result batch: {event.detail['rows']} rows at "
+            f"{event.detail['ttfb_seconds'] * 1000:.2f} ms virtual time")
+
+
+@_renders("stream_truncated")
+def _render_stream_truncated(event: TraceEvent) -> str:
+    status = event.detail.get("status")
+    suffix = f" [{status}]" if status else ""
+    return (f"stream truncated after {event.detail['emitted']} rows: "
+            f"{event.detail['reason']}{suffix}")
+
+
 @_renders("done")
 def _render_done(event: TraceEvent) -> str:
     return (f"done: {event.detail['rows']} answers, "

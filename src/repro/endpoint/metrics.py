@@ -162,6 +162,18 @@ class Metrics:
     fragment_pruned: int = 0
     #: routing decisions made over declared replicated fragments
     replica_routes: int = 0
+    #: binding batches routed through the streaming join pipeline
+    batches_routed: int = 0
+    #: mid-flight join-order replans (observed cardinality diverged from
+    #: the optimizer's estimate while part of the join tree was unstarted)
+    replans: int = 0
+    #: virtual time at which the first final answer row was emitted —
+    #: the time-to-first-result; a materialized run emits everything at
+    #: the end, so there it equals the makespan
+    ttfb_seconds: float = 0.0
+    #: VALUES blocks dispatched from *partial* upstream binding sets
+    #: (before the driving subquery finished)
+    values_dispatches_partial: int = 0
     #: guards cross-thread counter updates (increment/merge/record_compute)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
@@ -175,8 +187,9 @@ class Metrics:
     def merge(self, other: "Metrics") -> None:
         """Atomically fold another query's counters into this one.
 
-        Scalar counters add; ``peak_intermediate_rows`` and
-        ``inflight_high_water`` take the max; the dict-valued views
+        Scalar counters add; ``peak_intermediate_rows``,
+        ``inflight_high_water``, and ``ttfb_seconds`` take the max (a
+        rollup's meaningful TTFB figure is its worst); the dict-valued views
         (phases, evaluator compute, lane busy time) merge per key.  The
         serving layer uses this to aggregate per-query metrics into a
         long-lived rollup without losing updates across threads.
@@ -185,7 +198,11 @@ class Metrics:
             for name, value in other.snapshot().items():
                 if ":" in name or name == "lane_utilization":
                     continue
-                if name in ("peak_intermediate_rows", "inflight_high_water"):
+                if name in (
+                    "peak_intermediate_rows",
+                    "inflight_high_water",
+                    "ttfb_seconds",
+                ):
                     setattr(self, name, max(getattr(self, name), value))
                 else:
                     setattr(self, name, getattr(self, name) + value)
@@ -242,6 +259,10 @@ class Metrics:
             "requests_avoided": self.requests_avoided,
             "fragment_pruned": self.fragment_pruned,
             "replica_routes": self.replica_routes,
+            "batches_routed": self.batches_routed,
+            "replans": self.replans,
+            "ttfb_seconds": self.ttfb_seconds,
+            "values_dispatches_partial": self.values_dispatches_partial,
             **{f"phase:{k}": v for k, v in self.phase_seconds.items()},
             **{f"evaluator:{k}": v for k, v in self.evaluator.items()},
             **{

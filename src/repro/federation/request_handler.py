@@ -397,23 +397,34 @@ class ElasticRequestHandler:
     # Futures-based scheduling
     # ------------------------------------------------------------------
 
-    def submit(self, request: Request) -> ResponseFuture:
+    def submit(self, request: Request,
+               at: Optional[float] = None) -> ResponseFuture:
         """Dispatch one request without waiting for it.
 
         The returned future joins the current in-flight window: its
         start time is the virtual clock *now*, so submissions from
         different pipeline stages overlap until something resolves them.
+        ``at`` backdates the submission instant to an earlier point on
+        the virtual timeline (never later than now): the streaming
+        executor uses it to model a request fired the moment a partial
+        upstream batch *arrived*, even though the orchestrator already
+        resolved later-finishing futures and advanced the clock past
+        that moment.
         """
         with self._sched_lock:
-            return self._submit_locked(request)
+            return self._submit_locked(request, at)
 
-    def _submit_locked(self, request: Request) -> ResponseFuture:
+    def _submit_locked(self, request: Request,
+                       at: Optional[float] = None) -> ResponseFuture:
         metrics = self.context.metrics
+        submit_clock = metrics.virtual_seconds
+        if at is not None:
+            submit_clock = max(0.0, min(at, submit_clock))
         if self._closed:
             # The handler is shut down (the executor may be gone):
             # park a rejection on an already-resolved future instead of
             # touching the pool — nothing will ever drain _pending again.
-            future = ResponseFuture(self, request, metrics.virtual_seconds)
+            future = ResponseFuture(self, request, submit_clock)
             future._exception = QueryRejectedError(
                 request.endpoint_id, "request handler is closed"
             )
@@ -422,7 +433,7 @@ class ElasticRequestHandler:
             return future
         if not self._pending:
             metrics.scheduler_waves += 1
-        future = ResponseFuture(self, request, metrics.virtual_seconds)
+        future = ResponseFuture(self, request, submit_clock)
         future._timeout = self._timeout_for(request.endpoint_id)
         # Fast-fail gates, cheapest first: load shedding, the query
         # deadline, then the breaker.  All three park an error on the

@@ -18,7 +18,9 @@ from .protocol import (
     SPARQL_QUERY,
     SPARQL_RESULTS_JSON,
     boolean_document,
+    document_tail,
     iter_results_chunks,
+    iter_streaming_chunks,
     negotiate,
     parse_results_document,
     results_document,
@@ -35,6 +37,7 @@ from .sessions import (
     DEFAULT_TENANT,
     QuerySessionManager,
     ServingError,
+    StreamingSession,
     TenantClass,
     TenantOverloadError,
     TenantUsage,
@@ -45,7 +48,9 @@ __all__ = [
     "SPARQL_QUERY",
     "SPARQL_RESULTS_JSON",
     "boolean_document",
+    "document_tail",
     "iter_results_chunks",
+    "iter_streaming_chunks",
     "negotiate",
     "parse_results_document",
     "results_document",
@@ -58,6 +63,7 @@ __all__ = [
     "DEFAULT_TENANT",
     "QuerySessionManager",
     "ServingError",
+    "StreamingSession",
     "TenantClass",
     "TenantOverloadError",
     "TenantUsage",

@@ -30,7 +30,7 @@ ever materializing the full document in memory.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence
 
 from ..rdf.term import BNode, GroundTerm, IRI, Literal, Variable
 from ..sparql.results import ResultSet
@@ -172,3 +172,65 @@ def iter_results_chunks(
         first = False
         yield (prefix + ", ".join(pieces)).encode("utf-8")
     yield b"]}}"
+
+
+def document_tail(info: Dict[str, object]) -> bytes:
+    """Close a partially-written results document with a status member.
+
+    Valid to append at any inter-piece point of :func:`iter_results_chunks`
+    or :func:`iter_streaming_chunks` output (every piece ends on a
+    complete binding object or the array opener): it closes the
+    ``bindings`` array and the ``results`` object, then records ``info``
+    under an ``"x-lusail"`` member so clients can distinguish a complete
+    document from a truncated one — and, on streamed responses, learn
+    the final OK/PARTIAL status that was unknown when the head was sent.
+    """
+    return (']}, "x-lusail": ' + json.dumps(info) + "}").encode("utf-8")
+
+
+def iter_streaming_chunks(
+    variables: Sequence[Variable],
+    batches: Iterable[ResultSet],
+    trailer: Callable[[], Dict[str, object]],
+    chunk_rows: int = 256,
+) -> Iterator[bytes]:
+    """Serialize a *streamed* SELECT result as bounded UTF-8 pieces.
+
+    Like :func:`iter_results_chunks`, but over an iterator of result
+    batches whose union is not known up front: the head goes out
+    immediately (so the first bytes leave before the engine finishes),
+    each batch follows as it is produced, and the document closes with a
+    trailing ``"x-lusail"`` member built by calling ``trailer()`` once
+    the batch iterator is exhausted — the only point at which the final
+    status (OK/PARTIAL, completeness, timings) is known.
+
+    A batch-iterator failure still yields a well-formed document: the
+    exception is folded into the trailing member (``status: "RE"``)
+    instead of propagating mid-array, and iteration ends normally.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    head = json.dumps({"vars": [v.name for v in variables]})
+    yield f'{{"head": {head}, "results": {{"bindings": ['.encode("utf-8")
+    first = True
+    failure: Optional[BaseException] = None
+    try:
+        for batch in batches:
+            for start in range(0, len(batch.rows), chunk_rows):
+                pieces = [
+                    json.dumps(_binding_to_json(batch.variables, row))
+                    for row in batch.rows[start:start + chunk_rows]
+                ]
+                if not pieces:
+                    continue
+                prefix = "" if first else ", "
+                first = False
+                yield (prefix + ", ".join(pieces)).encode("utf-8")
+    except Exception as error:  # fold into the trailer; stay well-formed
+        failure = error
+    info = dict(trailer() or {})
+    if failure is not None:
+        info["status"] = "RE"
+        info["error"] = f"{type(failure).__name__}: {failure}"
+        info["truncated"] = True
+    yield document_tail(info)

@@ -44,7 +44,9 @@ from .protocol import (
     SPARQL_QUERY,
     SPARQL_RESULTS_JSON,
     boolean_document,
+    document_tail,
     iter_results_chunks,
+    iter_streaming_chunks,
     negotiate,
 )
 from .sessions import (
@@ -189,12 +191,22 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             except ValueError:
                 self._send_error_json(400, "malformed 'deadline' parameter")
                 return
+        stream = (params.get("stream") or ["0"])[0].lower() in (
+            "1", "true", "yes",
+        )
         try:
-            result = self.manager.execute(
-                query_text,
-                api_key=self._api_key(params),
-                deadline_seconds=deadline,
-            )
+            if stream:
+                session = self.manager.execute_streaming(
+                    query_text,
+                    api_key=self._api_key(params),
+                    deadline_seconds=deadline,
+                )
+            else:
+                result = self.manager.execute(
+                    query_text,
+                    api_key=self._api_key(params),
+                    deadline_seconds=deadline,
+                )
         except UnknownTenantError as exc:
             self._send_error_json(401, str(exc))
             return
@@ -207,7 +219,10 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 ),
             )
             return
-        self._send_result(result)
+        if stream:
+            self._stream_session(session)
+        else:
+            self._send_result(result)
 
     def _send_result(self, result: QueryResult) -> None:
         if result.status in ("OK", "PARTIAL"):
@@ -241,8 +256,77 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self.send_header("X-Lusail-Status", "PARTIAL")
         self.end_headers()
         chunk_rows = self.server.chunk_rows  # type: ignore[attr-defined]
+        self._write_chunks(iter_results_chunks(result.result, chunk_rows))
+
+    def _stream_session(self, session) -> None:
+        """Write a streamed query's document as batches are produced.
+
+        The 200 + chunked headers go out only once the first batch (or
+        end of stream) is known, so failures before any bytes are
+        written still map to proper HTTP status codes; after that the
+        response is committed and any engine-side failure travels in the
+        document's trailing ``"x-lusail"`` member instead.
+        """
+        batches = session.batches()
         try:
-            for piece in iter_results_chunks(result.result, chunk_rows):
+            first = next(batches, None)
+        except Exception as exc:  # defensive: session produced no result
+            session.close()
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        if first is None:
+            # Ended before any batch: full outcome known, classic send
+            # (boolean documents, errors with real status codes, empty
+            # results) — nothing was streamed, nothing is committed.
+            self._send_result(session.result)
+            return
+
+        def remaining():
+            yield first
+            yield from batches
+
+        def trailer():
+            result = session.result
+            info = {
+                "status": "PARTIAL" if result is None else result.status,
+            }
+            if result is not None:
+                if result.error:
+                    info["error"] = result.error
+                if result.metrics is not None:
+                    info["ttfb_seconds"] = result.metrics.ttfb_seconds
+                    info["virtual_seconds"] = result.metrics.virtual_seconds
+                if result.completeness is not None:
+                    info["complete"] = result.completeness.complete
+            return info
+
+        self.send_response(200)
+        self.send_header("Content-Type", SPARQL_RESULTS_JSON)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Lusail-Streaming", "1")
+        self.end_headers()
+        chunk_rows = self.server.chunk_rows  # type: ignore[attr-defined]
+        try:
+            self._write_chunks(
+                iter_streaming_chunks(
+                    session.variables, remaining(), trailer, chunk_rows
+                )
+            )
+        finally:
+            session.close()
+
+    def _write_chunks(self, pieces) -> None:
+        """Write one chunked-encoded body; never leave it half-open.
+
+        A client hang-up just drops the connection.  Any other mid-body
+        failure (serializer bug, engine exception surfacing through a
+        lazy iterator) appends a well-formed truncation tail — closing
+        the JSON document with ``"x-lusail": {"truncated": true}`` — and
+        the terminating zero chunk, so clients never block on a chunked
+        response whose end never comes.
+        """
+        try:
+            for piece in pieces:
                 if not piece:
                     continue  # a zero-length chunk would terminate the body
                 self.wfile.write(f"{len(piece):X}\r\n".encode("ascii"))
@@ -251,6 +335,20 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):
             # The client hung up mid-stream; nothing left to tell it.
+            self.close_connection = True
+        except Exception as exc:
+            tail = document_tail({
+                "status": "RE",
+                "error": f"{type(exc).__name__}: {exc}",
+                "truncated": True,
+            })
+            try:
+                self.wfile.write(f"{len(tail):X}\r\n".encode("ascii"))
+                self.wfile.write(tail)
+                self.wfile.write(b"\r\n")
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError):
+                pass
             self.close_connection = True
 
 

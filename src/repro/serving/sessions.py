@@ -159,6 +159,13 @@ class QuerySessionManager:
         }
         self._lock = threading.Lock()
         self.retry_after_seconds = retry_after_seconds
+        # streaming rollup for /stats (guarded by the manager's lock)
+        self._streams = 0
+        self._streams_truncated = 0
+        self._stream_batches_routed = 0
+        self._stream_replans = 0
+        self._stream_partial_dispatches = 0
+        self._stream_ttfb_p50 = P2Quantile(0.5)
 
     # -- tenant resolution -------------------------------------------------
 
@@ -276,6 +283,70 @@ class QuerySessionManager:
                 self._usage[tenant.name].errors += 1
         return result
 
+    def execute_streaming(
+        self,
+        query_text: str,
+        api_key: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        trace: bool = False,
+    ) -> "StreamingSession":
+        """Admit and run one query on the streaming path.
+
+        Same admission and budgeting as :meth:`execute`, but the slot is
+        held for the *lifetime of the stream*: accounting and release
+        happen when the returned session's batch iterator is exhausted
+        or closed, not when this call returns.  Callers must drain or
+        ``close()`` the session.
+        """
+        tenant = self.resolve(api_key)
+        if not self.try_admit(tenant):
+            scope = (
+                "global"
+                if self.admission.active >= self.admission.max_concurrent
+                else "tenant"
+            )
+            raise TenantOverloadError(
+                tenant.name, scope, self.retry_after_seconds
+            )
+        started = time.monotonic()
+        budget = tenant.deadline_seconds
+        if deadline_seconds is not None:
+            budget = (
+                deadline_seconds
+                if budget is None
+                else min(deadline_seconds, budget)
+            )
+        handle = self.engine.execute_streaming(
+            query_text,
+            deadline_seconds=budget,
+            real_time_limit=tenant.real_time_limit,
+            trace=trace,
+        )
+        return StreamingSession(self, tenant, handle, started)
+
+    def _finish_stream(self, tenant: TenantClass, handle, started: float) -> None:
+        """Stream-end accounting (exactly once per streaming session)."""
+        elapsed = time.monotonic() - started
+        result = handle.result
+        with self._lock:
+            usage = self._usage[tenant.name]
+            usage.completed += 1
+            usage.latency_p50.observe(elapsed)
+            usage.latency_p99.observe(elapsed)
+            if result is not None and result.status not in ("OK", "PARTIAL"):
+                usage.errors += 1
+            self._streams += 1
+            if handle.truncated:
+                self._streams_truncated += 1
+            if result is not None and result.metrics is not None:
+                self._stream_batches_routed += result.metrics.batches_routed
+                self._stream_replans += result.metrics.replans
+                self._stream_partial_dispatches += (
+                    result.metrics.values_dispatches_partial
+                )
+                self._stream_ttfb_p50.observe(result.metrics.ttfb_seconds)
+        self.release(tenant)
+
     # -- reporting ---------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
@@ -294,4 +365,67 @@ class QuerySessionManager:
             "admitted": self.admission.admitted,
             "sheds": self.admission.sheds,
             "tenants": per_tenant,
+            "streaming": {
+                "streams": self._streams,
+                "truncated": self._streams_truncated,
+                "batches_routed": self._stream_batches_routed,
+                "replans": self._stream_replans,
+                "values_dispatches_partial": self._stream_partial_dispatches,
+                "ttfb_p50_s": self._stream_ttfb_p50.value(),
+            },
         }
+
+
+class StreamingSession:
+    """One tenant-accounted streaming query (see
+    :meth:`QuerySessionManager.execute_streaming`).
+
+    Wraps the engine's :class:`~repro.core.streaming.StreamingResult` so
+    that exhausting (or closing) the batch iterator runs the manager's
+    end-of-stream accounting exactly once and releases the admission
+    slot — mirroring what :meth:`QuerySessionManager.execute` does in
+    its ``finally``, deferred to when the stream actually ends.
+    """
+
+    __slots__ = ("_manager", "_tenant", "_handle", "_started", "_finished")
+
+    def __init__(self, manager, tenant, handle, started: float):
+        self._manager = manager
+        self._tenant = tenant
+        self._handle = handle
+        self._started = started
+        self._finished = False
+
+    @property
+    def variables(self):
+        return self._handle.variables
+
+    @property
+    def result(self) -> Optional[QueryResult]:
+        return self._handle.result
+
+    @property
+    def streamed(self) -> bool:
+        return self._handle.streamed
+
+    @property
+    def truncated(self) -> bool:
+        return self._handle.truncated
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._manager._finish_stream(self._tenant, self._handle, self._started)
+
+    def batches(self):
+        try:
+            for batch in self._handle.batches():
+                yield batch
+        finally:
+            self._handle.close()
+            self._finish()
+
+    def close(self) -> None:
+        self._handle.close()
+        self._finish()

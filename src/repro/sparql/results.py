@@ -119,3 +119,59 @@ class ResultSet:
 
 def _row_key(row: Tuple[Optional[GroundTerm], ...]):
     return tuple(("",) if cell is None else cell.sort_key() for cell in row)
+
+
+class ResultStream:
+    """A streamed solution sequence: a fixed header plus batches.
+
+    The header is known before execution starts (it is the query's
+    projection), so consumers — e.g. the HTTP chunked encoder — can emit
+    a result document's head while the engine is still joining.  Batches
+    are :class:`ResultSet` instances over that header, produced by a
+    generator; rows seen so far accumulate, so :meth:`materialize` after
+    exhaustion returns the complete result without re-execution.
+
+    The stream is single-consumption.  ``close()`` aborts the producer
+    (its ``finally`` blocks run, releasing admission slots and the
+    like); it is safe to call after exhaustion.
+    """
+
+    __slots__ = ("variables", "_source", "_rows", "_exhausted")
+
+    def __init__(
+        self,
+        variables: Sequence[Variable],
+        source: Iterator["ResultSet"],
+    ):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self._source = source
+        self._rows: List[Tuple[Optional[GroundTerm], ...]] = []
+        self._exhausted = False
+
+    def batches(self) -> Iterator["ResultSet"]:
+        """Yield result batches as the producer emits them."""
+        if self._exhausted:
+            return
+        for batch in self._source:
+            self._rows.extend(batch.rows)
+            yield batch
+        self._exhausted = True
+
+    def __iter__(self) -> Iterator["ResultSet"]:
+        return self.batches()
+
+    def materialize(self) -> "ResultSet":
+        """Drain any remaining batches; return everything as one set."""
+        for _batch in self.batches():
+            pass
+        return ResultSet(self.variables, self._rows)
+
+    @property
+    def rows_seen(self) -> int:
+        return len(self._rows)
+
+    def close(self) -> None:
+        close = getattr(self._source, "close", None)
+        if close is not None:
+            close()
+        self._exhausted = True

@@ -27,7 +27,9 @@ from repro.serving import (
     TenantClass,
     UnknownTenantError,
     boolean_document,
+    document_tail,
     iter_results_chunks,
+    iter_streaming_chunks,
     negotiate,
     parse_results_document,
     results_document,
@@ -405,3 +407,177 @@ class TestFairShareAdmission:
     def test_weight_must_be_positive(self):
         with pytest.raises(ValueError):
             TenantClass("a", "k", weight=0.0)
+
+
+# ----------------------------------------------------------------------
+# Streaming over HTTP: stream=1, the x-lusail trailer, truncation
+# ----------------------------------------------------------------------
+
+
+def _read_streamed(server, query, **params):
+    """(status, headers, arrivals) reading the body chunk by chunk."""
+    import http.client as http_client
+
+    params["stream"] = "1"
+    split = urllib.parse.urlsplit(sparql_url(server, query, **params))
+    conn = http_client.HTTPConnection(
+        split.hostname, split.port, timeout=30
+    )
+    conn.request("GET", split.path + "?" + split.query)
+    response = conn.getresponse()
+    arrivals = []
+    while True:
+        piece = response.read1(65536)
+        if not piece:
+            break
+        arrivals.append(piece)
+    headers = dict(response.getheaders())
+    conn.close()
+    return response.status, headers, arrivals
+
+
+class TestStreamingChunks:
+    """The protocol-level streamed serializer and its failure framing."""
+
+    def _batches(self):
+        x = Variable("x")
+        return [
+            ResultSet((x,), [(IRI(f"http://x/{i}"),)]) for i in range(3)
+        ]
+
+    def test_concatenation_is_a_valid_document_with_trailer(self):
+        x = Variable("x")
+        pieces = list(iter_streaming_chunks(
+            (x,), iter(self._batches()), lambda: {"status": "OK"}
+        ))
+        document = json.loads(b"".join(pieces))
+        assert document["x-lusail"] == {"status": "OK"}
+        assert len(document["results"]["bindings"]) == 3
+        # the tolerant parser ignores the extra member
+        assert len(parse_results_document(document)) == 3
+
+    def test_mid_stream_failure_stays_well_formed(self):
+        x = Variable("x")
+
+        def exploding():
+            yield ResultSet((x,), [(IRI("http://x/0"),)])
+            raise RuntimeError("endpoint fell over")
+
+        pieces = list(iter_streaming_chunks(
+            (x,), exploding(), lambda: {"status": "OK"}
+        ))
+        document = json.loads(b"".join(pieces))  # must not raise
+        assert document["x-lusail"]["status"] == "RE"
+        assert document["x-lusail"]["truncated"] is True
+        assert "endpoint fell over" in document["x-lusail"]["error"]
+        assert len(document["results"]["bindings"]) == 1
+
+    def test_document_tail_closes_at_any_point(self):
+        x = Variable("x")
+        pieces = list(iter_streaming_chunks(
+            (x,), iter(self._batches()), lambda: {"status": "OK"}
+        ))
+        tail = document_tail({"status": "PARTIAL", "truncated": True})
+        # a truncation after ANY piece boundary still parses
+        for cut in range(1, len(pieces)):
+            document = json.loads(b"".join(pieces[:cut]) + tail)
+            assert document["x-lusail"]["truncated"] is True
+
+    def test_empty_stream_is_valid(self):
+        x = Variable("x")
+        pieces = list(iter_streaming_chunks(
+            (x,), iter(()), lambda: {"status": "OK"}
+        ))
+        document = json.loads(b"".join(pieces))
+        assert document["results"]["bindings"] == []
+
+
+class TestServerStreaming:
+    def test_streamed_document_matches_materialized(self):
+        federation = build_paper_federation()
+        direct = LusailEngine(federation).execute(QUERY_QA)
+        with serve(federation) as (server, manager):
+            status, headers, arrivals = _read_streamed(server, QUERY_QA)
+            stats = manager.stats()
+        assert status == 200
+        assert headers.get("X-Lusail-Streaming") == "1"
+        document = json.loads(b"".join(arrivals))
+        info = document["x-lusail"]
+        assert info["status"] == "OK"
+        assert info["complete"] is True
+        assert info["ttfb_seconds"] <= info["virtual_seconds"]
+        assert result_values(parse_results_document(document)) \
+            == result_values(direct.result)
+        assert stats["streaming"]["streams"] == 1
+        assert stats["streaming"]["truncated"] == 0
+        assert stats["streaming"]["batches_routed"] > 0
+        assert stats["streaming"]["ttfb_p50_s"] is not None
+
+    def test_first_bytes_precede_the_trailer(self):
+        with serve() as (server, _manager):
+            _status, _headers, arrivals = _read_streamed(server, QUERY_QA)
+        assert len(arrivals) >= 2
+        assert b"x-lusail" not in arrivals[0]
+        assert b"x-lusail" in arrivals[-1]
+
+    def test_stream_of_non_streamable_query_still_answers(self):
+        """ORDER BY falls back to the materialized path but the
+        stream=1 request is still served correctly."""
+        query = QUERY_QA.rstrip() + "\nORDER BY ?S"
+        with serve() as (server, _manager):
+            status, _headers, arrivals = _read_streamed(server, query)
+        assert status == 200
+        document = json.loads(b"".join(arrivals))
+        assert result_values(parse_results_document(document)) \
+            == QA_EXPECTED
+
+    def test_streamed_ask_uses_the_classic_path(self):
+        with serve() as (server, _manager):
+            status, headers, arrivals = _read_streamed(
+                server, "ASK { ?s ?p ?o }"
+            )
+        assert status == 200
+        assert headers.get("X-Lusail-Streaming") is None
+        assert json.loads(b"".join(arrivals))["boolean"] is True
+
+    def test_streamed_parse_error_is_a_400(self):
+        with serve() as (server, _manager):
+            status, _headers, _arrivals = _read_streamed(
+                server, "NOT SPARQL"
+            )
+        assert status == 400
+
+    def test_streaming_session_releases_its_slot(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(
+            federation, use_threads=True, reset_request_windows=False
+        )
+        manager = QuerySessionManager(engine, max_concurrent=1)
+        session = manager.execute_streaming(QUERY_QA)
+        rows = []
+        for batch in session.batches():
+            rows.extend(batch.rows)
+        assert session.result.status == "OK"
+        assert result_values(session.result.result) == QA_EXPECTED
+        # the slot freed: a second streamed query admits immediately
+        second = manager.execute_streaming(QUERY_QA)
+        assert sum(len(b.rows) for b in second.batches()) == len(rows)
+        stats = manager.stats()
+        assert stats["streaming"]["streams"] == 2
+        assert stats["tenants"]["public"]["completed"] == 2
+
+    def test_closing_a_session_counts_truncation(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(
+            federation, use_threads=True, reset_request_windows=False
+        )
+        manager = QuerySessionManager(engine, max_concurrent=1)
+        session = manager.execute_streaming(QUERY_QA)
+        next(session.batches())
+        session.close()
+        assert session.truncated
+        assert session.result.status == "PARTIAL"
+        stats = manager.stats()
+        assert stats["streaming"]["truncated"] == 1
+        # the slot is back regardless of how the stream ended
+        assert manager.execute_streaming(QUERY_QA) is not None
