@@ -68,6 +68,15 @@ def main(argv=None) -> int:
         print(resilience_bench.format_report(payload))
         print(f"wrote {resilience_bench.write_results(payload)}")
 
+    def _run_wire_chaos():
+        payload = (
+            resilience_bench.check_wire_chaos()
+            if args.check
+            else resilience_bench.run_wire_chaos()
+        )
+        print(resilience_bench.format_wire_chaos_report(payload))
+        print(f"wrote {resilience_bench.write_results(payload, 'BENCH_wire_chaos.json')}")
+
     def _run_serving():
         payload = (
             serving_bench.check()
@@ -144,6 +153,7 @@ def main(argv=None) -> int:
         "evaluator": _run_evaluator,
         "federation": _run_federation,
         "resilience": _run_resilience,
+        "wire-chaos": _run_wire_chaos,
         "serving": _run_serving,
         "qerror": lambda: print(format_table(
             [experiments.qerror_study(scale=args.scale)],

@@ -443,6 +443,250 @@ def check(
     return payload
 
 
+# -- wire chaos: the same invariants over real sockets ----------------------
+
+#: wall-clock ceiling for any single chaos scenario (seconds); a hang
+#: past this is itself a failed invariant
+WIRE_CHAOS_BOUND_SECONDS = 90.0
+
+#: per-endpoint seeded fault profiles for the chaos sweep (seeds chosen
+#: so connection 0 passes — the pool bootstraps — and later connections
+#: fault; see ChaosProfile.fault_for_connection)
+WIRE_CHAOS_PROFILES = {
+    "resets": dict(reset_rate=0.3, reset_after_bytes=256),
+    "truncations": dict(truncate_rate=0.3, truncate_after_bytes=256),
+    "throttle-storm": dict(storm_rate=0.4, storm_retry_after=0.02),
+    "mixed": dict(
+        reset_rate=0.2, truncate_rate=0.1, garbage_rate=0.1,
+        storm_rate=0.1, storm_retry_after=0.02,
+    ),
+}
+
+
+def _wire_members(universities: int):
+    """One served engine per university, fronted by nothing yet."""
+    from ..core.engine import LusailEngine as Engine
+    from ..serving import QuerySessionManager, start_server
+
+    generator = LubmGenerator(universities=universities)
+    servers = []
+    for index in range(universities):
+        member = Federation([LocalEndpoint.from_triples(
+            f"university{index}", generator.generate_university(index),
+        )])
+        engine = Engine(
+            member, use_threads=True, reset_request_windows=False
+        )
+        manager = QuerySessionManager(
+            engine, tenants=(), max_concurrent=8
+        )
+        servers.append(start_server(manager)[0])
+    return generator, servers
+
+
+def _wire_rows(outcome) -> Optional[List[tuple]]:
+    if outcome.result is None:
+        return None
+    return sorted(
+        tuple("" if cell is None else cell.n3() for cell in row)
+        for row in outcome.result.rows
+    )
+
+
+def run_wire_chaos(
+    universities: int = 2,
+    query: str = "Q2",
+    seed: int = 8,
+) -> Dict[str, object]:
+    """Chaos over real sockets: servers behind fault-injecting proxies.
+
+    The control run federates over loopback HTTP with quiet proxies and
+    must be bit-identical to the same federation evaluated in-process
+    (:class:`~repro.endpoint.engine_backed.EngineEndpoint` members).
+    Each chaos scenario then reruns the query under a seeded fault
+    profile and records the typed outcome.
+    """
+    import time as _time
+
+    from ..core.engine import LusailEngine as Engine
+    from ..endpoint import (
+        ChaosProfile,
+        ChaosProxy,
+        EngineEndpoint,
+        RemoteEndpoint,
+    )
+
+    query_text = LUBM_QUERIES[query]
+    generator = LubmGenerator(universities=universities)
+
+    # In-process comparator: the same member engines, no sockets.
+    in_process = Federation([
+        EngineEndpoint(
+            Engine(
+                Federation([LocalEndpoint.from_triples(
+                    f"university{index}",
+                    generator.generate_university(index),
+                )]),
+                use_threads=True, reset_request_windows=False,
+            ),
+            f"university{index}",
+        )
+        for index in range(universities)
+    ])
+    baseline = Engine(in_process, use_threads=True).execute(query_text)
+
+    scenarios: List[Dict[str, object]] = []
+    profiles: Dict[str, Optional[Dict[str, object]]] = {
+        "control": None, **WIRE_CHAOS_PROFILES,
+    }
+    for name, rates in profiles.items():
+        _generator, servers = _wire_members(universities)
+        proxies = []
+        remotes = []
+        try:
+            for index, server in enumerate(servers):
+                profile = (
+                    ChaosProfile.quiet() if rates is None
+                    else ChaosProfile(seed=seed + index, **rates)
+                )
+                proxy = ChaosProxy(*server.server_address[:2], profile)
+                proxies.append(proxy)
+                remotes.append(RemoteEndpoint(
+                    proxy.url, endpoint_id=f"university{index}",
+                    connect_timeout=1.0, request_timeout=5.0,
+                ))
+            engine = Engine(
+                Federation(remotes), use_threads=True, max_retries=4,
+            )
+            started = _time.monotonic()
+            outcome = engine.execute(query_text)
+            elapsed = _time.monotonic() - started
+            row: Dict[str, object] = {
+                "scenario": name,
+                "status": outcome.status,
+                "rows": _wire_rows(outcome),
+                "wall_seconds": round(elapsed, 3),
+                "requests_failed": outcome.metrics.requests_failed,
+                "retries": outcome.metrics.retries,
+                "faults_injected": {
+                    kind: sum(p.stats()[kind] for p in proxies)
+                    for kind in ("reset", "truncate", "garbage", "storm")
+                },
+            }
+            if outcome.completeness is not None:
+                row["completeness"] = outcome.completeness.to_dict()
+            if outcome.error is not None:
+                row["error"] = outcome.error
+            scenarios.append(row)
+        finally:
+            for remote in remotes:
+                remote.close()
+            for proxy in proxies:
+                proxy.close()
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+    return {
+        "benchmark": "wire-chaos",
+        "universities": universities,
+        "query": query,
+        "seed": seed,
+        "baseline_rows": _wire_rows(baseline),
+        "scenarios": scenarios,
+    }
+
+
+def check_wire_chaos(
+    universities: int = 2, query: str = "Q2", seed: int = 8
+) -> Dict[str, object]:
+    """Assert the typed-outcome invariant over real sockets:
+
+    - the fault-free control run is **bit-identical** to the in-process
+      comparator;
+    - every chaos scenario lands in exactly one of the three legal
+      states: ``OK`` with the exact answer, ``PARTIAL`` with a subset
+      and an honest completeness report, or a typed error — and always
+      within the wall-clock bound (no hangs, no silent empties).
+    """
+    payload = run_wire_chaos(
+        universities=universities, query=query, seed=seed
+    )
+    baseline_rows = payload["baseline_rows"]
+    for row in payload["scenarios"]:
+        name = row["scenario"]
+        if row["wall_seconds"] > WIRE_CHAOS_BOUND_SECONDS:
+            raise AssertionError(
+                f"wire-chaos {name}: blew the wall bound "
+                f"({row['wall_seconds']}s > {WIRE_CHAOS_BOUND_SECONDS}s)"
+            )
+        if name == "control":
+            if row["status"] != "OK" or row["rows"] != baseline_rows:
+                raise AssertionError(
+                    f"wire-chaos control: loopback HTTP diverged from "
+                    f"in-process ({row['status']})"
+                )
+            continue
+        if row["status"] == "OK":
+            report = row.get("completeness", {})
+            if report and not report.get("complete", True):
+                if not set(map(tuple, row["rows"])) <= set(
+                    map(tuple, baseline_rows)
+                ):
+                    raise AssertionError(
+                        f"wire-chaos {name}: partial rows outside the "
+                        "true answer"
+                    )
+            elif row["rows"] != baseline_rows:
+                raise AssertionError(
+                    f"wire-chaos {name}: OK but the answer is wrong — "
+                    "silent corruption"
+                )
+        elif row["status"] == "PARTIAL":
+            if not set(map(tuple, row["rows"])) <= set(
+                map(tuple, baseline_rows)
+            ):
+                raise AssertionError(
+                    f"wire-chaos {name}: partial rows outside the true "
+                    "answer"
+                )
+            if row.get("completeness", {}).get("complete", True):
+                raise AssertionError(
+                    f"wire-chaos {name}: PARTIAL without an honest "
+                    "completeness report"
+                )
+        else:
+            if not row.get("error"):
+                raise AssertionError(
+                    f"wire-chaos {name}: failed without a typed error"
+                )
+            if row["rows"] is not None:
+                raise AssertionError(
+                    f"wire-chaos {name}: error state still carried rows"
+                )
+    payload["check"] = "ok"
+    return payload
+
+
+def format_wire_chaos_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "Wire chaos: loopback federation through fault-injecting proxies",
+        f"LUBM x{payload['universities']}, query {payload['query']}, "
+        f"seed {payload['seed']}",
+    ]
+    for row in payload["scenarios"]:
+        rows = "-" if row["rows"] is None else len(row["rows"])
+        faults = ", ".join(
+            f"{kind}={count}"
+            for kind, count in row["faults_injected"].items() if count
+        ) or "none"
+        lines.append(
+            f"  {row['scenario']}: {row['status']}, {rows} rows, "
+            f"{row['wall_seconds']:.2f}s wall, faults [{faults}], "
+            f"{row['requests_failed']} failed / {row['retries']} retries"
+        )
+    return "\n".join(lines)
+
+
 def write_results(payload: Dict[str, object], path: Optional[str] = None) -> Path:
     target = Path(path) if path else Path.cwd() / DEFAULT_OUTPUT
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -16,6 +16,7 @@ Knobs reproduce the paper's ablations: ``enable_sape`` (Figure 14),
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -181,6 +182,12 @@ class LusailEngine:
         #: per-endpoint latency quantiles, shared across this engine's
         #: queries so adaptive timeouts and hedging warm up once
         self.latency_tracker = LatencyTracker()
+        #: engine-lifetime per-endpoint health rollup (breaker state,
+        #: retry/failure counters) folded in as each query's request
+        #: handler reports; the serving layer's /stats reads it through
+        #: :meth:`endpoint_stats`
+        self._endpoint_health: Dict[str, Dict[str, object]] = {}
+        self._endpoint_health_lock = threading.Lock()
         self.ask_cache: Optional[AskCache] = AskCache() if use_cache else None
         self.check_cache: Optional[CheckCache] = CheckCache() if use_cache else None
         #: COUNT-probe cache shared across this engine's queries — the
@@ -433,6 +440,50 @@ class LusailEngine:
             # The returned QueryResult holds this same Metrics object,
             # so the per-endpoint latency view lands on every path.
             context.metrics.endpoint_latency = self.latency_tracker.snapshot()
+            self._fold_endpoint_health(context.metrics.endpoint_health)
+
+    def _fold_endpoint_health(
+        self, health: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Fold one query's per-endpoint health view into the engine
+        rollup: counters accumulate, breaker state reflects the latest
+        query's view (each request handler owns its own breakers)."""
+        if not health:
+            return
+        with self._endpoint_health_lock:
+            for endpoint_id, entry in health.items():
+                rollup = self._endpoint_health.setdefault(endpoint_id, {})
+                rollup["breaker_state"] = entry.get("breaker_state", "closed")
+                rollup["consecutive_failures"] = entry.get(
+                    "consecutive_failures", 0
+                )
+                rollup.pop("open_until", None)
+                if "open_until" in entry:
+                    rollup["open_until"] = entry["open_until"]
+                for key in (
+                    "breaker_opens", "failed_attempts", "retries", "timeouts",
+                ):
+                    if key in entry:
+                        rollup[key] = rollup.get(key, 0) + entry[key]
+
+    def endpoint_stats(self) -> Dict[str, Dict[str, object]]:
+        """The operator's unhealthy-member view: per-endpoint breaker
+        state and failure counters rolled up across this engine's
+        queries, plus connection-pool stats for remote (wall-clock)
+        members that expose ``pool_stats()``."""
+        with self._endpoint_health_lock:
+            stats = {
+                endpoint_id: dict(entry)
+                for endpoint_id, entry in self._endpoint_health.items()
+            }
+        for endpoint in self.federation.endpoints():
+            pool_stats = getattr(endpoint, "pool_stats", None)
+            if callable(pool_stats):
+                entry = stats.setdefault(
+                    endpoint.endpoint_id, {"breaker_state": "closed"}
+                )
+                entry["pool"] = pool_stats()
+        return stats
 
     def _make_handler(self, context: ExecutionContext) -> ElasticRequestHandler:
         request_timeout = self.request_timeout_seconds
@@ -621,6 +672,9 @@ class LusailEngine:
         # Filter placement (paper: decided during decomposition).
         with context.phase("analysis"):
             global_filters = assign_filters(subqueries, group.filters)
+            global_filters = self._push_exists_filters(
+                subqueries, global_filters, optionals, unions, minuses
+            )
             needed = set(required)
             for f in group.filters:
                 needed |= f.variables()
@@ -920,6 +974,49 @@ class LusailEngine:
         for name in order[1:]:
             result = hash_join(result, relations[name], context)
         return result
+
+    def _push_exists_filters(
+        self, subqueries, filters, optionals, unions, minuses
+    ):
+        """Push EXISTS filters to the endpoint when that is exact.
+
+        EXISTS needs the data, so the federator cannot evaluate it after
+        the join, and evaluating it at one endpoint of several changes
+        its meaning — ``NOT EXISTS`` would miss matches held elsewhere.
+        But when the federation has exactly one member and the group
+        decomposed into a single plain subquery, that endpoint sees every
+        triple the inner pattern could match, so shipping the filter
+        verbatim is exact.  This is what lets one Lusail engine serve
+        another engine's Figure-5 locality probes (``SELECT ... FILTER
+        NOT EXISTS {...}``) over the SPARQL protocol.
+        """
+        exists = [f for f in filters if f.contains_exists()]
+        if not exists:
+            return filters
+        if len(self.federation) != 1 or optionals or unions or minuses:
+            return filters
+        outer_vars = set()
+        for subquery in subqueries:
+            if not subquery.optional:
+                outer_vars |= subquery.variables()
+        remaining = [f for f in filters if not f.contains_exists()]
+        for filter_expr in exists:
+            # The filter is row-local given its correlated (outer-bound)
+            # variables, so evaluating it inside any subquery that binds
+            # them equals evaluating it after the global join.
+            correlated = filter_expr.variables() & outer_vars
+            target = None
+            for subquery in subqueries:
+                if subquery.optional or len(subquery.sources) != 1:
+                    continue
+                if correlated <= subquery.variables():
+                    target = subquery
+                    break
+            if target is None:
+                remaining.append(filter_expr)
+            else:
+                target.filters.append(filter_expr)
+        return remaining
 
     @staticmethod
     def _apply_global_filters(

@@ -3,7 +3,10 @@
 from .base import EndpointResponse, SPARQLEndpoint
 from .errors import (
     CircuitBreakerOpenError,
+    EndpointConnectionError,
+    EndpointProtocolError,
     EndpointRateLimitError,
+    EndpointThrottledError,
     EndpointUnavailableError,
     FederationError,
     MemoryLimitError,
@@ -25,15 +28,27 @@ from .network import (
     WIDE_AREA,
 )
 
+from .chaos import ChaosProfile, ChaosProxy
+from .engine_backed import EngineEndpoint
+from .remote import RemoteEndpoint, federate_remotes
+
 __all__ = [
     "AZURE_GEO",
     "AZURE_REGIONS",
+    "ChaosProfile",
+    "ChaosProxy",
     "CircuitBreakerOpenError",
     "CompletenessReport",
+    "EndpointConnectionError",
+    "EndpointProtocolError",
     "EndpointRateLimitError",
+    "EndpointThrottledError",
     "EndpointUnavailableError",
     "EndpointResponse",
+    "EngineEndpoint",
     "ExecutionContext",
+    "RemoteEndpoint",
+    "federate_remotes",
     "FaultInjector",
     "FaultProfile",
     "OutageWindow",

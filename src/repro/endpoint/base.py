@@ -34,6 +34,15 @@ class EndpointResponse:
     #: prediction (injected latency spikes — see
     #: :class:`repro.endpoint.faults.FaultProfile`)
     latency_penalty_seconds: float = 0.0
+    #: real wall-clock seconds the request took, reported by endpoints
+    #: whose class sets ``wall_clock = True`` (remote HTTP endpoints).
+    #: ``None`` means the request is costed by the virtual-time
+    #: :class:`~repro.endpoint.network.NetworkModel` instead.
+    elapsed_seconds: Optional[float] = None
+    #: the endpoint itself reported its answer as incomplete (a remote
+    #: server returned ``X-Lusail-Status: PARTIAL`` or a truncated-tail
+    #: document) — folded into the query's CompletenessReport.
+    partial: bool = False
 
 
 class SPARQLEndpoint(Protocol):

@@ -110,6 +110,83 @@ class QueryRejectedError(EndpointUnavailableError):
         self.reason = reason
 
 
+class EndpointProtocolError(EndpointUnavailableError):
+    """A remote endpoint answered with bytes we refuse to trust.
+
+    Malformed JSON, a truncated results document, a binding set that
+    violates its own header, an oversized body, an unexpected media
+    type: anything where *some* bytes arrived but decoding them into a
+    :class:`~repro.endpoint.base.EndpointResponse` would risk returning
+    silently wrong results.  The remote client raises this instead of
+    guessing — a federated query then degrades through the same
+    partial-results / replica paths as any other endpoint failure.
+
+    ``retryable`` is ``False`` for responses that look like a server
+    bug rather than a transient wire accident (e.g. an HTTP 400): the
+    request handler then skips its retry loop and fails over directly.
+    """
+
+    def __init__(self, endpoint_id: str, detail: str, retryable: bool = True):
+        FederationError.__init__(
+            self, f"endpoint {endpoint_id!r} protocol violation: {detail}"
+        )
+        self.endpoint_id = endpoint_id
+        self.detail = detail
+        self.retryable = retryable
+
+
+class EndpointConnectionError(EndpointUnavailableError):
+    """A wall-clock socket to a remote endpoint failed.
+
+    ``kind`` classifies the wire-level failure mode so operators (and
+    the chaos suite) can tell refused connections from mid-body resets
+    from stalls:
+
+    - ``connect-refused`` — TCP connect failed (endpoint down / port
+      closed); always safe to retry, nothing was sent.
+    - ``reset`` — the peer reset or closed the connection mid-exchange;
+      retried only for idempotent requests where zero response bytes
+      had been read.
+    - ``half-close`` — the body ended before the endpoint said it would
+      (short read against Content-Length, or an unterminated chunked
+      stream).
+    - ``slow-loris`` — bytes kept trickling but the read deadline
+      expired before the document completed.
+    - ``timeout`` — no bytes at all within the read deadline.
+    """
+
+    def __init__(self, endpoint_id: str, kind: str, detail: str = ""):
+        FederationError.__init__(
+            self,
+            f"endpoint {endpoint_id!r} connection failure ({kind})"
+            + (f": {detail}" if detail else ""),
+        )
+        self.endpoint_id = endpoint_id
+        self.kind = kind
+        self.detail = detail
+
+
+class EndpointThrottledError(EndpointUnavailableError):
+    """A remote endpoint answered 503/429: back off, then retry.
+
+    ``retry_after`` carries the server's ``Retry-After`` header (in
+    seconds) when one was sent; the request handler's backoff honors it
+    as a floor, so a polite server's pacing wins over our exponential
+    schedule.
+    """
+
+    def __init__(self, endpoint_id: str, http_status: int,
+                 retry_after: float = 0.0):
+        FederationError.__init__(
+            self,
+            f"endpoint {endpoint_id!r} throttled request (HTTP "
+            f"{http_status}, retry after {retry_after:.3f}s)",
+        )
+        self.endpoint_id = endpoint_id
+        self.http_status = http_status
+        self.retry_after = retry_after
+
+
 class EndpointRateLimitError(FederationError):
     """A (simulated) public endpoint refused further requests.
 

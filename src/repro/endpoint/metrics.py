@@ -141,6 +141,10 @@ class Metrics:
     requests_cancelled: int = 0
     #: endpoint id -> {count, p50, p95, p99} from the latency tracker
     endpoint_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: endpoint id -> breaker state and per-endpoint failure/retry
+    #: counters, captured when the request handler closes — what /stats
+    #: shows operators about which members are unhealthy
+    endpoint_health: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: terms interned into the federator's join dictionary (the ID kernel
     #: in :mod:`repro.core.joins` encodes result cells once per term)
     join_terms_interned: int = 0
@@ -268,6 +272,11 @@ class Metrics:
             **{
                 f"latency:{endpoint}:{stat}": value
                 for endpoint, stats in self.endpoint_latency.items()
+                for stat, value in stats.items()
+            },
+            **{
+                f"health:{endpoint}:{stat}": value
+                for endpoint, stats in self.endpoint_health.items()
                 for stat, value in stats.items()
             },
         }

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 import zlib
 from collections import deque
 from concurrent.futures import Future as _ThreadFuture
@@ -108,6 +109,13 @@ class Response:
     compute: Optional[Dict[str, float]] = None
     #: transient failures absorbed by retries before this answer arrived
     failed_attempts: int = 0
+    #: ``cost_seconds`` is *measured* wall time from a real endpoint
+    #: (remote HTTP member), not a virtual-model prediction; such
+    #: responses are exempt from retroactive timeout censoring and from
+    #: post-hoc hedging, both of which only make sense for modeled costs
+    wall_clock: bool = False
+    #: the endpoint itself flagged this answer as incomplete
+    partial: bool = False
 
 
 def _jitter_fraction(*parts: object) -> float:
@@ -242,6 +250,9 @@ class ElasticRequestHandler:
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
         #: endpoint id -> breaker/health state (created on first trouble)
         self._health: Dict[str, _EndpointHealth] = {}
+        #: endpoint id -> failure/retry/timeout counters (operator view;
+        #: exported through ``Metrics.endpoint_health`` at close)
+        self._endpoint_stats: Dict[str, Dict[str, int]] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         # -- makespan simulator state (all touched only from the
         #    orchestrating thread; workers never schedule) --------------
@@ -284,11 +295,40 @@ class ElasticRequestHandler:
                 if abandoned:
                     self.cancelled += abandoned
                     self.context.metrics.requests_cancelled += abandoned
+                health = self.health_snapshot()
+                if health:
+                    self.context.metrics.endpoint_health = health
             finally:
                 self._draining = False
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def _endpoint_stat(self, endpoint_id: str, name: str,
+                       amount: int = 1) -> None:
+        stats = self._endpoint_stats.setdefault(endpoint_id, {})
+        stats[name] = stats.get(name, 0) + amount
+
+    def health_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-endpoint breaker state plus failure/retry/timeout counters.
+
+        The operator's unhealthy-member view: exported into
+        ``Metrics.endpoint_health`` when the handler closes and rolled
+        up by the engine for the serving layer's ``/stats`` document.
+        """
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for endpoint_id in set(self._health) | set(self._endpoint_stats):
+            entry: Dict[str, object] = {"breaker_state": "closed"}
+            health = self._health.get(endpoint_id)
+            if health is not None:
+                entry["breaker_state"] = health.state
+                entry["consecutive_failures"] = health.consecutive_failures
+                entry["breaker_opens"] = health.open_count
+                if health.state != "closed":
+                    entry["open_until"] = health.open_until
+            entry.update(self._endpoint_stats.get(endpoint_id, {}))
+            snapshot[endpoint_id] = entry
+        return snapshot
 
     def lane_backlog(self, endpoint_id: str) -> float:
         """Virtual seconds of work already queued on an endpoint's lane.
@@ -322,7 +362,9 @@ class ElasticRequestHandler:
         )
         return base * (1.0 + 0.1 * jitter)
 
-    def _perform(self, request: Request) -> Tuple[Response, int, int]:
+    def _perform(
+        self, request: Request, timeout: Optional[float] = None
+    ) -> Tuple[Response, int, int]:
         """Run one request; returns (response, bytes_sent, bytes_received).
 
         Transient :class:`EndpointUnavailableError` failures are retried
@@ -333,8 +375,15 @@ class ElasticRequestHandler:
         and attempt/byte counts so the scheduler can charge the failure
         honestly.  No shared state is mutated here, so this is safe to
         call from worker threads; accounting happens in the caller.
+
+        ``timeout`` (the future's frozen per-request timeout) only
+        matters for wall-clock endpoints, where it becomes the real
+        socket budget; virtual endpoints are censored retroactively at
+        scheduling time instead.
         """
         endpoint = self.federation.endpoint(request.endpoint_id)
+        if getattr(endpoint, "wall_clock", False):
+            return self._perform_wall_clock(endpoint, request, timeout)
         bytes_sent = len(request.query_text)
         penalty = 0.0
         for attempt in range(self.max_retries + 1):
@@ -383,6 +432,71 @@ class ElasticRequestHandler:
                 cost_seconds=cost,
                 compute=getattr(response, "compute", None),
                 failed_attempts=attempt,
+            ),
+            bytes_sent,
+            response.bytes_received,
+        )
+
+    def _perform_wall_clock(
+        self, endpoint, request: Request, timeout: Optional[float]
+    ) -> Tuple[Response, int, int]:
+        """One request against a real endpoint; cost is measured.
+
+        The per-request timeout is enforced *by the endpoint's sockets*
+        (connect + bounded read slices), not reconstructed afterwards,
+        and it bounds the whole retry loop: backoffs are real sleeps
+        honoring the server's ``Retry-After`` as a floor, and a retry
+        that cannot finish inside the remaining budget is not attempted.
+        Errors marked ``retryable=False`` (protocol violations that a
+        retransmission would only repeat) skip the retry loop entirely.
+        """
+        bytes_sent = len(request.query_text)
+        started = time.monotonic()
+        for attempt in range(self.max_retries + 1):
+            attempt_timeout = timeout
+            if timeout is not None:
+                attempt_timeout = max(
+                    1e-3, timeout - (time.monotonic() - started)
+                )
+            try:
+                response = endpoint.execute(
+                    request.query_text, timeout_seconds=attempt_timeout
+                )
+                break
+            except EndpointRateLimitError as error:
+                error.virtual_cost = time.monotonic() - started
+                error.failed_attempts = attempt + 1
+                error.bytes_sent_total = bytes_sent * (attempt + 1)
+                raise
+            except EndpointUnavailableError as error:
+                wait = max(
+                    self._retry_backoff(request, attempt),
+                    getattr(error, "retry_after", 0.0),
+                )
+                exhausted = (
+                    attempt == self.max_retries
+                    or getattr(error, "retryable", True) is False
+                    or (
+                        timeout is not None
+                        and time.monotonic() - started + wait >= timeout
+                    )
+                )
+                if exhausted:
+                    error.virtual_cost = time.monotonic() - started
+                    error.failed_attempts = attempt + 1
+                    error.bytes_sent_total = bytes_sent * (attempt + 1)
+                    raise
+                time.sleep(wait)
+        elapsed = time.monotonic() - started
+        return (
+            Response(
+                request=request,
+                value=response.value,
+                cost_seconds=elapsed,
+                compute=getattr(response, "compute", None),
+                failed_attempts=attempt,
+                wall_clock=True,
+                partial=getattr(response, "partial", False),
             ),
             bytes_sent,
             response.bytes_received,
@@ -449,11 +563,11 @@ class ElasticRequestHandler:
             return future
         if self.use_threads:
             future._thread_future = self._pool().submit(
-                self._perform, request
+                self._perform, request, future._timeout
             )
         else:
             try:
-                future._performed = self._perform(request)
+                future._performed = self._perform(request, future._timeout)
             except Exception as error:  # re-raised when the future resolves
                 future._submit_error = error
         self._pending.append(future)
@@ -720,8 +834,12 @@ class ElasticRequestHandler:
             return
         metrics = self.context.metrics
         metrics.requests_failed += attempts
-        metrics.retries += attempts - 1 if exhausted else attempts
+        retries = attempts - 1 if exhausted else attempts
+        metrics.retries += retries
         metrics.bytes_sent += bytes_retransmitted
+        self._endpoint_stat(endpoint_id, "failed_attempts", attempts)
+        if retries:
+            self._endpoint_stat(endpoint_id, "retries", retries)
         self.context.trace_event(
             "retry",
             endpoint=endpoint_id,
@@ -829,6 +947,14 @@ class ElasticRequestHandler:
         """
         if not self.hedge or self._draining:
             return response
+        if response.wall_clock:
+            # Hedging here is *post hoc*: the primary's modeled cost is
+            # known at scheduling time, so the simulator can pretend a
+            # duplicate was launched mid-flight.  A wall-clock response
+            # has already really arrived by this point — launching a
+            # replica request now could never beat it, only duplicate
+            # work — so hedging is explicitly gated off for real sockets.
+            return response
         replica_id = self.federation.replica_of(endpoint_id)
         if replica_id is None:
             return response
@@ -842,7 +968,7 @@ class ElasticRequestHandler:
         launched_at = self._lane_start(future, endpoint_id) + trigger
         try:
             hedge_response, hedge_sent, hedge_received = self._perform(
-                hedge_request
+                hedge_request, self._timeout_for(replica_id)
             )
         except Exception as error:
             # The replica failed too — the primary answer stands; the
@@ -913,6 +1039,28 @@ class ElasticRequestHandler:
         charged — which is what bounds the query's completion time by
         ``deadline + one request timeout``."""
         cost = response.cost_seconds
+        if response.wall_clock:
+            # The wall budget was already enforced at the socket: an
+            # answer that exists is an answer the client really read, so
+            # the retroactive censoring below (which models a virtual
+            # client cancelling at a predicted instant) must not discard
+            # it.  Measured latency feeds the tracker as-is, and a
+            # member that flagged its own answer as incomplete is folded
+            # into the completeness report instead of being dropped.
+            self.latency.observe(endpoint_id, cost)
+            self._note_success(endpoint_id)
+            if response.partial:
+                self.context.completeness.note_failure(
+                    endpoint_id, "remote_partial"
+                )
+                self.context.trace_event(
+                    "remote_partial", endpoint=endpoint_id,
+                    request_kind=future.request.kind,
+                )
+            future._response = response
+            future._finish = self._schedule_lane(future, endpoint_id, cost)
+            future._scheduled = True
+            return
         allowed = cost
         reason = None
         timeout = future._timeout
@@ -938,6 +1086,7 @@ class ElasticRequestHandler:
         metrics.requests_failed += 1
         if reason == "timeout":
             metrics.timeouts += 1
+            self._endpoint_stat(endpoint_id, "timeouts", 1)
         else:
             metrics.deadline_exceeded += 1
         future._finish = self._schedule_lane(future, endpoint_id, allowed)

@@ -17,7 +17,10 @@ The layering, top to bottom:
 from .protocol import (
     SPARQL_QUERY,
     SPARQL_RESULTS_JSON,
+    ProtocolDecodeError,
     boolean_document,
+    decode_response_body,
+    decode_results_payload,
     document_tail,
     iter_results_chunks,
     iter_streaming_chunks,
@@ -47,7 +50,10 @@ from .sessions import (
 __all__ = [
     "SPARQL_QUERY",
     "SPARQL_RESULTS_JSON",
+    "ProtocolDecodeError",
     "boolean_document",
+    "decode_response_body",
+    "decode_results_payload",
     "document_tail",
     "iter_results_chunks",
     "iter_streaming_chunks",

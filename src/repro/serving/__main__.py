@@ -17,6 +17,7 @@ with 401.  ``GET /stats`` shows the per-tenant QoS counters live.
 from __future__ import annotations
 
 import argparse
+import signal
 
 from ..core.engine import LusailEngine
 from ..datasets.lubm import LubmGenerator
@@ -43,6 +44,12 @@ def main() -> None:
         default=8,
         help="global admission bound across all tenants",
     )
+    parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="how long SIGTERM waits for in-flight queries before exiting",
+    )
     args = parser.parse_args()
 
     federation = LubmGenerator(
@@ -60,11 +67,19 @@ def main() -> None:
     print(f"SPARQL endpoint at {server.url}/sparql "
           f"({len(federation)} endpoints, {federation.total_triples()} triples)")
     print("tenant API keys: gold / silver / bronze  (X-API-Key header)")
+
+    def handle_sigterm(signum, frame):
+        # Graceful drain: refuse new queries, close the listener, let
+        # in-flight answers finish (bounded); streams get a well-formed
+        # PARTIAL tail instead of a reset.
+        drained = server.shutdown_gracefully(args.drain_seconds)
+        print(f"drained={'clean' if drained else 'timed out'}; bye")
+
+    signal.signal(signal.SIGTERM, handle_sigterm)
     try:
         thread.join()
     except KeyboardInterrupt:
-        server.shutdown()
-        server.server_close()
+        server.shutdown_gracefully(args.drain_seconds)
 
 
 if __name__ == "__main__":

@@ -30,10 +30,34 @@ ever materializing the full document in memory.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..rdf.term import BNode, GroundTerm, IRI, Literal, Variable
 from ..sparql.results import ResultSet
+
+
+class ProtocolDecodeError(ValueError):
+    """A SPARQL JSON results document failed strict validation.
+
+    The lenient helpers (:func:`parse_results_document`,
+    :func:`term_from_json`) assume a well-behaved peer; the strict
+    decoder (:func:`decode_response_body`) assumes a hostile wire.  It
+    raises this — never returns a guess — for anything that is not
+    provably the document a conforming server sent: invalid UTF-8,
+    truncated JSON, a binding mentioning variables absent from the
+    header, a literal carrying both a language tag and a datatype,
+    non-string term values, or unknown structural members (which is
+    what random byte splices usually turn valid documents into).
+    """
 
 #: the standard media type for the JSON results document
 SPARQL_RESULTS_JSON = "application/sparql-results+json"
@@ -146,6 +170,163 @@ def parse_results_document(document: Dict[str, object]) -> ResultSet:
             )
         )
     return ResultSet(variables, rows)
+
+
+#: members strict decoding accepts at each structural level; anything
+#: else is evidence of corruption (or a server we should not trust)
+_TOP_LEVEL_MEMBERS = frozenset({"head", "results", "boolean", "x-lusail"})
+_HEAD_MEMBERS = frozenset({"vars", "link"})
+_RESULTS_MEMBERS = frozenset({"bindings"})
+_CELL_MEMBERS = frozenset({"type", "value", "xml:lang", "datatype"})
+
+
+def _strict_term(variable: str, cell: object) -> GroundTerm:
+    if not isinstance(cell, dict):
+        raise ProtocolDecodeError(
+            f"binding for ?{variable} is not an object: {cell!r}"
+        )
+    unknown = set(cell) - _CELL_MEMBERS
+    if unknown:
+        raise ProtocolDecodeError(
+            f"binding for ?{variable} has unknown members {sorted(unknown)}"
+        )
+    value = cell.get("value")
+    if not isinstance(value, str):
+        raise ProtocolDecodeError(
+            f"binding for ?{variable} has a non-string value: {value!r}"
+        )
+    kind = cell.get("type")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BNode(value)
+    if kind in ("literal", "typed-literal"):
+        language = cell.get("xml:lang")
+        datatype = cell.get("datatype")
+        if language is not None and not isinstance(language, str):
+            raise ProtocolDecodeError(
+                f"binding for ?{variable} has a non-string xml:lang"
+            )
+        if datatype is not None and not isinstance(datatype, str):
+            raise ProtocolDecodeError(
+                f"binding for ?{variable} has a non-string datatype"
+            )
+        if language is not None and datatype is not None:
+            raise ProtocolDecodeError(
+                f"literal for ?{variable} carries both xml:lang and datatype"
+            )
+        return Literal(value, datatype=datatype, language=language)
+    raise ProtocolDecodeError(
+        f"binding for ?{variable} has unknown term type {kind!r}"
+    )
+
+
+def decode_results_payload(
+    document: object,
+) -> Tuple[Union[bool, ResultSet], Optional[Dict[str, object]]]:
+    """Strictly decode one parsed results document.
+
+    Returns ``(value, info)`` where ``value`` is a bool (ASK) or a
+    :class:`ResultSet` (SELECT) and ``info`` is the trailing
+    ``"x-lusail"`` status member when the server appended one (streamed
+    or truncated responses), else ``None``.  Raises
+    :class:`ProtocolDecodeError` for any structural deviation.
+    """
+    if not isinstance(document, dict):
+        raise ProtocolDecodeError(
+            f"results document is not an object: {type(document).__name__}"
+        )
+    unknown = set(document) - _TOP_LEVEL_MEMBERS
+    if unknown:
+        raise ProtocolDecodeError(
+            f"document has unknown top-level members {sorted(unknown)}"
+        )
+    info = document.get("x-lusail")
+    if info is not None and not isinstance(info, dict):
+        raise ProtocolDecodeError('"x-lusail" member is not an object')
+    if "boolean" in document:
+        boolean = document["boolean"]
+        if not isinstance(boolean, bool):
+            raise ProtocolDecodeError(
+                f'"boolean" member is not a boolean: {boolean!r}'
+            )
+        if "results" in document:
+            raise ProtocolDecodeError(
+                "document carries both boolean and results members"
+            )
+        return boolean, info
+    head = document.get("head")
+    if not isinstance(head, dict):
+        raise ProtocolDecodeError('missing or invalid "head" member')
+    unknown = set(head) - _HEAD_MEMBERS
+    if unknown:
+        raise ProtocolDecodeError(
+            f"head has unknown members {sorted(unknown)}"
+        )
+    names = head.get("vars")
+    if not isinstance(names, list) or not all(
+        isinstance(name, str) for name in names
+    ):
+        raise ProtocolDecodeError('"head.vars" is not a list of strings')
+    if len(set(names)) != len(names):
+        raise ProtocolDecodeError(f'"head.vars" has duplicates: {names!r}')
+    results = document.get("results")
+    if not isinstance(results, dict):
+        raise ProtocolDecodeError('missing or invalid "results" member')
+    unknown = set(results) - _RESULTS_MEMBERS
+    if unknown:
+        raise ProtocolDecodeError(
+            f"results has unknown members {sorted(unknown)}"
+        )
+    bindings = results.get("bindings")
+    if not isinstance(bindings, list):
+        raise ProtocolDecodeError('"results.bindings" is not a list')
+    variables = [Variable(name) for name in names]
+    known = set(names)
+    rows = []
+    for binding in bindings:
+        if not isinstance(binding, dict):
+            raise ProtocolDecodeError(f"binding is not an object: {binding!r}")
+        stray = set(binding) - known
+        if stray:
+            raise ProtocolDecodeError(
+                f"binding mentions variables absent from head: {sorted(stray)}"
+            )
+        rows.append(
+            tuple(
+                _strict_term(v.name, binding[v.name])
+                if v.name in binding
+                else None
+                for v in variables
+            )
+        )
+    return ResultSet(variables, rows), info
+
+
+def decode_response_body(
+    body: bytes,
+) -> Tuple[Union[bool, ResultSet], Optional[Dict[str, object]]]:
+    """Strictly decode raw response bytes into ``(value, info)``.
+
+    The remote endpoint client funnels every body through here: invalid
+    UTF-8 and malformed / truncated JSON raise
+    :class:`ProtocolDecodeError` with the failure position, so callers
+    can surface a typed error instead of an empty result set.
+    """
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolDecodeError(
+            f"response body is not UTF-8 at byte {error.start}"
+        ) from error
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolDecodeError(
+            f"response body is not JSON: {error.msg} at char {error.pos} "
+            f"of {len(text)}"
+        ) from error
+    return decode_results_payload(document)
 
 
 def iter_results_chunks(

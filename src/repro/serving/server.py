@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -111,11 +113,30 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     # -- HTTP verbs --------------------------------------------------------
 
+    def _reject_if_draining(self) -> bool:
+        """New work during a graceful drain gets 503 + close, so clients
+        fail over immediately instead of queueing behind the shutdown."""
+        if not self.server.draining:  # type: ignore[attr-defined]
+            return False
+        self.send_response(503)
+        body = b'{"error": "server is draining"}'
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Retry-After", "1")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+        self.close_connection = True
+        return True
+
     def do_GET(self):  # noqa: N802 - stdlib naming
         url = urlsplit(self.path)
         params = parse_qs(url.query)
         if url.path == "/health":
-            self._send_json(200, {"status": "ok"})
+            draining = self.server.draining  # type: ignore[attr-defined]
+            self._send_json(
+                200, {"status": "draining" if draining else "ok"}
+            )
             return
         if url.path == "/stats":
             self._send_json(200, self.manager.stats())
@@ -123,20 +144,38 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if url.path != "/sparql":
             self._send_error_json(404, f"no such resource: {url.path}")
             return
+        if self._reject_if_draining():
+            return
         queries = params.get("query")
         if not queries:
             self._send_error_json(
                 400, "missing required 'query' parameter"
             )
             return
-        self._run_query(queries[0], params)
+        with self.server.track_request():  # type: ignore[attr-defined]
+            self._run_query(queries[0], params)
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         url = urlsplit(self.path)
         if url.path != "/sparql":
             self._send_error_json(404, f"no such resource: {url.path}")
             return
+        if self._reject_if_draining():
+            return
         params = parse_qs(url.query)
+        if "chunked" in (
+            self.headers.get("Transfer-Encoding") or ""
+        ).lower():
+            # A chunked request body would desynchronize the connection:
+            # reading Content-Length (absent -> 0) bytes leaves the
+            # chunk stream in the pipe, and the next keep-alive request
+            # would parse mid-body garbage as its request line.  Demand
+            # a length and drop the connection instead.
+            self._send_error_json(
+                411, "chunked request bodies are not supported"
+            )
+            self.close_connection = True
+            return
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length)
         content_type = (
@@ -166,7 +205,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 f"{SPARQL_QUERY} or application/x-www-form-urlencoded",
             )
             return
-        self._run_query(query_text, params)
+        with self.server.track_request():  # type: ignore[attr-defined]
+            self._run_query(query_text, params)
 
     # -- query execution ---------------------------------------------------
 
@@ -323,33 +363,54 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         lazy iterator) appends a well-formed truncation tail — closing
         the JSON document with ``"x-lusail": {"truncated": true}`` — and
         the terminating zero chunk, so clients never block on a chunked
-        response whose end never comes.
+        response whose end never comes.  A graceful drain cuts in-flight
+        streams the same way: a well-formed ``PARTIAL`` tail between
+        pieces instead of a mid-chunk reset.
         """
+        wrote_head = False
         try:
             for piece in pieces:
                 if not piece:
                     continue  # a zero-length chunk would terminate the body
+                if wrote_head and (
+                    self.server.draining  # type: ignore[attr-defined]
+                ):
+                    # document_tail is valid only after the head piece
+                    # (it closes the bindings array the head opened).
+                    self._write_tail({
+                        "status": "PARTIAL",
+                        "truncated": True,
+                        "reason": "server draining",
+                    })
+                    return
                 self.wfile.write(f"{len(piece):X}\r\n".encode("ascii"))
                 self.wfile.write(piece)
                 self.wfile.write(b"\r\n")
+                wrote_head = True
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):
             # The client hung up mid-stream; nothing left to tell it.
             self.close_connection = True
         except Exception as exc:
-            tail = document_tail({
+            self._write_tail({
                 "status": "RE",
                 "error": f"{type(exc).__name__}: {exc}",
                 "truncated": True,
             })
-            try:
-                self.wfile.write(f"{len(tail):X}\r\n".encode("ascii"))
-                self.wfile.write(tail)
-                self.wfile.write(b"\r\n")
-                self.wfile.write(b"0\r\n\r\n")
-            except (BrokenPipeError, ConnectionResetError):
-                pass
-            self.close_connection = True
+
+    def _write_tail(self, info: dict) -> None:
+        """Terminate a committed chunked response with a well-formed
+        truncation tail; always closes the connection afterwards (the
+        advertised document was cut short, so the framing is suspect)."""
+        tail = document_tail(info)
+        try:
+            self.wfile.write(f"{len(tail):X}\r\n".encode("ascii"))
+            self.wfile.write(tail)
+            self.wfile.write(b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        self.close_connection = True
 
 
 class LusailHTTPServer(ThreadingHTTPServer):
@@ -374,11 +435,58 @@ class LusailHTTPServer(ThreadingHTTPServer):
         self.manager = manager
         self.chunk_rows = chunk_rows
         self.verbose = verbose
+        #: set by shutdown_gracefully(): new queries get 503 + close,
+        #: in-flight streams truncate with a well-formed PARTIAL tail
+        self.draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    @contextmanager
+    def track_request(self):
+        """Count one in-flight query (what a graceful drain waits for)."""
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
+
+    def shutdown_gracefully(self, drain_seconds: float = 5.0) -> bool:
+        """Stop serving without resetting anyone mid-answer.
+
+        Order matters: (1) flip ``draining`` so handler threads start
+        refusing new queries and truncating streams at their next piece
+        boundary — with a well-formed ``PARTIAL`` tail, never a bare
+        reset; (2) stop the accept loop and close the *listener* first,
+        so load balancers and retrying clients fail over immediately;
+        (3) wait — bounded by ``drain_seconds`` — for in-flight queries
+        to finish.  Returns True when the drain completed (no query was
+        still running at the deadline).  Idempotent; also what the
+        SIGTERM handler in ``repro.serving.__main__`` calls.
+        """
+        self.draining = True
+        self.shutdown()
+        self.server_close()
+        deadline = time.monotonic() + max(0.0, drain_seconds)
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+        return True
 
 
 def start_server(

@@ -359,6 +359,9 @@ class QuerySessionManager:
                 }
                 for name, usage in self._usage.items()
             }
+        # Duck-typed: test doubles standing in for the engine may not
+        # implement the endpoint health rollup.
+        endpoint_stats = getattr(self.engine, "endpoint_stats", None)
         return {
             "max_concurrent": self.admission.max_concurrent,
             "active": self.admission.active,
@@ -373,6 +376,9 @@ class QuerySessionManager:
                 "values_dispatches_partial": self._stream_partial_dispatches,
                 "ttfb_p50_s": self._stream_ttfb_p50.value(),
             },
+            # per-endpoint breaker state, retry/failure counters, and
+            # remote connection-pool stats — which members are unhealthy
+            "endpoints": endpoint_stats() if callable(endpoint_stats) else {},
         }
 
 

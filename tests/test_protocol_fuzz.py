@@ -1,0 +1,159 @@
+"""Fuzzing the strict SPARQL-JSON wire decoder.
+
+The decoder is the last line of defense between a hostile/corrupted wire
+and the join pipeline.  Two properties must hold:
+
+- **truncation is always detected**: every proper prefix of a valid
+  results document fails to decode (JSON objects have no valid proper
+  prefix), so a half-close can never yield a silently-short result set;
+- **splices fail typed or round-trip exactly**: arbitrary byte edits
+  either raise :class:`ProtocolDecodeError` or produce a document whose
+  re-encode decodes to the same value — never a crash, never an
+  undetected self-inconsistent answer.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.rdf import IRI, Literal
+from repro.serving.protocol import (
+    ProtocolDecodeError,
+    decode_response_body,
+    decode_results_payload,
+    results_document,
+)
+from repro.sparql.results import ResultSet
+from repro.rdf.term import Variable
+
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def sample_document(rows=3):
+    variables = [Variable("s"), Variable("o")]
+    data = [
+        (
+            IRI(f"http://example.org/resource/{i}"),
+            Literal(f"value {i}", language="en") if i % 2
+            else Literal(str(i), datatype=XSD_INT),
+        )
+        for i in range(rows)
+    ]
+    return results_document(ResultSet(variables, data))
+
+
+def encode(document) -> bytes:
+    return json.dumps(document).encode("utf-8")
+
+
+class TestTruncation:
+    def test_every_proper_prefix_is_rejected(self):
+        body = encode(sample_document())
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolDecodeError):
+                decode_response_body(body[:cut])
+
+    def test_whole_document_round_trips(self):
+        document = sample_document()
+        value, info = decode_response_body(encode(document))
+        assert isinstance(value, ResultSet)
+        assert len(value.rows) == 3
+        assert info is None
+
+    def test_boolean_document_prefixes_rejected(self):
+        body = encode({"head": {}, "boolean": True})
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolDecodeError):
+                decode_response_body(body[:cut])
+        value, _info = decode_response_body(body)
+        assert value is True
+
+
+class TestStrictness:
+    def test_unknown_top_level_member_rejected(self):
+        document = sample_document()
+        document["extensions"] = {}
+        with pytest.raises(ProtocolDecodeError):
+            decode_results_payload(document)
+
+    def test_binding_outside_declared_vars_rejected(self):
+        document = sample_document()
+        document["results"]["bindings"][0]["ghost"] = {
+            "type": "uri", "value": "http://example.org/x"
+        }
+        with pytest.raises(ProtocolDecodeError):
+            decode_results_payload(document)
+
+    def test_boolean_and_results_together_rejected(self):
+        document = sample_document()
+        document["boolean"] = True
+        with pytest.raises(ProtocolDecodeError):
+            decode_results_payload(document)
+
+    def test_lang_and_datatype_together_rejected(self):
+        document = sample_document()
+        cell = document["results"]["bindings"][0]["o"]
+        cell["xml:lang"] = "en"
+        cell["datatype"] = XSD_INT
+        with pytest.raises(ProtocolDecodeError):
+            decode_results_payload(document)
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(ProtocolDecodeError):
+            decode_response_body(b'{"head": {"vars": ["\xff\xfe"]}}')
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cut=st.integers(min_value=0, max_value=10_000),
+    splice=st.binary(min_size=1, max_size=8),
+)
+def test_spliced_bytes_fail_typed_or_round_trip(cut, splice):
+    """Replace a byte range with arbitrary bytes: the decoder must raise
+    ProtocolDecodeError or decode to a value whose re-encode agrees."""
+    body = encode(sample_document())
+    position = cut % len(body)
+    mutated = body[:position] + splice + body[position + len(splice):]
+    try:
+        value, info = decode_response_body(mutated)
+    except ProtocolDecodeError:
+        return  # typed rejection: the good outcome
+    # Decoded despite the splice: the result must be self-consistent —
+    # re-encoding and re-decoding reproduces it exactly.
+    if isinstance(value, ResultSet):
+        again, again_info = decode_response_body(
+            encode(results_document(value))
+        )
+        assert isinstance(again, ResultSet)
+        assert again.variables == value.variables
+        assert again.rows == value.rows
+    else:
+        assert isinstance(value, bool)
+    assert info is None or isinstance(info, dict)
+
+
+@settings(max_examples=120, deadline=None)
+@given(junk=st.binary(max_size=64))
+def test_arbitrary_bytes_never_crash_the_decoder(junk):
+    """Anything that isn't a valid document raises ProtocolDecodeError —
+    no other exception type ever escapes."""
+    try:
+        value, _info = decode_response_body(junk)
+    except ProtocolDecodeError:
+        return
+    assert isinstance(value, (bool, ResultSet))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rows=st.integers(min_value=0, max_value=5),
+    cut_fraction=st.floats(min_value=0.0, max_value=0.999),
+)
+def test_truncation_property_holds_for_any_size(rows, cut_fraction):
+    body = encode(sample_document(rows=rows))
+    cut = int(len(body) * cut_fraction)
+    with pytest.raises(ProtocolDecodeError):
+        decode_response_body(body[:cut])
